@@ -1,0 +1,15 @@
+"""Benchmark-suite helpers.
+
+Every benchmark prints the reproduced table/figure (paper-style rendering)
+so a ``pytest benchmarks/ --benchmark-only -s`` run regenerates the paper's
+evaluation section end to end. Heavy drivers use ``benchmark.pedantic`` with
+one round — we are timing simulations of a cluster, not micro-optimizing
+them.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single round and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,48 @@
+"""Ablation — auto-tuned fusion buffer vs the 25MB default.
+
+Implements the paper's §IV-B future-work suggestion (automatic buffer
+tuning) and quantifies how much it buys over the default the paper uses.
+The paper's observation — the default is already near-optimal for ACP-SGD
+thanks to compressed-buffer scaling — should show up as small gains for
+ACP-SGD and larger ones for Power-SGD*.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.common import METHOD_LABELS, paper_rank
+from repro.models import get_model_spec
+from repro.sim.autotune import autotune_buffer_size
+from repro.sim.strategies import simulate_iteration
+from repro.utils import render_table
+
+
+def _sweep():
+    rows = []
+    for model_name in ("ResNet-152", "BERT-Large"):
+        spec = get_model_spec(model_name)
+        rank = paper_rank(model_name)
+        for method in ("powersgd_star", "acpsgd"):
+            default_time = simulate_iteration(method, spec, rank=rank).total
+            tuned = autotune_buffer_size(method, spec, rank=rank,
+                                         refine_rounds=2)
+            rows.append((
+                model_name, method, default_time * 1e3,
+                tuned.best_buffer_mb, tuned.best_time * 1e3,
+            ))
+    return rows
+
+
+def test_autotune_vs_default(benchmark):
+    rows = run_once(benchmark, _sweep)
+    print("\n=== Ablation: auto-tuned buffer vs 25MB default ===")
+    print(render_table(
+        ["Model", "Method", "default (25MB)", "tuned buffer", "tuned time", "gain"],
+        [
+            [model, METHOD_LABELS[method], f"{default:.0f}ms",
+             f"{buffer:.1f}MB", f"{tuned:.0f}ms", f"{default / tuned:.2f}x"]
+            for model, method, default, buffer, tuned in rows
+        ],
+    ))
+    acp_gains = [default / tuned for model, method, default, _, tuned in rows
+                 if method == "acpsgd"]
+    # The paper's point: the default is already near-optimal for ACP-SGD.
+    assert all(gain < 1.15 for gain in acp_gains)

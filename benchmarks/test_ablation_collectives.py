@@ -1,0 +1,49 @@
+"""Ablation — all-reduce algorithm selection by message size.
+
+Ring vs binomial tree vs Rabenseifner on the 32-rank 10GbE testbed: the
+latency/bandwidth trade Thakur et al. (the paper's ref [10]) formalize.
+ACP-SGD's fused compressed buckets (~0.2-1MB) sit exactly in the regime
+where log-step algorithms beat the ring — one more reason its start-up
+costs stay low.
+"""
+
+from benchmarks.conftest import run_once
+from repro.comm.algorithms import (
+    best_allreduce_algorithm,
+    rabenseifner_allreduce_time,
+    tree_allreduce_time,
+)
+from repro.comm.cost_model import allreduce_time
+from repro.sim.calibration import LINK_10GBE
+from repro.utils import format_bytes, render_table
+
+SIZES = (4 * 1024, 64 * 1024, 1024**2, 16 * 1024**2, 256 * 1024**2)
+
+
+def _sweep():
+    rows = []
+    for size in SIZES:
+        ring = allreduce_time(size, 32, LINK_10GBE)
+        tree = tree_allreduce_time(size, 32, LINK_10GBE)
+        rab = rabenseifner_allreduce_time(size, 32, LINK_10GBE)
+        best, _ = best_allreduce_algorithm(size, 32, LINK_10GBE)
+        rows.append((size, ring, tree, rab, best))
+    return rows
+
+
+def test_allreduce_algorithm_selection(benchmark):
+    rows = run_once(benchmark, _sweep)
+    print("\n=== Ablation: all-reduce algorithm selection (32 x 10GbE) ===")
+    print(render_table(
+        ["message", "ring", "tree", "rabenseifner", "best"],
+        [
+            [format_bytes(size), f"{ring * 1e3:.2f}ms", f"{tree * 1e3:.2f}ms",
+             f"{rab * 1e3:.2f}ms", best]
+            for size, ring, tree, rab, best in rows
+        ],
+    ))
+    # Small messages: log-step algorithms win; huge: ring is competitive
+    # (ties Rabenseifner's bandwidth term).
+    assert rows[0][4] in ("tree", "rabenseifner")
+    small_size, small_ring, small_tree, small_rab, _ = rows[0]
+    assert min(small_tree, small_rab) < 0.5 * small_ring

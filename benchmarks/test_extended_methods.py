@@ -1,0 +1,54 @@
+"""Ablation — the extension methods join the Fig. 2 comparison.
+
+Simulated iteration time of all ten methods (the paper's six plus
+TernGrad, QSGD, Random-k and DGC) on BERT-Base, 32 x 10GbE. Two lessons:
+
+- all-gather quantizers (Sign/TernGrad/QSGD) pay per-worker-linear traffic
+  and lose badly at 32 workers regardless of their compression ratio —
+  Table II's complexity column, rendered in milliseconds;
+- shared-seed Random-k is *additive* and non-blocking (ACP-SGD's two
+  §III-C properties), so it inherits ring all-reduce + WFBP + TF and posts
+  excellent wall-clock time — its weakness is convergence quality (it
+  selects coordinates blindly; the paper's §II-B notes Top-k converges
+  better), not systems behaviour.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.common import METHOD_LABELS
+from repro.models import get_model_spec
+from repro.sim.strategies import ALL_METHODS, simulate_iteration
+from repro.utils import render_table
+
+RATIOS = {"topk": 0.001, "dgc": 0.001, "randomk": 0.01}
+
+
+def _sweep():
+    spec = get_model_spec("BERT-Base")
+    rows = []
+    for method in ALL_METHODS:
+        bd = simulate_iteration(
+            method, spec, rank=32, topk_ratio=RATIOS.get(method, 0.001)
+        )
+        rows.append((method, bd))
+    return rows
+
+
+def test_extended_method_comparison(benchmark):
+    rows = run_once(benchmark, _sweep)
+    print("\n=== Extended method comparison (BERT-Base, 32 x 10GbE) ===")
+    print(render_table(
+        ["Method", "total", "ff&bp", "compress", "comm (non-ovl)"],
+        [
+            [METHOD_LABELS.get(m, m), f"{bd.milliseconds[0]:.0f}ms",
+             f"{bd.milliseconds[1]:.0f}ms", f"{bd.milliseconds[2]:.0f}ms",
+             f"{bd.milliseconds[3]:.0f}ms"]
+            for m, bd in rows
+        ],
+    ))
+    by_method = {m: bd.total for m, bd in rows}
+    # All-gather quantizers lose to S-SGD at this scale.
+    for quantizer in ("signsgd", "terngrad", "qsgd"):
+        assert by_method[quantizer] > by_method["ssgd"]
+    # Additive methods (all-reduce + WFBP + TF) are the fast tier.
+    for additive in ("acpsgd", "randomk"):
+        assert by_method[additive] < 0.35 * by_method["ssgd"]

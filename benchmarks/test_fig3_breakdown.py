@@ -1,0 +1,12 @@
+"""Bench F3 — Fig. 3: time breakdowns of the characterization methods."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig3
+from repro.experiments import fig3
+
+
+def test_fig3(benchmark):
+    rows = run_once(benchmark, run_fig3)
+    print("\n=== Fig. 3: time breakdowns (ResNet-50, BERT-Base) ===")
+    print(fig3.render(rows))
+    assert len(rows) == 8

@@ -1,0 +1,16 @@
+"""Bench F4 — Fig. 4: the WFBP schedules, regenerated as ASCII Gantt charts."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig4
+from repro.experiments import fig4
+
+
+def test_fig4(benchmark):
+    charts = run_once(benchmark, run_fig4)
+    print("\n=== Fig. 4: simulated schedules (BERT-Base) ===")
+    print(fig4.render(charts))
+    assert len(charts) == 3
+    # Power-SGD* must show side-stream compression; ACP-SGD must not.
+    by_method = dict(charts)
+    assert "side" in by_method["powersgd_star"]
+    assert "side" not in by_method["acpsgd"]

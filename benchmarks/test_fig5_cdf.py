@@ -1,0 +1,23 @@
+"""Bench F5 — Fig. 5: CDF of uncompressed vs compressed tensor sizes."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig5
+from repro.experiments import fig5
+
+
+def test_fig5(benchmark):
+    data = run_once(benchmark, run_fig5)
+    print("\n=== Fig. 5: CDF of tensor sizes (M vs P,Q) ===")
+    print(fig5.render(data))
+    # Print a coarse CDF curve for each model, paper-style.
+    import numpy as np
+
+    for item in data:
+        print(f"\n{item.model} (rank {item.rank}):")
+        for exponent in range(1, 9):
+            threshold = 10.0**exponent
+            print(
+                f"  <=1e{exponent}: M {item.cdf_at(threshold, False):5.0%}"
+                f"   P,Q {item.cdf_at(threshold, True):5.0%}"
+            )
+    assert len(data) == 2

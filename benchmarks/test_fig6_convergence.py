@@ -1,0 +1,50 @@
+"""Bench F6 — Fig. 6: convergence of S-SGD / Power-SGD / ACP-SGD.
+
+Scaled-down substitute for the paper's CIFAR-10 study (see DESIGN.md §1):
+identical data streams and initial weights per method, so the curves
+isolate the aggregation algorithm.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig6
+from repro.experiments import fig6
+from repro.experiments.fig6 import ConvergenceSetup
+
+BENCH_SETUP = ConvergenceSetup(
+    model_family="vgg",
+    world_size=4,
+    epochs=6,
+    steps_per_epoch=12,
+    batch_size=24,
+    base_lr=0.08,
+    rank=4,
+    num_train=1200,
+    num_test=320,
+    seed=13,
+)
+
+
+def test_fig6_vgg(benchmark):
+    """Fig. 6 left panel: the VGG-family model."""
+    histories = run_once(benchmark, run_fig6, BENCH_SETUP)
+    print("\n=== Fig. 6 (VGG family): convergence comparison ===")
+    print(fig6.render(histories))
+    for method, hist in histories.items():
+        print(f"\n{hist.render()}")
+    ssgd = histories["ssgd"].final_accuracy
+    assert histories["acpsgd"].final_accuracy > ssgd - 0.15
+
+
+def test_fig6_resnet(benchmark):
+    """Fig. 6 right panel: the ResNet-family model (residual blocks)."""
+    from dataclasses import replace
+
+    setup = replace(BENCH_SETUP, model_family="resnet", epochs=7,
+                    base_lr=0.1, steps_per_epoch=14)
+    histories = run_once(benchmark, run_fig6, setup)
+    print("\n=== Fig. 6 (ResNet family): convergence comparison ===")
+    print(fig6.render(histories))
+    ssgd = histories["ssgd"].final_accuracy
+    assert histories["acpsgd"].final_accuracy > ssgd - 0.2
+    for hist in histories.values():
+        assert hist.final_accuracy > 0.3

@@ -1,0 +1,27 @@
+"""Bench F7 — Fig. 7: ACP-SGD ablation (no error feedback / no reuse)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig7
+from repro.experiments import fig7
+from repro.experiments.fig6 import ConvergenceSetup
+
+BENCH_SETUP = ConvergenceSetup(
+    model_family="vgg",
+    world_size=4,
+    epochs=6,
+    steps_per_epoch=12,
+    batch_size=24,
+    base_lr=0.08,
+    rank=4,
+    num_train=1200,
+    num_test=320,
+    seed=13,
+)
+
+
+def test_fig7(benchmark):
+    histories = run_once(benchmark, run_fig7, BENCH_SETUP)
+    print("\n=== Fig. 7: ACP-SGD ablation ===")
+    print(fig7.render(histories))
+    full = histories["acpsgd"].final_accuracy
+    assert full >= histories["acpsgd_no_ef"].final_accuracy - 0.02

@@ -1,0 +1,12 @@
+"""Bench F8 — Fig. 8: breakdowns of the four evaluation methods."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig8
+from repro.experiments import fig8
+
+
+def test_fig8(benchmark):
+    rows = run_once(benchmark, run_fig8)
+    print("\n=== Fig. 8: time breakdowns (ResNet-50, BERT-Base) ===")
+    print(fig8.render(rows))
+    assert len(rows) == 8

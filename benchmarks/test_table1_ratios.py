@@ -1,0 +1,12 @@
+"""Bench T1 — Table I: model statistics and compression ratios."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_table1
+from repro.experiments import table1
+
+
+def test_table1(benchmark):
+    rows = run_once(benchmark, run_table1)
+    print("\n=== Table I: model statistics and compression ratios ===")
+    print(table1.render(rows))
+    assert len(rows) == 4

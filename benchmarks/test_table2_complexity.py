@@ -1,0 +1,12 @@
+"""Bench T2 — Table II: compress/communicate complexity (analytic vs measured)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_table2
+from repro.experiments import table2
+
+
+def test_table2(benchmark):
+    rows = run_once(benchmark, run_table2)
+    print("\n=== Table II: per-worker communication, analytic vs measured ===")
+    print(table2.render(rows))
+    assert all(row.relative_error < 0.05 for row in rows)

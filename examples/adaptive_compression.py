@@ -1,0 +1,80 @@
+"""Adaptive rank selection on real training gradients.
+
+Demonstrates the adaptive-compression extension: after a few warm-up
+steps, inspect each layer's gradient spectrum and pick (a) the smallest
+uniform rank meeting a target compression budget (inverting Table I) and
+(b) data-dependent per-tensor ranks capturing 90% of each gradient
+matrix's spectral energy. Shows why the paper's uniform choice (r=4 for
+convnets) is reasonable — most conv gradients are spectrally concentrated
+— while a few layers would benefit from more.
+
+Run:
+    python examples/adaptive_compression.py
+"""
+
+import numpy as np
+
+from repro.compression.adaptive import (
+    per_tensor_ranks,
+    rank_for_energy,
+    rank_for_target_ratio,
+)
+from repro.compression.reshaping import grad_to_matrix, should_compress
+from repro.models import get_model_spec, make_small_vgg
+from repro.nn.loss import CrossEntropyLoss
+from repro.train import make_cifar_like
+from repro.utils import render_table
+
+
+def gradient_snapshot():
+    """A few SGD steps on the small VGG; returns the final gradient dict."""
+    train, _ = make_cifar_like(num_train=400, num_test=50, seed=4)
+    model = make_small_vgg(base_width=8, rng=np.random.default_rng(1))
+    loss_fn = CrossEntropyLoss()
+    rng = np.random.default_rng(2)
+    for _ in range(5):
+        images, labels = train.batch(rng, 32)
+        model.zero_grad()
+        loss_fn(model(images), labels)
+        model.backward(loss_fn.backward())
+        for param in model.parameters():
+            param.data -= 0.05 * param.grad
+    return {name: param.grad.copy() for name, param in model.named_parameters()}
+
+
+def main() -> None:
+    grads = gradient_snapshot()
+
+    print("Per-tensor spectral analysis (90% energy criterion):\n")
+    ranks = per_tensor_ranks(grads, energy=0.9, max_rank=16)
+    rows = []
+    for name, grad in grads.items():
+        if not should_compress(grad.shape):
+            continue
+        matrix = grad_to_matrix(grad)
+        full = min(matrix.shape)
+        rows.append([
+            name, f"{matrix.shape[0]}x{matrix.shape[1]}",
+            str(full), str(ranks[name]),
+            f"{ranks[name] / full:.0%}",
+        ])
+    print(render_table(
+        ["tensor", "matrix", "full rank", "rank @90% energy", "fraction"],
+        rows,
+    ))
+
+    print("\nUniform rank for target budgets (paper-model shapes):")
+    for model_name in ("ResNet-50", "BERT-Base"):
+        spec = get_model_spec(model_name)
+        shapes = spec.parameter_shapes()
+        picks = {target: rank_for_target_ratio(shapes, target)
+                 for target in (16.0, 32.0, 64.0)}
+        print(f"  {model_name}: " + ", ".join(
+            f"{t:.0f}x budget -> rank {r}" for t, r in picks.items()
+        ))
+    print("\n(BERT-Base at a 32x budget selects rank 32 — the paper's "
+          "manual choice, recovered automatically.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Capacity planning with the cluster performance simulator.
+
+A deployment question the paper's evaluation answers implicitly: *given my
+model, cluster size, and network, which aggregation method should I run,
+and with what buffer size?* This example sweeps the simulator over methods,
+networks, and buffer sizes for a chosen model and prints a recommendation
+card — the same machinery that regenerates the paper's Figures 9-13.
+
+Run:
+    python examples/cluster_planning.py [model]
+    # model in {ResNet-50, ResNet-152, BERT-Base, BERT-Large}, default BERT-Base
+"""
+
+import sys
+
+from repro.experiments.common import METHOD_LABELS
+from repro.models import get_model_spec
+from repro.models.registry import PAPER_RANKS
+from repro.sim import ClusterSpec, SystemConfig, simulate_iteration
+from repro.sim.calibration import SIM_LINKS
+from repro.utils import render_table
+
+MB = 1024 * 1024
+METHODS = ("ssgd", "signsgd", "topk", "powersgd", "powersgd_star", "acpsgd")
+
+
+def sweep_methods(spec, rank, cluster):
+    rows = []
+    best = None
+    for method in METHODS:
+        breakdown = simulate_iteration(method, spec, cluster=cluster, rank=rank)
+        total, ffbp, comp, comm = breakdown.milliseconds
+        rows.append([
+            METHOD_LABELS[method], f"{total:.0f}ms", f"{ffbp:.0f}ms",
+            f"{comp:.0f}ms", f"{comm:.0f}ms",
+        ])
+        if best is None or total < best[1]:
+            best = (method, total)
+    return rows, best
+
+
+def sweep_buffers(spec, rank, cluster, method):
+    results = {}
+    for buf_mb in (1, 5, 25, 100, 500):
+        config = SystemConfig(wfbp=True, tensor_fusion=True,
+                              buffer_bytes=buf_mb * MB)
+        results[buf_mb] = simulate_iteration(
+            method, spec, cluster=cluster, system=config, rank=rank
+        ).milliseconds[0]
+    return results
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "BERT-Base"
+    spec = get_model_spec(model_name)
+    rank = PAPER_RANKS[model_name]
+    print(f"Planning for {model_name} "
+          f"({spec.num_parameters / 1e6:.1f}M params, rank {rank})\n")
+
+    for link_name in ("1GbE", "10GbE", "100GbIB"):
+        cluster = ClusterSpec(world_size=32, link=SIM_LINKS[link_name])
+        rows, best = sweep_methods(spec, rank, cluster)
+        print(f"--- 32 GPUs on {link_name} ---")
+        print(render_table(
+            ["method", "iter", "ff&bp", "compress", "comm(exposed)"], rows,
+        ))
+        buffers = sweep_buffers(spec, rank, cluster, best[0])
+        best_buf = min(buffers, key=buffers.get)
+        print(f"recommendation: {METHOD_LABELS[best[0]]} at ~{best[1]:.0f}ms/iter; "
+              f"buffer sweep {dict((k, round(v)) for k, v in buffers.items())} "
+              f"-> use ~{best_buf}MB\n")
+
+    # The one-call API that wraps all of the above (plus the memory check):
+    from repro.planner import plan
+
+    print("=== repro.planner.plan(...) recommendation card ===")
+    print(plan(model_name, gpus=32, link="10GbE", rank=rank).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Compare every gradient compression method on one training task.
+
+The §III characterization, miniaturized: S-SGD, Sign-SGD (majority vote),
+Top-k, Random-k, QSGD, Power-SGD, and ACP-SGD all train the same model on
+the same data. For each method we report final accuracy, measured per-step
+communication volume (through the real in-process collectives), and the
+collective primitive it used — reproducing the paper's Table II story that
+all-gather methods pay per-worker-linear traffic while all-reduce methods
+don't.
+
+Run:
+    python examples/compare_compression_methods.py
+"""
+
+import numpy as np
+
+from repro.comm import ProcessGroup
+from repro.models import make_small_vgg
+from repro.optim import SGD, make_aggregator
+from repro.train import DataParallelTrainer, make_cifar_like
+from repro.utils import format_bytes, render_table
+
+WORLD_SIZE = 4
+METHODS = (
+    ("ssgd", {}),
+    ("signsgd", {}),
+    ("topk", {"ratio": 0.01}),
+    ("randomk", {"ratio": 0.01}),
+    ("qsgd", {}),
+    ("powersgd", {"rank": 4}),
+    ("acpsgd", {"rank": 4}),
+)
+
+
+def run_method(method: str, kwargs: dict):
+    train_data, test_data = make_cifar_like(num_train=1200, num_test=300, seed=5)
+    model = make_small_vgg(base_width=8, rng=np.random.default_rng(9))
+    group = ProcessGroup(WORLD_SIZE)
+    aggregator = make_aggregator(method, group, **kwargs)
+    optimizer = SGD(model, lr=0.08, momentum=0.9)
+    trainer = DataParallelTrainer(
+        model, optimizer, aggregator, train_data, test_data,
+        batch_size_per_worker=32, seed=17,
+    )
+    steps = 50
+    for _ in range(steps):
+        trainer.train_step()
+    accuracy = trainer.evaluate()
+    per_step = group.total_bytes() / steps
+    collectives = sorted({s.algorithm for s in group.history})
+    return accuracy, per_step, collectives
+
+
+def main() -> None:
+    rows = []
+    for method, kwargs in METHODS:
+        accuracy, per_step, collectives = run_method(method, kwargs)
+        rows.append([
+            method, f"{accuracy:.1%}", format_bytes(per_step),
+            ", ".join(collectives),
+        ])
+        print(f"finished {method}")
+    print()
+    print(render_table(
+        ["method", "accuracy", "bytes/step (all ranks)", "collectives used"],
+        rows,
+    ))
+    print(
+        "\nNote how Sign-SGD/Top-k/QSGD ride all_gather (per-worker-linear"
+        "\ntraffic, Table II) while Random-k's shared coordinates and the"
+        "\nlow-rank methods' dense factors stay on ring all-reduce."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Regenerate the paper's full evaluation section in one run.
+
+Prints every table and figure (paper-style text rendering) with our
+measured/simulated values next to the paper's anchors. The convergence
+figures (6-7) train real models and take a few minutes; pass ``--fast`` to
+skip them. Equivalent to ``python -m repro evaluate``.
+
+Run:
+    python examples/paper_evaluation.py [--fast]
+"""
+
+import sys
+
+from repro.experiments.report import render_full_report
+
+
+def main() -> None:
+    render_full_report(fast="--fast" in sys.argv)
+
+
+if __name__ == "__main__":
+    main()

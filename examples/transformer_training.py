@@ -1,0 +1,61 @@
+"""Distributed training of a transformer with low-rank compression.
+
+The paper's BERT workloads at miniature, runnable scale: a tiny BERT-style
+encoder classifies synthetic token sequences across four data-parallel
+workers, comparing S-SGD, Power-SGD and ACP-SGD on the exact matrix
+families (attention H x H, FFN H x 4H, embeddings V x H) the paper
+compresses at rank 32.
+
+Run:
+    python examples/transformer_training.py
+"""
+
+import numpy as np
+
+from repro.comm import ProcessGroup
+from repro.models import make_tiny_bert
+from repro.optim import SGD, make_aggregator
+from repro.train import DataParallelTrainer, make_token_classification
+from repro.utils import format_bytes, render_table
+
+WORLD_SIZE = 4
+RANK = 4
+STEPS = 50
+
+
+def run(method: str, **kwargs):
+    train_data, test_data = make_token_classification(
+        num_train=1024, num_test=256, vocab_size=48, seq_len=16,
+        num_classes=4, seed=2,
+    )
+    model = make_tiny_bert(
+        vocab_size=48, hidden=24, num_layers=2, num_heads=4, max_seq=16,
+        num_classes=4, rng=np.random.default_rng(8),
+    )
+    group = ProcessGroup(WORLD_SIZE)
+    aggregator = make_aggregator(method, group, **kwargs)
+    trainer = DataParallelTrainer(
+        model, SGD(model, lr=0.1, momentum=0.9), aggregator,
+        train_data, test_data, batch_size_per_worker=32, seed=6,
+    )
+    for _ in range(STEPS):
+        trainer.train_step()
+    return trainer.evaluate(), group.total_bytes()
+
+
+def main() -> None:
+    rows = []
+    for method, kwargs in (
+        ("ssgd", {}),
+        ("powersgd", {"rank": RANK}),
+        ("acpsgd", {"rank": RANK}),
+    ):
+        accuracy, traffic = run(method, **kwargs)
+        rows.append([method, f"{accuracy:.1%}", format_bytes(traffic)])
+        print(f"finished {method}")
+    print()
+    print(render_table(["method", "accuracy", "total wire traffic"], rows))
+
+
+if __name__ == "__main__":
+    main()

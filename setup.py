@@ -1,0 +1,4 @@
+"""Legacy setup shim so `pip install -e .` works on offline/old toolchains."""
+from setuptools import setup
+
+setup()

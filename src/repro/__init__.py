@@ -1,0 +1,37 @@
+"""repro: reproduction of "Evaluation and Optimization of Gradient
+Compression for Distributed Deep Learning" (Zhang et al., ICDCS 2023).
+
+Top-level packages:
+
+- :mod:`repro.nn` — from-scratch numpy NN framework with gradient hooks.
+- :mod:`repro.models` — runnable convnets + exact shape-level specs of the
+  paper's models (ResNet-50/152, BERT-Base/Large, VGG-16, ResNet-18).
+- :mod:`repro.comm` — in-process collectives (real ring all-reduce,
+  all-gather, ...) and alpha-beta network cost models.
+- :mod:`repro.compression` — Sign-SGD, Top-k, Random-k, QSGD, Power-SGD and
+  **ACP-SGD** (the paper's contribution) compressors.
+- :mod:`repro.optim` — SGD + LR schedules + one distributed gradient
+  aggregator per method.
+- :mod:`repro.train` — synchronous data-parallel trainer and synthetic
+  datasets for the convergence experiments.
+- :mod:`repro.sim` — discrete-event cluster performance simulator (WFBP,
+  tensor fusion, compute/communication overlap and contention).
+- :mod:`repro.experiments` — one driver per table/figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+from repro.planner import Plan, plan  # noqa: E402  (convenience API)
+
+__all__ = [
+    "nn",
+    "models",
+    "comm",
+    "compression",
+    "optim",
+    "train",
+    "sim",
+    "experiments",
+    "Plan",
+    "plan",
+]

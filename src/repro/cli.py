@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+- ``simulate`` — one iteration of a method on a simulated cluster, with an
+  optional Chrome-trace export of the timeline;
+- ``autotune`` — search the fusion buffer size minimizing iteration time;
+- ``train`` — a small data-parallel convergence run on synthetic data;
+- ``evaluate`` — regenerate the paper's tables/figures (wraps the
+  experiment drivers; ``--fast`` skips the convergence figures).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.models import get_model_spec
+from repro.sim.calibration import SIM_LINKS
+from repro.sim.strategies import ALL_METHODS, ClusterSpec, SystemConfig
+
+MB = 1024 * 1024
+
+
+def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="BERT-Base",
+                        help="ResNet-50 | ResNet-152 | BERT-Base | BERT-Large | ...")
+    parser.add_argument("--gpus", type=int, default=32)
+    parser.add_argument("--link", default="10GbE", choices=sorted(SIM_LINKS))
+    parser.add_argument("--rank", type=int, default=32,
+                        help="low-rank compression rank")
+    parser.add_argument("--batch-size", type=int, default=None)
+
+
+def _cluster_from(args: argparse.Namespace) -> ClusterSpec:
+    return ClusterSpec(world_size=args.gpus, link=SIM_LINKS[args.link])
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.sim.strategies import simulate_iteration, simulate_iteration_records
+    from repro.sim.trace import write_chrome_trace
+
+    spec = get_model_spec(args.model)
+    system = SystemConfig(
+        wfbp=not args.no_wfbp,
+        tensor_fusion=not args.no_tf,
+        buffer_bytes=args.buffer_mb * MB,
+    )
+    breakdown = simulate_iteration(
+        args.method, spec, cluster=_cluster_from(args), system=system,
+        rank=args.rank, batch_size=args.batch_size,
+    )
+    print(breakdown.render(f"{args.method} / {args.model} / "
+                           f"{args.gpus}x{args.link}"))
+    if args.trace:
+        records = simulate_iteration_records(
+            args.method, spec, cluster=_cluster_from(args), system=system,
+            rank=args.rank, batch_size=args.batch_size,
+        )
+        write_chrome_trace(records, args.trace)
+        print(f"wrote timeline to {args.trace} (open in chrome://tracing)")
+    return 0
+
+
+def cmd_autotune(args: argparse.Namespace) -> int:
+    from repro.sim.autotune import autotune_buffer_size
+
+    spec = get_model_spec(args.model)
+    result = autotune_buffer_size(
+        args.method, spec, cluster=_cluster_from(args), rank=args.rank,
+        batch_size=args.batch_size,
+    )
+    print(f"best buffer: {result.best_buffer_mb:.2f}MB "
+          f"-> {result.best_time * 1e3:.1f}ms/iteration")
+    for buffer_bytes in sorted(result.evaluated):
+        marker = "  <-- best" if buffer_bytes == result.best_buffer_bytes else ""
+        print(f"  {buffer_bytes / MB:8.2f}MB  "
+              f"{result.evaluated[buffer_bytes] * 1e3:8.1f}ms{marker}")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.comm import ProcessGroup
+    from repro.models import make_small_resnet, make_small_vgg
+    from repro.optim import SGD, make_aggregator
+    from repro.train import DataParallelTrainer, make_cifar_like
+
+    train_data, test_data = make_cifar_like(
+        num_train=args.samples, num_test=max(100, args.samples // 4),
+        seed=args.seed,
+    )
+    rng = np.random.default_rng(args.seed + 1)
+    if args.arch == "vgg":
+        model = make_small_vgg(rng=rng)
+    else:
+        model = make_small_resnet(rng=rng)
+    group = ProcessGroup(args.workers)
+    kwargs = {}
+    if args.method in ("powersgd", "acpsgd"):
+        kwargs["rank"] = args.rank
+    aggregator = make_aggregator(args.method, group, **kwargs)
+    trainer = DataParallelTrainer(
+        model, SGD(model, lr=args.lr, momentum=0.9), aggregator,
+        train_data, test_data, batch_size_per_worker=args.batch_size or 32,
+        seed=args.seed + 2,
+    )
+    history = trainer.run(args.epochs, args.steps_per_epoch,
+                          method_label=args.method)
+    print(history.render())
+    print(f"final accuracy {history.final_accuracy:.1%}; "
+          f"wire traffic {group.total_bytes() / MB:.1f}MB")
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    from repro.planner import plan
+
+    result = plan(
+        args.model, gpus=args.gpus, link=args.link, rank=args.rank,
+        batch_size=args.batch_size, tune_buffer=not args.no_tune,
+    )
+    print(result.render())
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    if args.json:
+        from repro.experiments.export import export_json
+
+        export_json(args.json, fast=args.fast)
+        print(f"wrote structured results to {args.json}")
+        return 0
+    from repro.experiments.report import render_full_report
+
+    render_full_report(fast=args.fast)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ACP-SGD gradient-compression reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="simulate one training iteration")
+    p_sim.add_argument("--method", default="acpsgd", choices=ALL_METHODS)
+    _add_cluster_args(p_sim)
+    p_sim.add_argument("--buffer-mb", type=float, default=25.0)
+    p_sim.add_argument("--no-wfbp", action="store_true")
+    p_sim.add_argument("--no-tf", action="store_true")
+    p_sim.add_argument("--trace", default="",
+                       help="write a chrome://tracing JSON timeline here")
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_tune = sub.add_parser("autotune", help="tune the fusion buffer size")
+    p_tune.add_argument("--method", default="acpsgd", choices=ALL_METHODS)
+    _add_cluster_args(p_tune)
+    p_tune.set_defaults(func=cmd_autotune)
+
+    p_train = sub.add_parser("train", help="small data-parallel training run")
+    p_train.add_argument("--method", default="acpsgd")
+    p_train.add_argument("--arch", default="vgg", choices=("vgg", "resnet"))
+    p_train.add_argument("--workers", type=int, default=4)
+    p_train.add_argument("--epochs", type=int, default=5)
+    p_train.add_argument("--steps-per-epoch", type=int, default=12)
+    p_train.add_argument("--batch-size", type=int, default=32)
+    p_train.add_argument("--samples", type=int, default=1600)
+    p_train.add_argument("--lr", type=float, default=0.08)
+    p_train.add_argument("--rank", type=int, default=4)
+    p_train.add_argument("--seed", type=int, default=0)
+    p_train.set_defaults(func=cmd_train)
+
+    p_plan = sub.add_parser("plan", help="recommend a method for a deployment")
+    _add_cluster_args(p_plan)
+    p_plan.add_argument("--no-tune", action="store_true",
+                        help="skip the fusion-buffer autotuner")
+    p_plan.set_defaults(func=cmd_plan)
+
+    p_eval = sub.add_parser("evaluate", help="regenerate the paper evaluation")
+    p_eval.add_argument("--fast", action="store_true",
+                        help="skip the (slow) convergence figures")
+    p_eval.add_argument("--json", default="",
+                        help="write structured results to this JSON file "
+                             "instead of printing tables")
+    p_eval.set_defaults(func=cmd_evaluate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,130 @@
+"""Hierarchical cluster topology and two-level collective cost models.
+
+The paper's testbed is 8 nodes x 4 GPUs: GPUs share PCIe 3.0 x16 within a
+node and one 10GbE NIC across nodes. The flat-ring alpha-beta model in
+:mod:`repro.comm.cost_model` absorbs that into an effective (alpha, beta);
+this module models the hierarchy explicitly, enabling the
+flat-vs-hierarchical all-reduce ablation (``benchmarks/test_ablation_*``):
+
+hierarchical all-reduce =
+  intra-node reduce-scatter (fast link)
+  -> inter-node ring all-reduce of 1/g of the buffer per leader (slow link)
+  -> intra-node all-gather (fast link)
+
+which trades a little intra-node traffic for ``g`` times fewer slow-link
+steps — a win for start-up-bound (small/compressed) messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comm.cost_model import ETHERNET_10G, LinkSpec, allreduce_time
+
+# Intra-node link presets.
+PCIE3_X16 = LinkSpec(name="PCIe3x16", alpha=4e-6, beta=12.0e9, nominal_gbps=128.0)
+NVLINK2 = LinkSpec(name="NVLink2", alpha=3e-6, beta=40.0e9, nominal_gbps=400.0)
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """A two-level cluster: nodes of GPUs.
+
+    Attributes:
+        num_nodes: node count.
+        gpus_per_node: GPUs per node (sharing the node's NIC).
+        intra_link: GPU-to-GPU link within a node.
+        inter_link: node-to-node link.
+    """
+
+    num_nodes: int
+    gpus_per_node: int
+    intra_link: LinkSpec = PCIE3_X16
+    inter_link: LinkSpec = ETHERNET_10G
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.gpus_per_node < 1:
+            raise ValueError(
+                f"gpus_per_node must be >= 1, got {self.gpus_per_node}"
+            )
+
+    @property
+    def world_size(self) -> int:
+        return self.num_nodes * self.gpus_per_node
+
+
+def _ring_phase_time(nbytes: float, members: int, link: LinkSpec) -> float:
+    """One reduce-scatter or all-gather phase over ``members`` ranks."""
+    if members <= 1 or nbytes <= 0:
+        return 0.0
+    steps = members - 1
+    return steps * link.alpha + nbytes * (members - 1) / (members * link.beta)
+
+
+def flat_allreduce_time(nbytes: float, topology: ClusterTopology) -> float:
+    """Single flat ring over all GPUs; bottlenecked by the inter-node link.
+
+    Start-up is paid on every one of the ``2 (p - 1)`` steps; bandwidth is
+    limited by the slow link each inter-node hop crosses.
+    """
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+    return allreduce_time(nbytes, topology.world_size, topology.inter_link)
+
+
+def hierarchical_allreduce_time(nbytes: float, topology: ClusterTopology) -> float:
+    """Two-level all-reduce: intra RS -> inter all-reduce -> intra AG.
+
+    After the intra-node reduce-scatter each of the ``g`` local ranks owns
+    ``n/g`` reduced bytes; all ``g`` shards cross the inter-node ring in
+    parallel but share the node NIC, so the inter phase carries ``n`` bytes
+    per NIC in total — same bandwidth term as the flat ring, but only
+    ``2 (nodes - 1)`` slow-link start-ups instead of ``2 (p - 1)``.
+    """
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+    if nbytes == 0 or topology.world_size == 1:
+        return 0.0
+    g = topology.gpus_per_node
+    intra_rs = _ring_phase_time(nbytes, g, topology.intra_link)
+    inter = allreduce_time(nbytes, topology.num_nodes, topology.inter_link)
+    intra_ag = _ring_phase_time(nbytes, g, topology.intra_link)
+    return intra_rs + inter + intra_ag
+
+
+def best_allreduce_time(nbytes: float, topology: ClusterTopology) -> float:
+    """The faster of flat and hierarchical for this message size (what an
+    NCCL-like autotuner would pick)."""
+    return min(
+        flat_allreduce_time(nbytes, topology),
+        hierarchical_allreduce_time(nbytes, topology),
+    )
+
+
+def crossover_bytes(
+    topology: ClusterTopology, low: float = 1.0, high: float = 1e9
+) -> float:
+    """Approximate message size where flat and hierarchical tie.
+
+    Hierarchical wins below (start-up bound), flat at/above (its bandwidth
+    term lacks the intra-node detour). Returns ``high`` if hierarchical
+    always wins on the probed range, ``low`` if it never does.
+    """
+    def diff(nbytes: float) -> float:
+        return hierarchical_allreduce_time(nbytes, topology) - flat_allreduce_time(
+            nbytes, topology
+        )
+
+    if diff(low) >= 0:
+        return low
+    if diff(high) <= 0:
+        return high
+    for _ in range(64):
+        mid = (low * high) ** 0.5
+        if diff(mid) <= 0:
+            low = mid
+        else:
+            high = mid
+    return (low * high) ** 0.5

@@ -1,0 +1,113 @@
+"""Gradient compression algorithms.
+
+The methods evaluated and proposed by the paper:
+
+- :mod:`repro.compression.signsgd` — Sign-SGD with majority vote [17] and
+  1-bit packing (quantization family, <=32x ratio, all-gather aggregation).
+- :mod:`repro.compression.topk` — Top-k sparsification [21] with both exact
+  selection and the paper's "multiple sampling" binary-search threshold
+  estimation (all-gather aggregation of values+indices).
+- :mod:`repro.compression.randomk` — Random-k sparsification with a shared
+  selection seed, which (unlike Top-k) *is* additive and all-reducible.
+- :mod:`repro.compression.qsgd` — QSGD stochastic quantization [16]
+  (background method, implemented as an extension).
+- :mod:`repro.compression.powersgd` — Power-SGD [24]: rank-r power-iteration
+  low-rank compression with query reuse and error feedback (Algorithm 1,
+  left function).
+- :mod:`repro.compression.acpsgd` — **ACP-SGD**, the paper's contribution:
+  alternate compressed Power-SGD with error feedback (Algorithms 1-2),
+  which compresses into only P (odd steps) or only Q (even steps) so the
+  per-iteration communication is a single, additive, non-blocking
+  all-reduce.
+
+Shared infrastructure:
+
+- :mod:`repro.compression.reshaping` — which parameters get compressed and
+  how gradients are viewed as matrices (§IV-C: vector-shaped parameters are
+  sent uncompressed).
+- :mod:`repro.compression.orthogonalize` — reduced-QR orthogonalization with
+  a Gram-Schmidt fallback for degenerate inputs.
+- :mod:`repro.compression.ratios` / :mod:`repro.compression.complexity` —
+  the analytical accounting behind Tables I and II.
+"""
+
+from repro.compression.orthogonalize import orthogonalize
+from repro.compression.reshaping import (
+    grad_to_matrix,
+    matrix_to_grad,
+    matrix_view_shape,
+    should_compress,
+)
+from repro.compression.signsgd import (
+    SignCompressor,
+    SignPayload,
+    majority_vote_aggregate,
+)
+from repro.compression.topk import (
+    SparsePayload,
+    TopkCompressor,
+    exact_topk_mask,
+    sampled_threshold_topk_mask,
+    sparse_aggregate,
+)
+from repro.compression.randomk import RandomKCompressor, RandomKPayload
+from repro.compression.qsgd import QSGDCompressor, QSGDPayload
+from repro.compression.powersgd import PowerSGDState, init_low_rank
+from repro.compression.acpsgd import ACPSGDState
+from repro.compression.ratios import (
+    acpsgd_compressed_elements,
+    compression_ratio,
+    powersgd_compressed_elements,
+    signsgd_compressed_bits,
+    topk_compressed_elements,
+    total_elements,
+)
+from repro.compression.complexity import (
+    communicate_elements,
+    compress_flops,
+)
+from repro.compression.adaptive import (
+    per_tensor_ranks,
+    rank_for_energy,
+    rank_for_target_ratio,
+)
+from repro.compression.atomo import SVDLowRankState, best_rank_r_error
+from repro.compression.terngrad import TernGradCompressor, TernPayload
+
+__all__ = [
+    "orthogonalize",
+    "grad_to_matrix",
+    "matrix_to_grad",
+    "matrix_view_shape",
+    "should_compress",
+    "SignCompressor",
+    "SignPayload",
+    "majority_vote_aggregate",
+    "TopkCompressor",
+    "SparsePayload",
+    "exact_topk_mask",
+    "sampled_threshold_topk_mask",
+    "sparse_aggregate",
+    "RandomKCompressor",
+    "RandomKPayload",
+    "QSGDCompressor",
+    "QSGDPayload",
+    "PowerSGDState",
+    "init_low_rank",
+    "ACPSGDState",
+    "compression_ratio",
+    "powersgd_compressed_elements",
+    "acpsgd_compressed_elements",
+    "signsgd_compressed_bits",
+    "topk_compressed_elements",
+    "total_elements",
+    "communicate_elements",
+    "compress_flops",
+    "per_tensor_ranks",
+    "rank_for_energy",
+    "rank_for_target_ratio",
+    "SVDLowRankState",
+    "best_rank_r_error",
+    "TernGradCompressor",
+    "TernPayload",
+]

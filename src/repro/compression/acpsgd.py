@@ -1,0 +1,177 @@
+"""ACP-SGD: alternate compressed Power-SGD (the paper's contribution).
+
+Algorithms 1 (right function) and 2 of the paper. Instead of computing and
+aggregating *both* low-rank factors every iteration, ACP-SGD compresses the
+gradient into only one of them per step, alternating:
+
+odd step ``t``::
+
+    Q_t <- orthogonalize(Q_{t-1})
+    P_t <- (M_t + E_{t-1}) Q_t          # compute P
+    E_t <- M_t + E_{t-1} - P_t Q_t^T    # update error (local, pre-aggregate)
+    P_t <- all-reduce(P_t)              # the step's single collective
+    output M_hat = P_t Q_t^T
+
+even step ``t``::
+
+    P_t <- orthogonalize(P_{t-1})
+    Q_t <- (M_t + E_{t-1})^T P_t        # compute Q
+    E_t <- M_t + E_{t-1} - P_t Q_t^T
+    Q_t <- all-reduce(Q_t)
+    output M_hat = P_t Q_t^T
+
+Because the single all-reduce input is computed entirely from local state,
+the communication is **additive** (plain sum of dense low-rank factors) and
+**non-blocking** (no further compute depends on it within the layer's
+backward) — the two properties (§III-C) that let ACP-SGD use ring
+all-reduce, wait-free back-propagation and tensor fusion exactly like
+S-SGD. It also halves Power-SGD's compression FLOPs and communication
+volume: one orthogonalization + one GEMM + one all-reduce of
+``(n + m)/2 * r`` elements on average per step.
+
+``P_0`` and ``Q_0`` are initialized i.i.d. standard normal with a seed
+shared across workers; ``E_0 = 0``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.compression.orthogonalize import orthogonalize
+from repro.compression.powersgd import init_low_rank
+
+
+class ACPSGDState:
+    """One worker's ACP-SGD state across all of its compressible tensors.
+
+    The staged protocol per tensor per step is:
+
+    1. ``factor = compress(name, matrix, step)`` — the local low-rank factor
+       (P on odd steps, Q on even steps) to be aggregated;
+    2. caller all-reduces (averages) the factor across workers — with
+       whatever batching/fusion it likes, since nothing blocks on it;
+    3. ``m_hat = finalize(name, factor_aggregated, step)`` — the
+       reconstructed gradient; the aggregated factor is stored for the next
+       step's orthogonalization (query reuse).
+
+    Args:
+        rank: target rank ``r``.
+        seed: shared across workers for the random ``P_0``/``Q_0``.
+        use_error_feedback: Algorithm 2's EF (ablated in Fig. 7).
+        reuse_query: warm-start from the previous aggregated factor
+            (ablated in Fig. 7); when disabled the carried factor is
+            re-drawn randomly each step.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        seed: int = 0,
+        use_error_feedback: bool = True,
+        reuse_query: bool = True,
+    ):
+        if rank < 1:
+            raise ValueError(f"rank must be >= 1, got {rank}")
+        self.rank = rank
+        self.seed = seed
+        self.use_error_feedback = use_error_feedback
+        self.reuse_query = reuse_query
+        self._p: Dict[str, np.ndarray] = {}
+        self._q: Dict[str, np.ndarray] = {}
+        self._error: Dict[str, np.ndarray] = {}
+        self._fresh_rng: Dict[str, np.random.Generator] = {}
+        # Scratch between compress() and finalize(): the orthonormal carried
+        # factor used for this step's projection.
+        self._carried: Dict[str, np.ndarray] = {}
+
+    def _mix_seed(self, name: str) -> int:
+        return (self.seed * 1000003 + zlib.crc32(name.encode())) & 0x7FFFFFFF
+
+    def effective_rank(self, matrix_shape: Tuple[int, int]) -> int:
+        """Rank actually used for a tensor (capped by its dimensions)."""
+        n, m = matrix_shape
+        return min(self.rank, n, m)
+
+    def _ensure_factors(self, name: str, matrix_shape: Tuple[int, int]) -> None:
+        if name not in self._p:
+            p0, q0 = init_low_rank(matrix_shape, self.rank, self._mix_seed(name))
+            self._p[name] = p0
+            self._q[name] = q0
+
+    @staticmethod
+    def compresses_p(step: int) -> bool:
+        """True when this step computes/aggregates P (odd steps, 1-based)."""
+        return step % 2 == 1
+
+    def _carried_factor(
+        self, name: str, matrix_shape: Tuple[int, int], step: int
+    ) -> np.ndarray:
+        """The previous-step factor to orthogonalize and project against."""
+        n, m = matrix_shape
+        r = self.effective_rank(matrix_shape)
+        if self.reuse_query:
+            return self._q[name] if self.compresses_p(step) else self._p[name]
+        rng = self._fresh_rng.get(name)
+        if rng is None:
+            rng = np.random.default_rng(self._mix_seed(name))
+            self._fresh_rng[name] = rng
+        size = (m, r) if self.compresses_p(step) else (n, r)
+        return rng.normal(size=size)
+
+    # ------------------------------------------------------------------
+    # Staged protocol
+    # ------------------------------------------------------------------
+    def compress(self, name: str, matrix: np.ndarray, step: int) -> np.ndarray:
+        """Compute this step's local low-rank factor and update the error.
+
+        Returns P_local (odd steps) or Q_local (even steps). The EF residual
+        is updated *here*, before aggregation, per Algorithm 2 lines 6/11.
+        """
+        if matrix.ndim != 2:
+            raise ValueError(f"expected a matrix, got shape {matrix.shape}")
+        if step < 1:
+            raise ValueError(f"step counter is 1-based, got {step}")
+        self._ensure_factors(name, matrix.shape)
+        work = matrix.astype(np.float64, copy=True)
+        if self.use_error_feedback:
+            residual = self._error.get(name)
+            if residual is not None:
+                work = work + residual
+        carried = orthogonalize(self._carried_factor(name, matrix.shape, step))
+        self._carried[name] = carried
+        if self.compresses_p(step):
+            factor_local = work @ carried  # P = (M + E) Q_t
+        else:
+            factor_local = work.T @ carried  # Q = (M + E)^T P_t
+        if self.use_error_feedback:
+            if self.compresses_p(step):
+                self._error[name] = work - factor_local @ carried.T
+            else:
+                self._error[name] = work - carried @ factor_local.T
+        return factor_local
+
+    def finalize(
+        self, name: str, factor_aggregated: np.ndarray, step: int
+    ) -> np.ndarray:
+        """Reconstruct ``M_hat`` from the aggregated factor; store for reuse."""
+        carried = self._carried.pop(name, None)
+        if carried is None:
+            raise RuntimeError(f"finalize called before compress for {name!r}")
+        if self.compresses_p(step):
+            self._p[name] = factor_aggregated.copy()
+            self._q[name] = carried
+            return factor_aggregated @ carried.T  # P_t Q_t^T
+        self._q[name] = factor_aggregated.copy()
+        self._p[name] = carried
+        return carried @ factor_aggregated.T  # P_t Q_t^T
+
+    def reset(self) -> None:
+        """Drop all per-tensor state."""
+        self._p.clear()
+        self._q.clear()
+        self._error.clear()
+        self._carried.clear()
+        self._fresh_rng.clear()

@@ -1,0 +1,102 @@
+"""Adaptive rank selection for low-rank compression (extension).
+
+The paper fixes one global rank per model (4 for ResNets, 32 for BERTs) and
+notes rank choice controls the accuracy/efficiency trade-off (§V-E). This
+extension adds two principled selectors:
+
+- :func:`rank_for_target_ratio` — the smallest uniform rank achieving a
+  target headline compression ratio for a model's shapes (inverts the
+  Table I computation);
+- :func:`rank_for_energy` — a per-matrix data-dependent rank capturing a
+  target fraction of the gradient's spectral energy (squared singular
+  values), the classic truncation criterion;
+- :func:`per_tensor_ranks` — energy-based ranks for a dict of gradients,
+  usable with Power-SGD/ACP-SGD by constructing one state per tensor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from repro.compression.ratios import acpsgd_compressed_elements, total_elements
+
+
+def rank_for_target_ratio(
+    shapes: Iterable[Tuple[int, ...]],
+    target_ratio: float,
+    max_rank: int = 512,
+) -> int:
+    """Smallest uniform rank whose ACP-SGD ratio still meets the target.
+
+    Args:
+        shapes: the model's parameter shapes.
+        target_ratio: desired ``N / N_c`` (e.g. 32 for "at least 32x").
+        max_rank: search ceiling.
+
+    Returns:
+        The largest rank r in [1, max_rank] with ratio(r) >= target_ratio
+        (larger ranks approximate better; we give the best quality that
+        still meets the budget).
+
+    Raises:
+        ValueError: if even rank 1 cannot meet the target.
+    """
+    if target_ratio <= 1.0:
+        raise ValueError(f"target_ratio must be > 1, got {target_ratio}")
+    shapes = list(shapes)
+    n_total = total_elements(shapes)
+
+    def ratio(rank: int) -> float:
+        return n_total / acpsgd_compressed_elements(shapes, rank)
+
+    if ratio(1) < target_ratio:
+        raise ValueError(
+            f"target ratio {target_ratio}x unattainable: rank 1 gives "
+            f"{ratio(1):.1f}x (vector parameters dominate)"
+        )
+    # ratio(r) decreases in r: binary search the largest feasible rank.
+    low, high = 1, max_rank
+    while low < high:
+        mid = (low + high + 1) // 2
+        if ratio(mid) >= target_ratio:
+            low = mid
+        else:
+            high = mid - 1
+    return low
+
+
+def rank_for_energy(matrix: np.ndarray, energy: float = 0.9, max_rank: int = 0) -> int:
+    """Smallest rank capturing ``energy`` of the matrix's spectral energy."""
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a matrix, got shape {matrix.shape}")
+    if not 0.0 < energy <= 1.0:
+        raise ValueError(f"energy must be in (0, 1], got {energy}")
+    singular = np.linalg.svd(matrix, compute_uv=False)
+    squared = singular**2
+    total = squared.sum()
+    if total == 0.0:
+        return 1
+    cumulative = np.cumsum(squared) / total
+    rank = int(np.searchsorted(cumulative, energy - 1e-12) + 1)
+    if max_rank:
+        rank = min(rank, max_rank)
+    return max(1, rank)
+
+
+def per_tensor_ranks(
+    gradients: Dict[str, np.ndarray],
+    energy: float = 0.9,
+    max_rank: int = 64,
+) -> Dict[str, int]:
+    """Energy-based rank per matrix-shaped gradient (vectors excluded)."""
+    from repro.compression.reshaping import grad_to_matrix, should_compress
+
+    ranks: Dict[str, int] = {}
+    for name, grad in gradients.items():
+        if should_compress(grad.shape):
+            ranks[name] = rank_for_energy(
+                grad_to_matrix(grad), energy, max_rank=max_rank
+            )
+    return ranks

@@ -1,0 +1,78 @@
+"""SVD-based low-rank compression (ATOMO-style, the paper's reference [23]).
+
+ATOMO computes the *optimal* rank-r decomposition via a full SVD each step —
+far more compute than Power-SGD's single power iteration (the very cost the
+paper cites as making Power-SGD "relatively practical"), but it provides the
+quality oracle against which Power-SGD's and ACP-SGD's one-step
+approximations are judged (``benchmarks/test_ablation_approx_quality.py``).
+
+Implemented with error feedback for a fair convergence comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+class SVDLowRankState:
+    """Per-worker exact-SVD rank-r compressor with error feedback."""
+
+    def __init__(self, rank: int, use_error_feedback: bool = True):
+        if rank < 1:
+            raise ValueError(f"rank must be >= 1, got {rank}")
+        self.rank = rank
+        self.use_error_feedback = use_error_feedback
+        self._error: Dict[str, np.ndarray] = {}
+
+    def effective_rank(self, matrix_shape: Tuple[int, int]) -> int:
+        """Rank actually used (capped by matrix dimensions)."""
+        n, m = matrix_shape
+        return min(self.rank, n, m)
+
+    def compress(self, name: str, matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the factors ``(P, Q)`` with ``M_hat = P @ Q^T`` optimal.
+
+        ``P`` is ``n x r`` (left singular vectors scaled by singular
+        values), ``Q`` is ``m x r``. Updates the EF residual.
+        """
+        if matrix.ndim != 2:
+            raise ValueError(f"expected a matrix, got shape {matrix.shape}")
+        work = matrix.astype(np.float64, copy=True)
+        if self.use_error_feedback:
+            residual = self._error.get(name)
+            if residual is not None:
+                work = work + residual
+        r = self.effective_rank(matrix.shape)
+        u, s, vt = np.linalg.svd(work, full_matrices=False)
+        p = u[:, :r] * s[:r]
+        q = vt[:r].T
+        if self.use_error_feedback:
+            self._error[name] = work - p @ q.T
+        return p, q
+
+    @staticmethod
+    def reconstruct(p: np.ndarray, q: np.ndarray) -> np.ndarray:
+        """``M_hat = P Q^T``."""
+        return p @ q.T
+
+    def reset(self) -> None:
+        """Drop accumulated error state."""
+        self._error.clear()
+
+
+def best_rank_r_error(matrix: np.ndarray, rank: int) -> float:
+    """Relative Frobenius error of the optimal rank-r approximation.
+
+    By Eckart-Young this is ``sqrt(sum_{i>r} s_i^2) / ||M||_F`` — the floor
+    any rank-r method (Power-SGD, ACP-SGD) can at best reach.
+    """
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a matrix, got shape {matrix.shape}")
+    norm = np.linalg.norm(matrix)
+    if norm == 0.0:
+        return 0.0
+    singular = np.linalg.svd(matrix, compute_uv=False)
+    tail = singular[rank:]
+    return float(np.sqrt((tail**2).sum()) / norm)

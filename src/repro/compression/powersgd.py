@@ -1,0 +1,151 @@
+"""Power-SGD low-rank compression [Vogels et al., NeurIPS 2019].
+
+Algorithm 1 (left function) of the paper. For a gradient matrix
+``M (n x m)`` and rank ``r``:
+
+1. ``P <- M Q_{t-1}``        (right multiplication, n x r)
+2. all-reduce(P)             (mean across workers)
+3. ``P <- orthogonalize(P)``
+4. ``Q <- M^T P``            (left multiplication, m x r)
+5. all-reduce(Q)
+6. reconstruct ``M_hat = P Q^T``; remember Q for the next step (query reuse)
+
+Error feedback: the residual ``M - P Q_local^T`` (computed with the *local*
+Q before aggregation, following Vogels' reference implementation) is added
+to the next step's gradient.
+
+The class below holds one worker's state. Communication is done by the
+caller between the staged methods — the blocking structure
+``compute_p -> aggregate -> compute_q -> aggregate`` is exactly the property
+the paper's §III-C identifies as incompatible with WFBP.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.compression.orthogonalize import orthogonalize
+
+
+def init_low_rank(
+    shape_matrix: Tuple[int, int], rank: int, seed: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Shared random init of (P0, Q0) from a standard normal distribution.
+
+    All workers must pass the same ``seed`` so their query matrices agree
+    from step 0 (the paper initializes Q i.i.d. standard normal).
+    """
+    n, m = shape_matrix
+    effective_rank = min(rank, n, m)
+    rng = np.random.default_rng(seed)
+    p0 = rng.normal(size=(n, effective_rank))
+    q0 = rng.normal(size=(m, effective_rank))
+    return p0, q0
+
+
+class PowerSGDState:
+    """One worker's Power-SGD state across all of its compressible tensors.
+
+    Args:
+        rank: target rank ``r``.
+        seed: shared seed for the initial query matrices (must agree across
+            workers).
+        use_error_feedback: enable the EF residual (Vogels' default; the
+            paper's Fig. 7 ablates it).
+        reuse_query: warm-start each step's power iteration from the
+            previous aggregated Q (the paper's "query reuse"); when False, Q
+            is re-drawn randomly each step (per-tensor deterministic stream).
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        seed: int = 0,
+        use_error_feedback: bool = True,
+        reuse_query: bool = True,
+    ):
+        if rank < 1:
+            raise ValueError(f"rank must be >= 1, got {rank}")
+        self.rank = rank
+        self.seed = seed
+        self.use_error_feedback = use_error_feedback
+        self.reuse_query = reuse_query
+        self._query: Dict[str, np.ndarray] = {}
+        self._error: Dict[str, np.ndarray] = {}
+        self._fresh_rng: Dict[str, np.random.Generator] = {}
+        # Per-call scratch between compute_p and compute_q.
+        self._pending: Dict[str, np.ndarray] = {}
+
+    def _ensure_query(self, name: str, matrix_shape: Tuple[int, int]) -> np.ndarray:
+        """Fetch (or initialize) the query matrix Q for a tensor."""
+        n, m = matrix_shape
+        if self.reuse_query:
+            query = self._query.get(name)
+            if query is None:
+                _, query = init_low_rank(matrix_shape, self.rank, self._mix_seed(name))
+                self._query[name] = query
+            return query
+        rng = self._fresh_rng.get(name)
+        if rng is None:
+            rng = np.random.default_rng(self._mix_seed(name))
+            self._fresh_rng[name] = rng
+        return rng.normal(size=(m, min(self.rank, n, m)))
+
+    def _mix_seed(self, name: str) -> int:
+        return (self.seed * 1000003 + zlib.crc32(name.encode())) & 0x7FFFFFFF
+
+    def effective_rank(self, matrix_shape: Tuple[int, int]) -> int:
+        """Rank actually used for a tensor (capped by its dimensions)."""
+        n, m = matrix_shape
+        return min(self.rank, n, m)
+
+    # ------------------------------------------------------------------
+    # Staged compression protocol
+    # ------------------------------------------------------------------
+    def compute_p(self, name: str, matrix: np.ndarray) -> np.ndarray:
+        """Stage 1: ``P = (M + E) Q_{t-1}``; caller must all-reduce the result."""
+        if matrix.ndim != 2:
+            raise ValueError(f"expected a matrix, got shape {matrix.shape}")
+        work = matrix.astype(np.float64, copy=True)
+        if self.use_error_feedback:
+            residual = self._error.get(name)
+            if residual is not None:
+                work = work + residual
+        self._pending[name] = work
+        query = self._ensure_query(name, matrix.shape)
+        return work @ query
+
+    def compute_q(self, name: str, p_aggregated: np.ndarray) -> np.ndarray:
+        """Stage 2: orthogonalize aggregated P, then ``Q = (M + E)^T P_hat``.
+
+        Also updates the EF residual with the local Q (before aggregation).
+        Caller must all-reduce the returned Q.
+        """
+        work = self._pending.get(name)
+        if work is None:
+            raise RuntimeError(f"compute_q called before compute_p for {name!r}")
+        p_hat = orthogonalize(p_aggregated)
+        q_local = work.T @ p_hat
+        if self.use_error_feedback:
+            self._error[name] = work - p_hat @ q_local.T
+        self._pending[name] = p_hat  # stash for reconstruct
+        return q_local
+
+    def reconstruct(self, name: str, q_aggregated: np.ndarray) -> np.ndarray:
+        """Stage 3: ``M_hat = P_hat Q^T``; stores Q for next-step reuse."""
+        p_hat = self._pending.pop(name, None)
+        if p_hat is None:
+            raise RuntimeError(f"reconstruct called before compute_q for {name!r}")
+        if self.reuse_query:
+            self._query[name] = q_aggregated.copy()
+        return p_hat @ q_aggregated.T
+
+    def reset(self) -> None:
+        """Drop all per-tensor state."""
+        self._query.clear()
+        self._error.clear()
+        self._pending.clear()
+        self._fresh_rng.clear()

@@ -1,0 +1,64 @@
+"""Rules for viewing parameter gradients as matrices for low-rank methods.
+
+Following §IV-C of the paper: "The vector-shaped parameters (e.g., biases)
+require no compression, while other parameters are reshaped into matrices
+for compression."
+
+Concretely:
+
+- 0-D / 1-D gradients (biases, norm scales) are never compressed;
+- 2-D gradients (Linear / Embedding weights) are used as-is, ``n x m``;
+- k-D gradients with k > 2 (Conv weights ``(out, in, kh, kw)``) are reshaped
+  to ``out x (in*kh*kw)`` — the same flattening the im2col GEMM uses.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def should_compress(shape: Tuple[int, ...], min_elements: int = 0) -> bool:
+    """Whether a parameter of this shape participates in low-rank compression.
+
+    Args:
+        shape: parameter shape.
+        min_elements: optional floor — tensors smaller than this travel
+            uncompressed even if matrix-shaped (compressing a 10x10 tensor
+            to rank 4 saves nothing).
+    """
+    if len(shape) < 2:
+        return False
+    total = 1
+    for dim in shape:
+        total *= dim
+    return total >= min_elements
+
+
+def matrix_view_shape(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """The (n, m) matrix shape a gradient of ``shape`` is compressed as."""
+    if len(shape) < 2:
+        raise ValueError(f"cannot view shape {shape} as a matrix")
+    n = shape[0]
+    m = 1
+    for dim in shape[1:]:
+        m *= dim
+    return n, m
+
+
+def grad_to_matrix(grad: np.ndarray) -> np.ndarray:
+    """Reshape a compressible gradient into its 2-D matrix view."""
+    n, m = matrix_view_shape(grad.shape)
+    return grad.reshape(n, m)
+
+
+def matrix_to_grad(matrix: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Inverse of :func:`grad_to_matrix`."""
+    expected = matrix_view_shape(shape)
+    if matrix.shape != expected:
+        raise ValueError(
+            f"matrix shape {matrix.shape} does not match matrix view "
+            f"{expected} of parameter shape {shape}"
+        )
+    return matrix.reshape(shape)

@@ -1,0 +1,42 @@
+"""Shared constants and helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.models import get_model_spec
+from repro.models.registry import PAPER_RANKS
+from repro.models.spec import ModelSpec
+from repro.utils.formatting import render_table
+
+# The paper's four timing-evaluation models (§III-A).
+TIMING_MODELS = ("ResNet-50", "ResNet-152", "BERT-Base", "BERT-Large")
+
+# Display names for methods.
+METHOD_LABELS = {
+    "ssgd": "S-SGD",
+    "signsgd": "Sign-SGD",
+    "topk": "Top-k SGD",
+    "randomk": "Random-k SGD",
+    "qsgd": "QSGD",
+    "terngrad": "TernGrad",
+    "dgc": "DGC Top-k",
+    "powersgd": "Power-SGD",
+    "powersgd_star": "Power-SGD*",
+    "acpsgd": "ACP-SGD",
+}
+
+
+def paper_rank(model_name: str) -> int:
+    """The paper's Power-SGD/ACP-SGD rank choice for this model."""
+    return PAPER_RANKS[model_name]
+
+
+def timing_specs() -> Dict[str, ModelSpec]:
+    """Specs of the four timing models, keyed by name."""
+    return {name: get_model_spec(name) for name in TIMING_MODELS}
+
+
+def format_rows(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Alias of :func:`repro.utils.formatting.render_table`."""
+    return render_table(headers, rows)

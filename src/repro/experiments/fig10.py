@@ -1,0 +1,70 @@
+"""Fig. 10: effect of buffer size (WFBP/TF trade-off) on BERT-Large.
+
+Buffer sizes from 0 (no TF, optimal WFBP) to 1500MB (full TF, no WFBP
+overlap), for Power-SGD* and ACP-SGD at ranks 32 and 256. The paper's
+takeaway: ACP-SGD's compressed-buffer scaling keeps the 25MB default near
+optimal across ranks (~50% better than both extremes at rank 256).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.common import METHOD_LABELS, format_rows
+from repro.models import get_model_spec
+from repro.sim.strategies import ClusterSpec, SystemConfig, simulate_iteration
+
+MB = 1024 * 1024
+DEFAULT_BUFFERS_MB = (0, 1, 5, 25, 100, 500, 1500)
+FIG10_RANKS = (32, 256)
+FIG10_METHODS = ("powersgd_star", "acpsgd")
+
+
+@dataclass(frozen=True)
+class Fig10Row:
+    """One (method, rank) sweep over buffer sizes (ms per buffer size)."""
+
+    method: str
+    rank: int
+    times_ms: Dict[int, float]  # buffer MB -> iteration ms
+
+    def robustness(self) -> float:
+        """max/min over the sweep — smaller means flatter (more robust)."""
+        values = list(self.times_ms.values())
+        return max(values) / min(values)
+
+
+def run_fig10(
+    buffers_mb: Sequence[int] = DEFAULT_BUFFERS_MB,
+    cluster: ClusterSpec = ClusterSpec(),
+) -> List[Fig10Row]:
+    """Sweep buffer size for Power-SGD* and ACP-SGD on BERT-Large."""
+    spec = get_model_spec("BERT-Large")
+    rows = []
+    for rank in FIG10_RANKS:
+        for method in FIG10_METHODS:
+            times = {}
+            for buf in buffers_mb:
+                config = SystemConfig(
+                    wfbp=True, tensor_fusion=buf > 0,
+                    buffer_bytes=max(buf * MB, 1),
+                )
+                times[buf] = simulate_iteration(
+                    method, spec, cluster=cluster, system=config, rank=rank
+                ).milliseconds[0]
+            rows.append(Fig10Row(method, rank, times))
+    return rows
+
+
+def render(rows: List[Fig10Row]) -> str:
+    buffers = sorted(rows[0].times_ms)
+    headers = ["Method", "rank"] + [f"{b}MB" for b in buffers] + ["max/min"]
+    body = []
+    for row in rows:
+        body.append(
+            [METHOD_LABELS[row.method], str(row.rank)]
+            + [f"{row.times_ms[b]:.0f}" for b in buffers]
+            + [f"{row.robustness():.2f}x"]
+        )
+    return format_rows(headers, body)

@@ -1,0 +1,99 @@
+"""Fig. 11: effect of hyper-parameters — batch size and rank.
+
+(a) ResNet-152 with per-GPU batch 16 vs 32: ACP-SGD wins at both; larger
+batches shrink the gap to S-SGD (better computation/communication ratio).
+(b) BERT-Large with rank 32..256: both low-rank methods slow down with
+rank, but ACP-SGD overlaps more as rank grows (1.9x -> 2.7x over
+Power-SGD in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.experiments.common import METHOD_LABELS, format_rows
+from repro.models import get_model_spec
+from repro.sim.strategies import ClusterSpec, simulate_iteration
+
+
+@dataclass(frozen=True)
+class Fig11aRow:
+    """ResNet-152 iteration times at one batch size."""
+
+    batch_size: int
+    times_ms: Dict[str, float]
+
+    def speedup(self, baseline: str) -> float:
+        return self.times_ms[baseline] / self.times_ms["acpsgd"]
+
+
+@dataclass(frozen=True)
+class Fig11bRow:
+    """BERT-Large Power-SGD vs ACP-SGD times at one rank."""
+
+    rank: int
+    times_ms: Dict[str, float]
+
+    @property
+    def acp_speedup(self) -> float:
+        return self.times_ms["powersgd"] / self.times_ms["acpsgd"]
+
+
+def run_fig11a(
+    batch_sizes: Sequence[int] = (16, 32),
+    cluster: ClusterSpec = ClusterSpec(),
+) -> List[Fig11aRow]:
+    """Batch-size sweep on ResNet-152 (rank 4)."""
+    spec = get_model_spec("ResNet-152")
+    rows = []
+    for batch in batch_sizes:
+        times = {
+            method: simulate_iteration(
+                method, spec, cluster=cluster, batch_size=batch, rank=4
+            ).milliseconds[0]
+            for method in ("ssgd", "powersgd", "acpsgd")
+        }
+        rows.append(Fig11aRow(batch, times))
+    return rows
+
+
+def run_fig11b(
+    ranks: Sequence[int] = (32, 64, 128, 256),
+    cluster: ClusterSpec = ClusterSpec(),
+) -> List[Fig11bRow]:
+    """Rank sweep on BERT-Large."""
+    spec = get_model_spec("BERT-Large")
+    rows = []
+    for rank in ranks:
+        times = {
+            method: simulate_iteration(
+                method, spec, cluster=cluster, rank=rank
+            ).milliseconds[0]
+            for method in ("powersgd", "acpsgd")
+        }
+        rows.append(Fig11bRow(rank, times))
+    return rows
+
+
+def render_a(rows: List[Fig11aRow]) -> str:
+    headers = ["batch", "S-SGD", "Power-SGD", "ACP-SGD",
+               "ACP x over S-SGD", "ACP x over Power-SGD"]
+    body = [
+        [str(r.batch_size),
+         f"{r.times_ms['ssgd']:.0f}ms", f"{r.times_ms['powersgd']:.0f}ms",
+         f"{r.times_ms['acpsgd']:.0f}ms",
+         f"{r.speedup('ssgd'):.1f}x", f"{r.speedup('powersgd'):.1f}x"]
+        for r in rows
+    ]
+    return format_rows(headers, body)
+
+
+def render_b(rows: List[Fig11bRow]) -> str:
+    headers = ["rank", "Power-SGD", "ACP-SGD", "ACP speedup"]
+    body = [
+        [str(r.rank), f"{r.times_ms['powersgd']:.0f}ms",
+         f"{r.times_ms['acpsgd']:.0f}ms", f"{r.acp_speedup:.1f}x"]
+        for r in rows
+    ]
+    return format_rows(headers, body)

@@ -1,0 +1,52 @@
+"""Fig. 3: time breakdowns of the characterization methods.
+
+ResNet-50 and BERT-Base, decomposed into FF&BP computation,
+compression+decompression, and non-overlapped communication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.common import METHOD_LABELS, format_rows, paper_rank
+from repro.models import get_model_spec
+from repro.sim.results import IterationBreakdown
+from repro.sim.strategies import ClusterSpec, simulate_iteration
+
+FIG3_MODELS = ("ResNet-50", "BERT-Base")
+FIG3_METHODS = ("ssgd", "signsgd", "topk", "powersgd")
+
+
+@dataclass(frozen=True)
+class Fig3Row:
+    """One (model, method) breakdown."""
+
+    model: str
+    method: str
+    breakdown: IterationBreakdown
+
+
+def run_fig3(cluster: ClusterSpec = ClusterSpec()) -> List[Fig3Row]:
+    """Simulate the eight breakdown bars of Fig. 3."""
+    rows = []
+    for name in FIG3_MODELS:
+        spec = get_model_spec(name)
+        for method in FIG3_METHODS:
+            breakdown = simulate_iteration(
+                method, spec, cluster=cluster, rank=paper_rank(name)
+            )
+            rows.append(Fig3Row(name, method, breakdown))
+    return rows
+
+
+def render(rows: List[Fig3Row]) -> str:
+    headers = ["Model", "Method", "total", "ff&bp", "compress", "comm (non-ovl)"]
+    body = []
+    for row in rows:
+        total, ffbp, comp, comm = row.breakdown.milliseconds
+        body.append([
+            row.model, METHOD_LABELS[row.method],
+            f"{total:.0f}ms", f"{ffbp:.0f}ms", f"{comp:.0f}ms", f"{comm:.0f}ms",
+        ])
+    return format_rows(headers, body)

@@ -1,0 +1,43 @@
+"""Fig. 4 (and Fig. 1): schedule illustrations, regenerated from simulation.
+
+The paper hand-draws how WFBP interacts with each method; we render the
+*simulated* timelines as ASCII Gantt charts: (a) Power-SGD computing and
+aggregating P/Q after back-propagation, (b) Power-SGD* overlapping hook
+compression with BP (note the stretched backward on ``gpu`` while ``side``
+is busy — the contention), and (c) ACP-SGD overlapping only all-reduces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.experiments.common import METHOD_LABELS, paper_rank
+from repro.models import get_model_spec
+from repro.sim.gantt import render_gantt
+from repro.sim.strategies import ClusterSpec, simulate_iteration_records
+
+FIG4_METHODS = ("powersgd", "powersgd_star", "acpsgd")
+
+
+def run_fig4(
+    model_name: str = "BERT-Base",
+    cluster: ClusterSpec = ClusterSpec(),
+    width: int = 78,
+) -> List[Tuple[str, str]]:
+    """Render (method, gantt) pairs for the three schedules of Fig. 4."""
+    spec = get_model_spec(model_name)
+    rank = paper_rank(model_name)
+    charts = []
+    for method in FIG4_METHODS:
+        records = simulate_iteration_records(
+            method, spec, cluster=cluster, rank=rank
+        )
+        charts.append((method, render_gantt(records, width=width)))
+    return charts
+
+
+def render(charts: List[Tuple[str, str]]) -> str:
+    blocks = []
+    for method, chart in charts:
+        blocks.append(f"--- {METHOD_LABELS[method]} ---\n{chart}")
+    return "\n\n".join(blocks)

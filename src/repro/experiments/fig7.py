@@ -1,0 +1,38 @@
+"""Fig. 7: ablation — ACP-SGD without error feedback or without reuse.
+
+The paper shows both mechanisms are essential: disabling either degrades
+convergence markedly relative to full ACP-SGD.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.experiments.fig6 import ConvergenceSetup, train_one
+from repro.train.history import TrainingHistory
+
+
+def run_fig7(setup: Optional[ConvergenceSetup] = None) -> Dict[str, TrainingHistory]:
+    """Train ACP-SGD, ACP-SGD w/o EF, and ACP-SGD w/o reuse."""
+    setup = setup or ConvergenceSetup()
+    return {
+        "acpsgd": train_one("acpsgd", setup, label="ACP-SGD"),
+        "acpsgd_no_ef": train_one(
+            "acpsgd", setup, {"use_error_feedback": False}, label="ACP-SGD w/o EF"
+        ),
+        "acpsgd_no_reuse": train_one(
+            "acpsgd", setup, {"reuse_query": False}, label="ACP-SGD w/o reuse"
+        ),
+    }
+
+
+def render(histories: Dict[str, TrainingHistory]) -> str:
+    from repro.experiments.common import format_rows
+
+    headers = ["Variant", "final acc", "best acc", "final loss"]
+    body = [
+        [h.method, f"{h.final_accuracy:.1%}", f"{h.best_accuracy:.1%}",
+         f"{h.train_loss[-1]:.3f}"]
+        for h in histories.values()
+    ]
+    return format_rows(headers, body)

@@ -1,0 +1,51 @@
+"""Fig. 8: time breakdowns of S-SGD, Power-SGD, Power-SGD*, ACP-SGD."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.experiments.common import METHOD_LABELS, format_rows, paper_rank
+from repro.models import get_model_spec
+from repro.sim.results import IterationBreakdown
+from repro.sim.strategies import ClusterSpec, simulate_iteration
+
+FIG8_MODELS = ("ResNet-50", "BERT-Base")
+FIG8_METHODS = ("ssgd", "powersgd", "powersgd_star", "acpsgd")
+
+
+@dataclass(frozen=True)
+class Fig8Row:
+    """One (model, method) breakdown."""
+
+    model: str
+    method: str
+    breakdown: IterationBreakdown
+
+
+def run_fig8(cluster: ClusterSpec = ClusterSpec()) -> List[Fig8Row]:
+    """Simulate Fig. 8's eight breakdown bars."""
+    rows = []
+    for name in FIG8_MODELS:
+        spec = get_model_spec(name)
+        for method in FIG8_METHODS:
+            rows.append(
+                Fig8Row(
+                    name, method,
+                    simulate_iteration(method, spec, cluster=cluster,
+                                       rank=paper_rank(name)),
+                )
+            )
+    return rows
+
+
+def render(rows: List[Fig8Row]) -> str:
+    headers = ["Model", "Method", "total", "ff&bp", "compress", "comm (non-ovl)"]
+    body = []
+    for row in rows:
+        total, ffbp, comp, comm = row.breakdown.milliseconds
+        body.append([
+            row.model, METHOD_LABELS[row.method],
+            f"{total:.0f}ms", f"{ffbp:.0f}ms", f"{comp:.0f}ms", f"{comm:.0f}ms",
+        ])
+    return format_rows(headers, body)

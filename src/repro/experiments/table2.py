@@ -1,0 +1,91 @@
+"""Table II: compress/communicate complexity — analytic vs *measured*.
+
+The analytic column is the paper's formulas
+(:mod:`repro.compression.complexity`); the measured column runs the real
+collectives through a :class:`~repro.comm.process_group.ProcessGroup` on a
+synthetic gradient and counts the bytes each rank actually sent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.comm.process_group import ProcessGroup
+from repro.compression.complexity import communicate_elements
+from repro.optim.aggregators import make_aggregator
+
+FP32 = 4
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One method's per-worker communication, analytic vs measured."""
+
+    method: str
+    analytic_elements: float
+    measured_elements: float
+
+    @property
+    def relative_error(self) -> float:
+        if self.analytic_elements == 0:
+            return 0.0
+        return abs(self.measured_elements - self.analytic_elements) / self.analytic_elements
+
+
+def run_table2(
+    world_size: int = 4,
+    matrix_shape: tuple = (64, 48),
+    rank: int = 4,
+    topk_ratio: float = 0.01,
+    seed: int = 0,
+) -> List[Table2Row]:
+    """Measure per-worker traffic of one aggregation step per method."""
+    rng = np.random.default_rng(seed)
+    n, m = matrix_shape
+    num_elements = n * m
+    grads = [
+        {"weight": rng.normal(size=matrix_shape)} for _ in range(world_size)
+    ]
+    rows: List[Table2Row] = []
+
+    configs = [
+        ("ssgd", {}, dict(n=num_elements)),
+        ("signsgd", {}, dict(n=num_elements)),
+        ("topk", {"ratio": topk_ratio},
+         dict(n=num_elements, k=int(round(topk_ratio * num_elements)))),
+        ("powersgd", {"rank": rank},
+         dict(n=num_elements, n_c=(n + m) * min(rank, n, m))),
+        ("acpsgd", {"rank": rank},
+         dict(n=num_elements, n_c=(n + m) * min(rank, n, m))),
+    ]
+    for method, kwargs, analytic_kwargs in configs:
+        group = ProcessGroup(world_size)
+        aggregator = make_aggregator(method, group, **kwargs)
+        # Two steps, so ACP-SGD's P-step / Q-step parities average out.
+        for _ in range(2):
+            aggregator.aggregate(
+                [{k: v.copy() for k, v in g.items()} for g in grads]
+            )
+        # The in-process wires carry float64 (8B/element); Sign-SGD's wire is
+        # packed uint8 bits, which Table II expresses in fp32-equivalent
+        # elements (divide bytes by 4).
+        divisor = 4.0 if method == "signsgd" else 8.0
+        measured = group.bytes_per_rank()[0] / divisor / 2.0
+        analytic = communicate_elements(method, world_size, **analytic_kwargs)
+        rows.append(Table2Row(method, analytic, measured))
+    return rows
+
+
+def render(rows: List[Table2Row]) -> str:
+    from repro.experiments.common import METHOD_LABELS, format_rows
+
+    headers = ["Method", "analytic (elems/worker)", "measured", "rel.err"]
+    body = [
+        [METHOD_LABELS[row.method], f"{row.analytic_elements:.0f}",
+         f"{row.measured_elements:.0f}", f"{row.relative_error:.1%}"]
+        for row in rows
+    ]
+    return format_rows(headers, body)

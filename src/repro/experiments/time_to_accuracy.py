@@ -1,0 +1,114 @@
+"""Time-to-accuracy synthesis: convergence x wall-clock.
+
+The paper argues two things separately: ACP-SGD (i) reaches the same
+accuracy as S-SGD in the same number of *iterations* (Fig. 6) and (ii)
+runs each iteration much faster (Table III). The metric a user cares about
+is their product — wall-clock time to a target accuracy. This driver
+combines the measured convergence curves (miniature task) with the
+simulated per-iteration times (paper models):
+
+    estimated speedup = (iters_method / iters_ssgd)^-1
+                        x (t_iter_ssgd / t_iter_method)
+
+The iteration-overhead factor comes from real training; the per-iteration
+ratio from the calibrated simulator. Presented as an estimate — the
+overhead factor is measured at miniature scale, where compressed methods'
+early-stage lag (visible in the paper's Fig. 6 too) weighs heavier than at
+the paper's 300-epoch budget, making the estimate *conservative* for
+ACP-SGD.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.common import paper_rank
+from repro.experiments.fig6 import ConvergenceSetup, run_fig6
+from repro.models import get_model_spec
+from repro.sim.strategies import ClusterSpec, simulate_iteration
+
+TTA_METHODS = ("ssgd", "powersgd", "acpsgd")
+
+
+@dataclass(frozen=True)
+class TTARow:
+    """One method's time-to-accuracy estimate."""
+
+    method: str
+    steps_to_target: Optional[int]  # None = target not reached in budget
+    iteration_ms: float
+
+    def estimated_time_s(self) -> Optional[float]:
+        if self.steps_to_target is None:
+            return None
+        return self.steps_to_target * self.iteration_ms / 1e3
+
+
+def _steps_to_target(history, threshold: float, steps_per_epoch: int) -> Optional[int]:
+    for epoch, accuracy in zip(history.epochs, history.test_accuracy):
+        if accuracy >= threshold:
+            return (epoch + 1) * steps_per_epoch
+    return None
+
+
+def run_time_to_accuracy(
+    setup: Optional[ConvergenceSetup] = None,
+    model_name: str = "BERT-Large",
+    cluster: ClusterSpec = ClusterSpec(),
+    threshold: float = 0.6,
+) -> List[TTARow]:
+    """Estimate wall-clock-to-accuracy for S-SGD / Power-SGD / ACP-SGD.
+
+    Args:
+        setup: miniature convergence configuration (drives the
+            iteration-overhead factor).
+        model_name: paper model whose simulated iteration time scales the
+            estimate.
+        cluster: simulated cluster.
+        threshold: target test accuracy on the miniature task.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+    setup = setup or ConvergenceSetup()
+    histories = run_fig6(setup)
+    spec = get_model_spec(model_name)
+    rows = []
+    for method in TTA_METHODS:
+        iteration_ms = simulate_iteration(
+            method, spec, cluster=cluster, rank=paper_rank(model_name)
+        ).milliseconds[0]
+        steps = _steps_to_target(
+            histories[method], threshold, setup.steps_per_epoch
+        )
+        rows.append(TTARow(method, steps, iteration_ms))
+    return rows
+
+
+def render(rows: List[TTARow], model_name: str = "BERT-Large") -> str:
+    from repro.experiments.common import METHOD_LABELS, format_rows
+
+    ssgd = next(r for r in rows if r.method == "ssgd")
+    body = []
+    for row in rows:
+        time_s = row.estimated_time_s()
+        base = ssgd.estimated_time_s()
+        speedup = (
+            f"{base / time_s:.1f}x" if time_s and base else "-"
+        )
+        body.append([
+            METHOD_LABELS[row.method],
+            str(row.steps_to_target) if row.steps_to_target else "not reached",
+            f"{row.iteration_ms:.0f}ms",
+            f"{time_s:.0f}s" if time_s else "-",
+            speedup,
+        ])
+    header = (
+        f"Estimated time-to-accuracy ({model_name} iteration times x "
+        "miniature-task iteration counts):"
+    )
+    return header + "\n" + format_rows(
+        ["Method", "steps to target", "iter time", "est. wall-clock", "speedup"],
+        body,
+    )

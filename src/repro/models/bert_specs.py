@@ -1,0 +1,112 @@
+"""Exact layer inventories of BERT-Base and BERT-Large (Devlin et al., 2019).
+
+Encoder-only BERT with pooler, WordPiece vocab 30522, max position 512,
+evaluated at the paper's input sequence length of 64. Parameter counts are
+validated against the paper's Table I (110.1M base, 336.2M large).
+
+FLOP accounting per token: the four attention projections and the two FFN
+GEMMs dominate (~24 S H^2 per layer for sequence length S), plus the
+attention score/context products (~4 S^2 H).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.spec import LayerSpec, ModelSpec, TensorSpec, linear_layer
+
+
+def _layer_norm(name: str, hidden: int, seq_len: int) -> LayerSpec:
+    params = (
+        TensorSpec(f"{name}.weight", (hidden,)),
+        TensorSpec(f"{name}.bias", (hidden,)),
+    )
+    return LayerSpec(name, "norm", params, 8.0 * hidden * seq_len,
+                     output_elements=float(hidden * seq_len))
+
+
+def _embeddings(layers: List[LayerSpec], hidden: int, seq_len: int,
+                vocab: int, max_pos: int) -> None:
+    layers.append(
+        LayerSpec(
+            "embeddings.word_embeddings",
+            "embedding",
+            (TensorSpec("embeddings.word_embeddings.weight", (vocab, hidden)),),
+            2.0 * hidden * seq_len,  # lookup + add, memory bound
+            output_elements=float(hidden * seq_len),
+        )
+    )
+    layers.append(
+        LayerSpec(
+            "embeddings.position_embeddings",
+            "embedding",
+            (TensorSpec("embeddings.position_embeddings.weight", (max_pos, hidden)),),
+            2.0 * hidden * seq_len,
+        )
+    )
+    layers.append(
+        LayerSpec(
+            "embeddings.token_type_embeddings",
+            "embedding",
+            (TensorSpec("embeddings.token_type_embeddings.weight", (2, hidden)),),
+            2.0 * hidden * seq_len,
+        )
+    )
+    layers.append(_layer_norm("embeddings.LayerNorm", hidden, seq_len))
+
+
+def _encoder_layer(layers: List[LayerSpec], idx: int, hidden: int,
+                   intermediate: int, seq_len: int) -> None:
+    prefix = f"encoder.layer.{idx}"
+    for proj in ("query", "key", "value"):
+        layers.append(
+            linear_layer(f"{prefix}.attention.self.{proj}", hidden, hidden,
+                         bias=True, tokens=seq_len)
+        )
+    # Attention scores (Q K^T) and context (A V): 2 * 2 * S^2 * H per sample.
+    heads = hidden // 64
+    layers.append(
+        LayerSpec(f"{prefix}.attention.scores", "gemm", (),
+                  4.0 * seq_len * seq_len * hidden, 2.0,
+                  output_elements=float(heads * seq_len * seq_len
+                                        + hidden * seq_len))
+    )
+    layers.append(
+        linear_layer(f"{prefix}.attention.output.dense", hidden, hidden,
+                     bias=True, tokens=seq_len)
+    )
+    layers.append(_layer_norm(f"{prefix}.attention.output.LayerNorm", hidden, seq_len))
+    layers.append(
+        linear_layer(f"{prefix}.intermediate.dense", hidden, intermediate,
+                     bias=True, tokens=seq_len)
+    )
+    layers.append(
+        linear_layer(f"{prefix}.output.dense", intermediate, hidden,
+                     bias=True, tokens=seq_len)
+    )
+    layers.append(_layer_norm(f"{prefix}.output.LayerNorm", hidden, seq_len))
+
+
+def _bert_spec(name: str, hidden: int, num_layers: int, seq_len: int,
+               default_batch_size: int) -> ModelSpec:
+    layers: List[LayerSpec] = []
+    _embeddings(layers, hidden, seq_len, vocab=30522, max_pos=512)
+    for idx in range(num_layers):
+        _encoder_layer(layers, idx, hidden, 4 * hidden, seq_len)
+    layers.append(linear_layer("pooler.dense", hidden, hidden, bias=True, tokens=1))
+    return ModelSpec(
+        name=name,
+        layers=tuple(layers),
+        default_batch_size=default_batch_size,
+        description=f"{name} encoder (+pooler) at sequence length {seq_len}",
+    )
+
+
+def bert_base_spec(batch_size: int = 32, seq_len: int = 64) -> ModelSpec:
+    """BERT-Base: H=768, 12 layers, ~110.1M parameters (paper Table I)."""
+    return _bert_spec("BERT-Base", 768, 12, seq_len, batch_size)
+
+
+def bert_large_spec(batch_size: int = 8, seq_len: int = 64) -> ModelSpec:
+    """BERT-Large: H=1024, 24 layers, ~336.2M parameters (paper Table I)."""
+    return _bert_spec("BERT-Large", 1024, 24, seq_len, batch_size)

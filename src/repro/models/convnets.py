@@ -1,0 +1,173 @@
+"""Runnable numpy models for the convergence experiments (Fig. 6 / Fig. 7).
+
+The paper trains VGG-16 and ResNet-18 on CIFAR-10 for 300 epochs on GPUs;
+on CPU-only numpy we train faithfully scaled-down versions of the same two
+architecture families on a synthetic CIFAR-like dataset (see
+:mod:`repro.train.datasets`). The architectural features that matter to the
+compression algorithms are preserved: stacked 3x3 convolutions, batch norm,
+residual connections (ResNet variant), and matrix-shaped FC/conv gradients
+that the low-rank compressors operate on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+
+
+class ResidualBlock(nn.Module):
+    """Basic 3x3-3x3 residual block with identity or 1x1-projection skip."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.conv1 = nn.Conv2d(in_channels, out_channels, 3, stride=stride,
+                               padding=1, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(out_channels)
+        self.relu1 = nn.ReLU()
+        self.conv2 = nn.Conv2d(out_channels, out_channels, 3, stride=1,
+                               padding=1, bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(out_channels)
+        self.relu2 = nn.ReLU()
+        self.shortcut: Optional[nn.Sequential] = None
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = nn.Sequential(
+                nn.Conv2d(in_channels, out_channels, 1, stride=stride,
+                          bias=False, rng=rng),
+                nn.BatchNorm2d(out_channels),
+            )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = self.relu1(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        identity = self.shortcut(x) if self.shortcut is not None else x
+        return self.relu2(out + identity)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_sum = self.relu2.backward(grad_output)
+        # Branch gradient...
+        grad_branch = self.conv2.backward(self.bn2.backward(grad_sum))
+        grad_branch = self.conv1.backward(
+            self.bn1.backward(self.relu1.backward(grad_branch))
+        )
+        # ...plus skip gradient.
+        if self.shortcut is not None:
+            grad_skip = self.shortcut.backward(grad_sum)
+        else:
+            grad_skip = grad_sum
+        return grad_branch + grad_skip
+
+
+class SmallResNet(nn.Module):
+    """ResNet-18-style CIFAR model: 3 stages of basic blocks + GAP + FC."""
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        base_width: int = 8,
+        blocks_per_stage: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.stem = nn.Sequential(
+            nn.Conv2d(3, base_width, 3, padding=1, bias=False, rng=rng),
+            nn.BatchNorm2d(base_width),
+            nn.ReLU(),
+        )
+        stages = []
+        channels = base_width
+        for stage in range(3):
+            out_channels = base_width * (2**stage)
+            for block in range(blocks_per_stage):
+                stride = 2 if (stage > 0 and block == 0) else 1
+                stages.append(ResidualBlock(channels, out_channels, stride, rng=rng))
+                channels = out_channels
+        self.stages = stages
+        self.head = nn.Sequential(
+            nn.GlobalAvgPool2d(),
+            nn.Linear(channels, num_classes, rng=rng),
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self.stem(x)
+        for block in self.stages:
+            x = block(x)
+        return self.head(x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.head.backward(grad_output)
+        for block in reversed(self.stages):
+            grad = block.backward(grad)
+        return self.stem.backward(grad)
+
+
+def make_small_vgg(
+    num_classes: int = 10,
+    base_width: int = 8,
+    rng: Optional[np.random.Generator] = None,
+) -> nn.Sequential:
+    """VGG-style CIFAR model: 3 conv stages (2 convs each) + FC head."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    w = base_width
+    return nn.Sequential(
+        nn.Conv2d(3, w, 3, padding=1, bias=False, rng=rng),
+        nn.BatchNorm2d(w),
+        nn.ReLU(),
+        nn.Conv2d(w, w, 3, padding=1, bias=False, rng=rng),
+        nn.BatchNorm2d(w),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Conv2d(w, 2 * w, 3, padding=1, bias=False, rng=rng),
+        nn.BatchNorm2d(2 * w),
+        nn.ReLU(),
+        nn.Conv2d(2 * w, 2 * w, 3, padding=1, bias=False, rng=rng),
+        nn.BatchNorm2d(2 * w),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Conv2d(2 * w, 4 * w, 3, padding=1, bias=False, rng=rng),
+        nn.BatchNorm2d(4 * w),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.GlobalAvgPool2d(),
+        nn.Linear(4 * w, 8 * w, rng=rng),
+        nn.ReLU(),
+        nn.Linear(8 * w, num_classes, rng=rng),
+    )
+
+
+def make_small_resnet(
+    num_classes: int = 10,
+    base_width: int = 8,
+    blocks_per_stage: int = 1,
+    rng: Optional[np.random.Generator] = None,
+) -> SmallResNet:
+    """Factory mirroring :func:`make_small_vgg` for the ResNet variant."""
+    return SmallResNet(num_classes, base_width, blocks_per_stage, rng=rng)
+
+
+def make_mlp(
+    in_features: int,
+    hidden: int,
+    num_classes: int,
+    depth: int = 2,
+    rng: Optional[np.random.Generator] = None,
+) -> nn.Sequential:
+    """Plain MLP, used in unit tests and the quickstart example."""
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    layers = [nn.Linear(in_features, hidden, rng=rng), nn.ReLU()]
+    for _ in range(depth - 1):
+        layers.extend([nn.Linear(hidden, hidden, rng=rng), nn.ReLU()])
+    layers.append(nn.Linear(hidden, num_classes, rng=rng))
+    return nn.Sequential(*layers)

@@ -1,0 +1,62 @@
+"""Name-indexed access to the paper's model specs and batch sizes.
+
+The paper's §III-A settings: per-GPU batch sizes of 64 (ResNet-50),
+32 (ResNet-152), 32 (BERT-Base), 8 (BERT-Large); 3x224x224 images and
+sequence length 64.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.models.bert_specs import bert_base_spec, bert_large_spec
+from repro.models.resnet_specs import resnet18_spec, resnet50_spec, resnet152_spec
+from repro.models.spec import ModelSpec
+from repro.models.vgg_specs import vgg16_spec
+
+_BUILDERS: Dict[str, Callable[[], ModelSpec]] = {
+    "ResNet-18": resnet18_spec,
+    "ResNet-50": resnet50_spec,
+    "ResNet-152": resnet152_spec,
+    "VGG-16": vgg16_spec,
+    "BERT-Base": bert_base_spec,
+    "BERT-Large": bert_large_spec,
+}
+
+_PAPER_BATCH_SIZES: Dict[str, int] = {
+    "ResNet-50": 64,
+    "ResNet-152": 32,
+    "BERT-Base": 32,
+    "BERT-Large": 8,
+    "ResNet-18": 128,
+    "VGG-16": 32,
+}
+
+# The paper's Power-SGD rank choices: r=4 for ResNets, r=32 for BERTs.
+PAPER_RANKS: Dict[str, int] = {
+    "ResNet-18": 4,
+    "ResNet-50": 4,
+    "ResNet-152": 4,
+    "VGG-16": 4,
+    "BERT-Base": 32,
+    "BERT-Large": 32,
+}
+
+MODEL_SPECS = tuple(_BUILDERS)
+
+
+def get_model_spec(name: str) -> ModelSpec:
+    """Build the spec for a model by its paper name (e.g. ``"ResNet-50"``)."""
+    builder = _BUILDERS.get(name)
+    if builder is None:
+        raise KeyError(
+            f"unknown model {name!r}; available: {', '.join(sorted(_BUILDERS))}"
+        )
+    return builder()
+
+
+def paper_batch_size(name: str) -> int:
+    """The per-GPU batch size the paper uses for this model (§III-A)."""
+    if name not in _PAPER_BATCH_SIZES:
+        raise KeyError(f"no paper batch size recorded for {name!r}")
+    return _PAPER_BATCH_SIZES[name]

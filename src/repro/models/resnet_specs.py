@@ -1,0 +1,130 @@
+"""Exact layer inventories of ResNet-18/50/152 (He et al., CVPR 2016).
+
+Architectures follow torchvision's ImageNet ResNets at the paper's input
+size (3 x 224 x 224): 7x7 stem, four stages of basic (ResNet-18) or
+bottleneck (ResNet-50/152) blocks, global average pool, 1000-way FC.
+Parameter counts are validated against the paper's Table I (25.6M for
+ResNet-50, 60.2M for ResNet-152) by the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.models.spec import (
+    LayerSpec,
+    ModelSpec,
+    TensorSpec,
+    bn_layer,
+    conv_layer,
+    linear_layer,
+)
+
+
+def _stem(layers: List[LayerSpec]) -> None:
+    """7x7/2 conv stem + BN + max-pool (224 -> 56)."""
+    layers.append(conv_layer("conv1", 3, 64, 7, out_hw=112))
+    layers.append(bn_layer("bn1", 64, out_hw=112))
+    layers.append(LayerSpec("maxpool", "elementwise", (), 64 * 112 * 112 * 1.0,
+                            1.0, output_elements=float(64 * 56 * 56)))
+
+
+def _bottleneck(
+    layers: List[LayerSpec],
+    name: str,
+    in_channels: int,
+    width: int,
+    stride: int,
+    in_hw: int,
+) -> int:
+    """Append one bottleneck block (1x1 -> 3x3 -> 1x1, expansion 4).
+
+    Returns the block's output channel count. Stride (when 2) sits on the
+    3x3 conv, as in torchvision.
+    """
+    out_channels = width * 4
+    out_hw = in_hw // stride
+    layers.append(conv_layer(f"{name}.conv1", in_channels, width, 1, out_hw=in_hw))
+    layers.append(bn_layer(f"{name}.bn1", width, out_hw=in_hw))
+    layers.append(conv_layer(f"{name}.conv2", width, width, 3, out_hw=out_hw))
+    layers.append(bn_layer(f"{name}.bn2", width, out_hw=out_hw))
+    layers.append(conv_layer(f"{name}.conv3", width, out_channels, 1, out_hw=out_hw))
+    layers.append(bn_layer(f"{name}.bn3", out_channels, out_hw=out_hw))
+    if stride != 1 or in_channels != out_channels:
+        layers.append(
+            conv_layer(f"{name}.downsample.0", in_channels, out_channels, 1, out_hw=out_hw)
+        )
+        layers.append(bn_layer(f"{name}.downsample.1", out_channels, out_hw=out_hw))
+    return out_channels
+
+
+def _basic(
+    layers: List[LayerSpec],
+    name: str,
+    in_channels: int,
+    width: int,
+    stride: int,
+    in_hw: int,
+) -> int:
+    """Append one basic block (3x3 -> 3x3, expansion 1)."""
+    out_hw = in_hw // stride
+    layers.append(conv_layer(f"{name}.conv1", in_channels, width, 3, out_hw=out_hw))
+    layers.append(bn_layer(f"{name}.bn1", width, out_hw=out_hw))
+    layers.append(conv_layer(f"{name}.conv2", width, width, 3, out_hw=out_hw))
+    layers.append(bn_layer(f"{name}.bn2", width, out_hw=out_hw))
+    if stride != 1 or in_channels != width:
+        layers.append(
+            conv_layer(f"{name}.downsample.0", in_channels, width, 1, out_hw=out_hw)
+        )
+        layers.append(bn_layer(f"{name}.downsample.1", width, out_hw=out_hw))
+    return width
+
+
+def _resnet_spec(
+    name: str,
+    block_counts: Sequence[int],
+    bottleneck: bool,
+    default_batch_size: int,
+) -> ModelSpec:
+    layers: List[LayerSpec] = []
+    _stem(layers)
+    widths = (64, 128, 256, 512)
+    hw = 56
+    channels = 64
+    for stage, (width, count) in enumerate(zip(widths, block_counts), start=1):
+        for block in range(count):
+            stride = 2 if (stage > 1 and block == 0) else 1
+            block_name = f"layer{stage}.{block}"
+            if bottleneck:
+                channels = _bottleneck(layers, block_name, channels, width, stride, hw)
+            else:
+                channels = _basic(layers, block_name, channels, width, stride, hw)
+            hw //= stride
+    layers.append(LayerSpec("avgpool", "elementwise", (),
+                            channels * hw * hw * 1.0, 1.0,
+                            output_elements=float(channels)))
+    layers.append(linear_layer("fc", channels, 1000, bias=True))
+    return ModelSpec(
+        name=name,
+        layers=tuple(layers),
+        default_batch_size=default_batch_size,
+        description=f"{name} at 3x224x224 (ImageNet), torchvision layout",
+    )
+
+
+def resnet18_spec(batch_size: int = 128) -> ModelSpec:
+    """ResNet-18 (basic blocks 2-2-2-2), ~11.7M parameters."""
+    return _resnet_spec("ResNet-18", (2, 2, 2, 2), bottleneck=False,
+                        default_batch_size=batch_size)
+
+
+def resnet50_spec(batch_size: int = 64) -> ModelSpec:
+    """ResNet-50 (bottleneck 3-4-6-3), ~25.6M parameters (paper Table I)."""
+    return _resnet_spec("ResNet-50", (3, 4, 6, 3), bottleneck=True,
+                        default_batch_size=batch_size)
+
+
+def resnet152_spec(batch_size: int = 32) -> ModelSpec:
+    """ResNet-152 (bottleneck 3-8-36-3), ~60.2M parameters (paper Table I)."""
+    return _resnet_spec("ResNet-152", (3, 8, 36, 3), bottleneck=True,
+                        default_batch_size=batch_size)

@@ -1,0 +1,49 @@
+"""VGG-16 layer inventory (Simonyan & Zisserman, ICLR 2015).
+
+Configuration D with batch-norm omitted (classic VGG-16), at 3x224x224.
+Used for the convergence discussion and as an extra communication-heavy
+workload (138M parameters, two-thirds of them in the first FC layer —
+the classic example of a model whose FC gradient matrix low-rank
+compression shrinks dramatically).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.spec import LayerSpec, ModelSpec, conv_layer, linear_layer
+
+_CFG_D = [64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+          512, 512, 512, "M", 512, 512, 512, "M"]
+
+
+def vgg16_spec(batch_size: int = 32) -> ModelSpec:
+    """VGG-16 (config D) at 3x224x224, ~138M parameters."""
+    layers: List[LayerSpec] = []
+    hw = 224
+    channels = 3
+    conv_idx = 0
+    for item in _CFG_D:
+        if item == "M":
+            layers.append(
+                LayerSpec(f"pool{conv_idx}", "elementwise", (),
+                          channels * hw * hw * 1.0, 1.0,
+                          output_elements=float(channels * (hw // 2) ** 2))
+            )
+            hw //= 2
+            continue
+        layers.append(
+            conv_layer(f"features.{conv_idx}", channels, int(item), 3, out_hw=hw,
+                       bias=True)
+        )
+        channels = int(item)
+        conv_idx += 1
+    layers.append(linear_layer("classifier.0", 512 * 7 * 7, 4096, bias=True))
+    layers.append(linear_layer("classifier.3", 4096, 4096, bias=True))
+    layers.append(linear_layer("classifier.6", 4096, 1000, bias=True))
+    return ModelSpec(
+        name="VGG-16",
+        layers=tuple(layers),
+        default_batch_size=batch_size,
+        description="VGG-16 (config D, no BN) at 3x224x224",
+    )

@@ -1,0 +1,139 @@
+"""Multi-head self-attention and transformer encoder blocks.
+
+Runnable (trainable) counterparts of the BERT specs in
+:mod:`repro.models.bert_specs`: the same Q/K/V/output projections and FFN
+whose weight gradients are exactly the ``H x H`` / ``H x 4H`` matrices the
+paper compresses with rank-32 Power-SGD/ACP-SGD. Used by the
+tiny-transformer convergence experiments and examples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.activation import GELU
+from repro.nn.dropout import Dropout
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.nn.norm import LayerNorm
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard scaled dot-product multi-head self-attention.
+
+    Input/output shape ``(batch, seq, hidden)``. No masking (the paper's
+    workloads are fixed-length encoder batches).
+    """
+
+    def __init__(
+        self,
+        hidden: int,
+        num_heads: int,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if hidden % num_heads != 0:
+            raise ValueError(
+                f"hidden ({hidden}) must be divisible by num_heads ({num_heads})"
+            )
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.hidden = hidden
+        self.num_heads = num_heads
+        self.head_dim = hidden // num_heads
+        self.query = Linear(hidden, hidden, rng=rng)
+        self.key = Linear(hidden, hidden, rng=rng)
+        self.value = Linear(hidden, hidden, rng=rng)
+        self.output = Linear(hidden, hidden, rng=rng)
+        self._cache: Optional[tuple] = None
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        """(B, S, H) -> (B, heads, S, head_dim)."""
+        b, s, _ = x.shape
+        return x.reshape(b, s, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        """(B, heads, S, head_dim) -> (B, S, H)."""
+        b, h, s, d = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(b, s, h * d)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3 or x.shape[-1] != self.hidden:
+            raise ValueError(
+                f"expected (batch, seq, {self.hidden}) input, got {x.shape}"
+            )
+        q = self._split_heads(self.query(x))
+        k = self._split_heads(self.key(x))
+        v = self._split_heads(self.value(x))
+        scale = 1.0 / math.sqrt(self.head_dim)
+        scores = np.einsum("bhid,bhjd->bhij", q, k, optimize=True) * scale
+        attn = F.softmax(scores, axis=-1)
+        context = np.einsum("bhij,bhjd->bhid", attn, v, optimize=True)
+        self._cache = (q, k, v, attn, scale)
+        return self.output(self._merge_heads(context))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        q, k, v, attn, scale = self._cache
+        grad_context = self._split_heads(self.output.backward(grad_output))
+
+        grad_attn = np.einsum("bhid,bhjd->bhij", grad_context, v, optimize=True)
+        grad_v = np.einsum("bhij,bhid->bhjd", attn, grad_context, optimize=True)
+        # Softmax backward: dS = A * (dA - sum(dA * A, axis=-1, keepdims)).
+        inner = (grad_attn * attn).sum(axis=-1, keepdims=True)
+        grad_scores = attn * (grad_attn - inner)
+        grad_q = np.einsum("bhij,bhjd->bhid", grad_scores, k, optimize=True) * scale
+        grad_k = np.einsum("bhij,bhid->bhjd", grad_scores, q, optimize=True) * scale
+
+        grad_x = self.query.backward(self._merge_heads(grad_q))
+        grad_x = grad_x + self.key.backward(self._merge_heads(grad_k))
+        grad_x = grad_x + self.value.backward(self._merge_heads(grad_v))
+        self._cache = None
+        return grad_x
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-LN transformer encoder block: attention + FFN with residuals."""
+
+    def __init__(
+        self,
+        hidden: int,
+        num_heads: int,
+        ffn_multiple: int = 4,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.ln1 = LayerNorm(hidden)
+        self.attention = MultiHeadSelfAttention(hidden, num_heads, rng=rng)
+        self.drop1 = Dropout(dropout, rng=rng)
+        self.ln2 = LayerNorm(hidden)
+        self.ffn_in = Linear(hidden, ffn_multiple * hidden, rng=rng)
+        self.gelu = GELU()
+        self.ffn_out = Linear(ffn_multiple * hidden, hidden, rng=rng)
+        self.drop2 = Dropout(dropout, rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        attn_out = self.drop1(self.attention(self.ln1(x)))
+        x = x + attn_out
+        ffn_out = self.drop2(self.ffn_out(self.gelu(self.ffn_in(self.ln2(x)))))
+        return x + ffn_out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        # FFN residual branch.
+        grad_ffn = self.drop2.backward(grad_output)
+        grad_ffn = self.ffn_out.backward(grad_ffn)
+        grad_ffn = self.gelu.backward(grad_ffn)
+        grad_ffn = self.ffn_in.backward(grad_ffn)
+        grad_ffn = self.ln2.backward(grad_ffn)
+        grad = grad_output + grad_ffn
+        # Attention residual branch.
+        grad_attn = self.drop1.backward(grad)
+        grad_attn = self.attention.backward(grad_attn)
+        grad_attn = self.ln1.backward(grad_attn)
+        return grad + grad_attn

@@ -1,0 +1,52 @@
+"""Weight initialization schemes (Kaiming / Xavier)."""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute fan-in/fan-out for linear (out, in) or conv (out, in, kh, kw)."""
+    if len(shape) < 2:
+        raise ValueError(f"fan computation needs >= 2 dims, got shape {shape}")
+    receptive = 1
+    for dim in shape[2:]:
+        receptive *= dim
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def kaiming_normal(
+    shape: Tuple[int, ...], rng: np.random.Generator, gain: float = math.sqrt(2.0)
+) -> np.ndarray:
+    """He-normal init: std = gain / sqrt(fan_in). Default gain is for ReLU."""
+    fan_in, _ = _fan_in_out(shape)
+    std = gain / math.sqrt(fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(
+    shape: Tuple[int, ...], rng: np.random.Generator, gain: float = math.sqrt(2.0)
+) -> np.ndarray:
+    """He-uniform init: bound = gain * sqrt(3 / fan_in)."""
+    fan_in, _ = _fan_in_out(shape)
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot-normal init: std = sqrt(2 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fan_in_out(shape)
+    std = math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot-uniform init: bound = sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)

@@ -1,0 +1,63 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b`` with ``W`` of shape (out, in).
+
+    The weight layout matches ``torch.nn.Linear``, which matters for the
+    compression reshaping rules: Power-SGD treats a Linear weight as an
+    ``out x in`` gradient matrix directly.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if in_features < 1 or out_features < 1:
+            raise ValueError(
+                f"features must be >= 1, got in={in_features}, out={out_features}"
+            )
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng, gain=1.0))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self._cache_input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[-1] != self.weight.data.shape[1]:
+            raise ValueError(
+                f"input last dim {x.shape[-1]} != in_features "
+                f"{self.weight.data.shape[1]}"
+            )
+        self._cache_input = x
+        out = x @ self.weight.data.T
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache_input is None:
+            raise RuntimeError("backward called before forward")
+        x = self._cache_input
+        # Collapse any leading batch dims for the weight gradient.
+        flat_x = x.reshape(-1, x.shape[-1])
+        flat_grad = grad_output.reshape(-1, grad_output.shape[-1])
+        grad_input = grad_output @ self.weight.data
+        if self.bias is not None:
+            self.bias.accumulate_grad(flat_grad.sum(axis=0))
+        self.weight.accumulate_grad(flat_grad.T @ flat_x)
+        self._cache_input = None
+        return grad_input

@@ -1,0 +1,122 @@
+"""Base class for layers and models."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+
+class Module:
+    """Base class: parameter discovery, train/eval mode, call protocol.
+
+    Subclasses implement ``forward(x)`` (caching whatever backward needs)
+    and ``backward(grad_output)`` (returning the gradient w.r.t. the input
+    and calling ``Parameter.accumulate_grad`` for each learnable tensor).
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Parameter discovery (by attribute reflection, like torch.nn.Module)
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs in attribute order.
+
+        Also stamps each parameter's ``name`` so hooks and fusion buffers
+        can report which layer a gradient belongs to.
+        """
+        for attr, value in vars(self).items():
+            if attr == "training":
+                continue
+            path = f"{prefix}.{attr}" if prefix else attr
+            if isinstance(value, Parameter):
+                value.name = path
+                yield path, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(path)
+            elif isinstance(value, (list, tuple)):
+                for idx, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(f"{path}.{idx}")
+                    elif isinstance(item, Parameter):
+                        item.name = f"{path}.{idx}"
+                        yield f"{path}.{idx}", item
+
+    def parameters(self) -> List[Parameter]:
+        """All parameters in deterministic (attribute/definition) order."""
+        return [param for _, param in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total element count across all parameters."""
+        return sum(param.size for param in self.parameters())
+
+    def zero_grad(self) -> None:
+        """Clear every parameter's gradient."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Mode switching
+    # ------------------------------------------------------------------
+    def submodules(self) -> Iterator["Module"]:
+        """Yield direct child modules (including those in lists/tuples)."""
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield item
+
+    def train(self) -> "Module":
+        """Switch this module and all children to training mode."""
+        self.training = True
+        for child in self.submodules():
+            child.train()
+        return self
+
+    def eval(self) -> "Module":
+        """Switch this module and all children to inference mode."""
+        self.training = False
+        for child in self.submodules():
+            child.eval()
+        return self
+
+    # ------------------------------------------------------------------
+    # Forward / backward protocol
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # ------------------------------------------------------------------
+    # State (for broadcasting initial weights across workers)
+    # ------------------------------------------------------------------
+    def state_vector(self) -> np.ndarray:
+        """Flatten all parameters into one vector (deterministic order)."""
+        params = self.parameters()
+        if not params:
+            return np.zeros(0, dtype=np.float64)
+        return np.concatenate([param.data.reshape(-1) for param in params])
+
+    def load_state_vector(self, vector: np.ndarray) -> None:
+        """Inverse of :meth:`state_vector`."""
+        expected = self.num_parameters()
+        if vector.size != expected:
+            raise ValueError(
+                f"state vector has {vector.size} elements, model has {expected}"
+            )
+        offset = 0
+        for param in self.parameters():
+            count = param.size
+            param.data = vector[offset : offset + count].reshape(param.shape).copy()
+            offset += count

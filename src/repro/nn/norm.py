@@ -1,0 +1,118 @@
+"""Normalization layers: BatchNorm2d and LayerNorm."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over NCHW inputs (per-channel statistics).
+
+    Running statistics are plain arrays (not Parameters): they receive no
+    gradient and are never communicated, matching DDP's treatment of
+    BatchNorm buffers. gamma/beta are 1-D ("vector-shaped") parameters, which
+    the compression layer leaves uncompressed per §IV-C of the paper.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        if num_features < 1:
+            raise ValueError(f"num_features must be >= 1, got {num_features}")
+        self.weight = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self.eps = eps
+        self.momentum = momentum
+        self._cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects NCHW input, got shape {x.shape}")
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            )
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        out = (
+            self.weight.data[None, :, None, None] * x_hat
+            + self.bias.data[None, :, None, None]
+        )
+        if self.training:
+            self._cache = (x_hat, inv_std, x)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward (training mode)")
+        x_hat, inv_std, x = self._cache
+        m = x.shape[0] * x.shape[2] * x.shape[3]
+
+        self.bias.accumulate_grad(grad_output.sum(axis=(0, 2, 3)))
+        self.weight.accumulate_grad((grad_output * x_hat).sum(axis=(0, 2, 3)))
+
+        gamma = self.weight.data[None, :, None, None]
+        grad_xhat = grad_output * gamma
+        sum_grad = grad_xhat.sum(axis=(0, 2, 3), keepdims=True)
+        sum_grad_xhat = (grad_xhat * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+        grad_input = (
+            inv_std[None, :, None, None]
+            * (grad_xhat - sum_grad / m - x_hat * sum_grad_xhat / m)
+        )
+        self._cache = None
+        return grad_input
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension (transformer-style)."""
+
+    def __init__(self, normalized_dim: int, eps: float = 1e-5):
+        super().__init__()
+        if normalized_dim < 1:
+            raise ValueError(f"normalized_dim must be >= 1, got {normalized_dim}")
+        self.weight = Parameter(np.ones(normalized_dim))
+        self.bias = Parameter(np.zeros(normalized_dim))
+        self.eps = eps
+        self._cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[-1] != self.weight.data.shape[0]:
+            raise ValueError(
+                f"last dim {x.shape[-1]} != normalized_dim {self.weight.data.shape[0]}"
+            )
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        self._cache = (x_hat, inv_std)
+        return self.weight.data * x_hat + self.bias.data
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, inv_std = self._cache
+        d = x_hat.shape[-1]
+        axes = tuple(range(grad_output.ndim - 1))
+        self.bias.accumulate_grad(grad_output.sum(axis=axes))
+        self.weight.accumulate_grad((grad_output * x_hat).sum(axis=axes))
+
+        grad_xhat = grad_output * self.weight.data
+        sum_grad = grad_xhat.sum(axis=-1, keepdims=True)
+        sum_grad_xhat = (grad_xhat * x_hat).sum(axis=-1, keepdims=True)
+        grad_input = inv_std * (grad_xhat - sum_grad / d - x_hat * sum_grad_xhat / d)
+        self._cache = None
+        return grad_input

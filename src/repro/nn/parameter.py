@@ -1,0 +1,78 @@
+"""Learnable parameter with gradient storage and ready-hooks."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+# A hook receives the parameter whose gradient just became available.
+GradHook = Callable[["Parameter"], None]
+
+
+class Parameter:
+    """A learnable tensor: value, gradient, and gradient-ready hooks.
+
+    Attributes:
+        data: the parameter value (float64 numpy array).
+        grad: accumulated gradient for the current step, or ``None`` before
+            the first backward touches it.
+        name: dotted path assigned by the owning model (e.g.
+            ``features.3.weight``); set by ``Module.named_parameters``.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = ""):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.name = name
+        self._hooks: List[GradHook] = []
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        """Number of elements."""
+        return int(self.data.size)
+
+    def register_hook(self, hook: GradHook) -> None:
+        """Register a callback fired when this parameter's grad is ready.
+
+        This mirrors ``torch.Tensor.register_hook`` as used by the paper's
+        ACP-SGD prototype (§IV-C): distributed optimizers use it to launch
+        compression/communication as soon as back-propagation produces each
+        gradient (wait-free back-propagation).
+        """
+        self._hooks.append(hook)
+
+    def clear_hooks(self) -> None:
+        """Remove all registered hooks."""
+        self._hooks.clear()
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into ``self.grad`` and fire ready-hooks.
+
+        Layers call this exactly once per backward pass per parameter, so the
+        hook-firing point is "this parameter's gradient for the step is
+        complete" — the WFBP readiness event.
+        """
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"grad shape {grad.shape} != parameter shape {self.data.shape}"
+                + (f" for {self.name!r}" if self.name else "")
+            )
+        if self.grad is None:
+            self.grad = grad.astype(np.float64, copy=True)
+        else:
+            self.grad = self.grad + grad
+        for hook in self._hooks:
+            hook(self)
+
+    def zero_grad(self) -> None:
+        """Reset the gradient before the next backward pass."""
+        self.grad = None
+
+    def __repr__(self) -> str:
+        label = self.name or "unnamed"
+        return f"Parameter({label}, shape={self.data.shape})"

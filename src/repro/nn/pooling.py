@@ -1,0 +1,123 @@
+"""Spatial pooling layers over NCHW inputs."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+
+
+class MaxPool2d(Module):
+    """Max pooling with square window."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None, padding: int = 0):
+        super().__init__()
+        if kernel_size < 1:
+            raise ValueError(f"kernel_size must be >= 1, got {kernel_size}")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, ...], int, int]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k = self.kernel_size
+        cols = F.im2col(x, (k, k), self.stride, self.padding)
+        out_h = F.conv_output_size(h, k, self.stride, self.padding)
+        out_w = F.conv_output_size(w, k, self.stride, self.padding)
+        # cols: (n, c*k*k, out_h*out_w) -> (n, c, k*k, L)
+        cols = cols.reshape(n, c, k * k, -1)
+        argmax = cols.argmax(axis=2)
+        out = np.take_along_axis(cols, argmax[:, :, None, :], axis=2).squeeze(2)
+        self._cache = (argmax, x.shape, out_h, out_w)
+        return out.reshape(n, c, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        argmax, input_shape, out_h, out_w = self._cache
+        n, c = input_shape[:2]
+        k = self.kernel_size
+        grad_cols = np.zeros((n, c, k * k, out_h * out_w))
+        flat_grad = grad_output.reshape(n, c, 1, -1)
+        np.put_along_axis(grad_cols, argmax[:, :, None, :], flat_grad, axis=2)
+        grad_input = F.col2im(
+            grad_cols.reshape(n, c * k * k, -1),
+            input_shape,
+            (k, k),
+            self.stride,
+            self.padding,
+        )
+        self._cache = None
+        return grad_input
+
+
+class AvgPool2d(Module):
+    """Average pooling with square window."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None, padding: int = 0):
+        super().__init__()
+        if kernel_size < 1:
+            raise ValueError(f"kernel_size must be >= 1, got {kernel_size}")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k = self.kernel_size
+        cols = F.im2col(x, (k, k), self.stride, self.padding)
+        out_h = F.conv_output_size(h, k, self.stride, self.padding)
+        out_w = F.conv_output_size(w, k, self.stride, self.padding)
+        out = cols.reshape(n, c, k * k, -1).mean(axis=2)
+        self._input_shape = x.shape
+        return out.reshape(n, c, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._input_shape
+        k = self.kernel_size
+        out_h = F.conv_output_size(h, k, self.stride, self.padding)
+        out_w = F.conv_output_size(w, k, self.stride, self.padding)
+        flat_grad = grad_output.reshape(n, c, 1, out_h * out_w) / (k * k)
+        grad_cols = np.broadcast_to(
+            flat_grad, (n, c, k * k, out_h * out_w)
+        ).reshape(n, c * k * k, -1)
+        grad_input = F.col2im(
+            np.ascontiguousarray(grad_cols),
+            self._input_shape,
+            (k, k),
+            self.stride,
+            self.padding,
+        )
+        self._input_shape = None
+        return grad_input
+
+
+class GlobalAvgPool2d(Module):
+    """Average over all spatial positions: NCHW -> NC."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"expected NCHW input, got shape {x.shape}")
+        self._input_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._input_shape
+        grad_input = np.broadcast_to(
+            grad_output[:, :, None, None] / (h * w), self._input_shape
+        ).copy()
+        self._input_shape = None
+        return grad_input

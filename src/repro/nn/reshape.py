@@ -1,0 +1,28 @@
+"""Shape-manipulation layers."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class Flatten(Module):
+    """Flatten all dims after the batch dim: (N, ...) -> (N, prod(...))."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        grad_input = grad_output.reshape(self._input_shape)
+        self._input_shape = None
+        return grad_input

@@ -1,0 +1,80 @@
+"""Adam optimizer (Kingma & Ba, 2015).
+
+BERT-family models are trained with Adam in practice (the paper's
+communication study uses SGD throughout for comparability; 1-bit Adam [5]
+is cited as the quantized variant). Provided so the transformer examples
+can use the idiomatic optimizer; interface-compatible with
+:class:`repro.optim.sgd.SGD` (``step(grads)`` / ``zero_grad``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class Adam:
+    """Adam with bias correction and optional decoupled weight decay."""
+
+    def __init__(
+        self,
+        model: Module,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ValueError(f"lr must be > 0, got {lr}")
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {beta1}, {beta2}")
+        if eps <= 0:
+            raise ValueError(f"eps must be > 0, got {eps}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.model = model
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m: Dict[str, np.ndarray] = {}
+        self._v: Dict[str, np.ndarray] = {}
+        self._named = dict(model.named_parameters())
+
+    def step(self, grads: Optional[Dict[str, np.ndarray]] = None) -> None:
+        """Apply one Adam update from ``grads`` or the params' own ``.grad``."""
+        self._step_count += 1
+        t = self._step_count
+        bias1 = 1.0 - self.beta1**t
+        bias2 = 1.0 - self.beta2**t
+        for name, param in self._named.items():
+            grad = grads.get(name) if grads is not None else param.grad
+            if grad is None:
+                continue
+            if grad.shape != param.data.shape:
+                raise ValueError(
+                    f"gradient shape {grad.shape} != parameter shape "
+                    f"{param.data.shape} for {name!r}"
+                )
+            m = self._m.get(name)
+            v = self._v.get(name)
+            m = grad * (1 - self.beta1) if m is None else \
+                self.beta1 * m + (1 - self.beta1) * grad
+            v = grad**2 * (1 - self.beta2) if v is None else \
+                self.beta2 * v + (1 - self.beta2) * grad**2
+            self._m[name] = m
+            self._v[name] = v
+            update = (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            if self.weight_decay:
+                update = update + self.weight_decay * param.data
+            param.data = param.data - self.lr * update
+
+    def zero_grad(self) -> None:
+        """Clear gradients on the wrapped model."""
+        self.model.zero_grad()

@@ -1,0 +1,448 @@
+"""Distributed gradient aggregation — one strategy per training method.
+
+An aggregator consumes each worker's local gradients for one step and
+returns the aggregated gradient every worker applies. All communication
+goes through a :class:`~repro.comm.process_group.ProcessGroup`, so the
+traffic each method generates is *measured*, not assumed — the Table II
+tests compare these measurements to the analytical complexities.
+
+Aggregation semantics are gradient *averaging* across workers (the S-SGD
+convention the paper's convergence experiments use).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.comm.process_group import ProcessGroup
+from repro.compression.acpsgd import ACPSGDState
+from repro.compression.powersgd import PowerSGDState
+from repro.compression.qsgd import QSGDCompressor
+from repro.compression.randomk import RandomKCompressor
+from repro.compression.reshaping import grad_to_matrix, matrix_to_grad, should_compress
+from repro.compression.signsgd import SignCompressor, majority_vote_aggregate
+from repro.compression.topk import TopkCompressor, sparse_aggregate
+
+NamedGrads = Dict[str, np.ndarray]
+
+
+def _check_worker_grads(per_worker: List[NamedGrads], world_size: int) -> None:
+    if len(per_worker) != world_size:
+        raise ValueError(
+            f"expected gradients from {world_size} workers, got {len(per_worker)}"
+        )
+    names = list(per_worker[0])
+    for rank, grads in enumerate(per_worker[1:], start=1):
+        if list(grads) != names:
+            raise ValueError(f"worker {rank} gradient names differ from worker 0")
+
+
+def _pack(grads: NamedGrads, names: List[str]) -> np.ndarray:
+    """Flatten named gradients into one fused buffer (tensor fusion)."""
+    return np.concatenate([grads[name].reshape(-1) for name in names])
+
+
+def _unpack(buffer: np.ndarray, template: NamedGrads, names: List[str]) -> NamedGrads:
+    out: NamedGrads = {}
+    offset = 0
+    for name in names:
+        size = template[name].size
+        out[name] = buffer[offset : offset + size].reshape(template[name].shape)
+        offset += size
+    return out
+
+
+class GradientAggregator:
+    """Base class: holds the process group and a 1-based step counter."""
+
+    method = "base"
+
+    def __init__(self, group: ProcessGroup):
+        self.group = group
+        self.step = 0
+
+    def aggregate(self, per_worker_grads: List[NamedGrads]) -> NamedGrads:
+        """Aggregate one step's gradients; returns the shared global gradient."""
+        raise NotImplementedError
+
+
+class AllReduceAggregator(GradientAggregator):
+    """S-SGD: fused ring all-reduce of the raw gradients (the baseline)."""
+
+    method = "ssgd"
+
+    def aggregate(self, per_worker_grads: List[NamedGrads]) -> NamedGrads:
+        _check_worker_grads(per_worker_grads, self.group.world_size)
+        self.step += 1
+        names = list(per_worker_grads[0])
+        buffers = [_pack(grads, names) for grads in per_worker_grads]
+        reduced = self.group.all_reduce(buffers, average=True)
+        return _unpack(reduced[0], per_worker_grads[0], names)
+
+
+class SignSGDAggregator(GradientAggregator):
+    """Sign-SGD with majority vote: all-gather 1-bit signs, vote, rescale.
+
+    Each worker holds its own :class:`SignCompressor` (per-worker EF
+    residuals). Gradients are packed into one flat tensor before compression
+    ("the gradients are packed together to be compressed and communicated
+    for better performance", §III-A).
+    """
+
+    method = "signsgd"
+
+    def __init__(self, group: ProcessGroup, use_error_feedback: bool = True):
+        super().__init__(group)
+        self._compressors = [
+            SignCompressor(use_error_feedback) for _ in range(group.world_size)
+        ]
+
+    def aggregate(self, per_worker_grads: List[NamedGrads]) -> NamedGrads:
+        _check_worker_grads(per_worker_grads, self.group.world_size)
+        self.step += 1
+        names = list(per_worker_grads[0])
+        payloads = []
+        for rank, grads in enumerate(per_worker_grads):
+            flat = _pack(grads, names)
+            payloads.append(self._compressors[rank].compress("fused", flat))
+        # All-gather the packed bits (scales ride along; they are 4 bytes).
+        gathered = self.group.all_gather([p.packed_bits for p in payloads])
+        del gathered  # numerics below use the payload objects directly
+        shape = (payloads[0].num_elements,)
+        aggregated = majority_vote_aggregate(payloads, shape)
+        return _unpack(aggregated, per_worker_grads[0], names)
+
+
+class TopkSGDAggregator(GradientAggregator):
+    """Top-k SGD: all-gather (values, indices), sum sparse, average."""
+
+    method = "topk"
+
+    def __init__(
+        self,
+        group: ProcessGroup,
+        ratio: float = 0.01,
+        selection: str = "exact",
+        use_error_feedback: bool = True,
+        seed: int = 0,
+    ):
+        super().__init__(group)
+        self._compressors = [
+            TopkCompressor(
+                ratio=ratio,
+                selection=selection,
+                use_error_feedback=use_error_feedback,
+                rng=np.random.default_rng(seed + rank),
+            )
+            for rank in range(group.world_size)
+        ]
+
+    def aggregate(self, per_worker_grads: List[NamedGrads]) -> NamedGrads:
+        _check_worker_grads(per_worker_grads, self.group.world_size)
+        self.step += 1
+        names = list(per_worker_grads[0])
+        payloads = []
+        for rank, grads in enumerate(per_worker_grads):
+            flat = _pack(grads, names)
+            payloads.append(self._compressors[rank].compress("fused", flat))
+        # Wire format: interleaved (index, value) pairs per worker.
+        wires = [
+            np.concatenate([p.indices.astype(np.float64), p.values])
+            for p in payloads
+        ]
+        self.group.all_gather(wires)
+        aggregated = sparse_aggregate(
+            payloads, (payloads[0].num_elements,), average=True
+        )
+        return _unpack(aggregated, per_worker_grads[0], names)
+
+
+class RandomKAggregator(GradientAggregator):
+    """Random-k with a shared seed: additive, so values ride an all-reduce."""
+
+    method = "randomk"
+
+    def __init__(
+        self,
+        group: ProcessGroup,
+        ratio: float = 0.01,
+        seed: int = 0,
+        use_error_feedback: bool = True,
+    ):
+        super().__init__(group)
+        # Same seed across workers: coordinates agree, payloads align.
+        self._compressors = [
+            RandomKCompressor(ratio=ratio, seed=seed, use_error_feedback=use_error_feedback)
+            for _ in range(group.world_size)
+        ]
+
+    def aggregate(self, per_worker_grads: List[NamedGrads]) -> NamedGrads:
+        _check_worker_grads(per_worker_grads, self.group.world_size)
+        self.step += 1
+        names = list(per_worker_grads[0])
+        payloads = []
+        for rank, grads in enumerate(per_worker_grads):
+            flat = _pack(grads, names)
+            payloads.append(self._compressors[rank].compress("fused", flat, self.step))
+        reduced = self.group.all_reduce([p.values for p in payloads], average=True)
+        dense = np.zeros(payloads[0].num_elements)
+        dense[payloads[0].indices] = reduced[0]
+        return _unpack(dense, per_worker_grads[0], names)
+
+
+class QSGDAggregator(GradientAggregator):
+    """QSGD (extension): all-gather quantized payloads, dequantize, average."""
+
+    method = "qsgd"
+
+    def __init__(self, group: ProcessGroup, num_levels: int = 255, seed: int = 0):
+        super().__init__(group)
+        self._compressors = [
+            QSGDCompressor(num_levels, rng=np.random.default_rng(seed + rank))
+            for rank in range(group.world_size)
+        ]
+
+    def aggregate(self, per_worker_grads: List[NamedGrads]) -> NamedGrads:
+        _check_worker_grads(per_worker_grads, self.group.world_size)
+        self.step += 1
+        names = list(per_worker_grads[0])
+        payloads = []
+        for rank, grads in enumerate(per_worker_grads):
+            flat = _pack(grads, names)
+            payloads.append(self._compressors[rank].compress(flat))
+        # Wire format: uint8 levels (for s <= 255) + 1 packed sign bit per
+        # element, so the measured traffic reflects QSGD's ~9 bits/element.
+        wires = []
+        for payload in payloads:
+            level_bytes = payload.levels.astype(
+                np.uint8 if payload.num_levels <= 255 else np.uint32
+            ).view(np.uint8)
+            sign_bits = np.packbits((payload.signs >= 0).astype(np.uint8))
+            wires.append(np.concatenate([level_bytes, sign_bits]))
+        self.group.all_gather(wires)
+        size = payloads[0].num_elements
+        dense = np.zeros(size)
+        for payload in payloads:
+            dense += QSGDCompressor.decompress(payload, (size,))
+        dense /= len(payloads)
+        return _unpack(dense, per_worker_grads[0], names)
+
+
+class TernGradAggregator(GradientAggregator):
+    """TernGrad (extension): all-gather ternary payloads, dequantize, average.
+
+    Unbiased, so no error feedback; variance is the convergence cost.
+    """
+
+    method = "terngrad"
+
+    def __init__(self, group: ProcessGroup, seed: int = 0,
+                 clip_sigma: float = 2.5):
+        super().__init__(group)
+        from repro.compression.terngrad import TernGradCompressor
+
+        self._compressors = [
+            TernGradCompressor(np.random.default_rng(seed + rank), clip_sigma)
+            for rank in range(group.world_size)
+        ]
+
+    def aggregate(self, per_worker_grads: List[NamedGrads]) -> NamedGrads:
+        from repro.compression.terngrad import TernGradCompressor
+
+        _check_worker_grads(per_worker_grads, self.group.world_size)
+        self.step += 1
+        names = list(per_worker_grads[0])
+        payloads = []
+        for rank, grads in enumerate(per_worker_grads):
+            flat = _pack(grads, names)
+            payloads.append(self._compressors[rank].compress(flat))
+        self.group.all_gather([p.packed for p in payloads])
+        size = payloads[0].num_elements
+        dense = np.zeros(size)
+        for payload in payloads:
+            dense += TernGradCompressor.decompress(payload, (size,))
+        dense /= len(payloads)
+        return _unpack(dense, per_worker_grads[0], names)
+
+
+class _LowRankBase(GradientAggregator):
+    """Shared plumbing for Power-SGD / ACP-SGD: compressibility and fallbacks.
+
+    A tensor is low-rank compressed only when it is matrix-shaped *and*
+    compression actually shrinks it (``n m > (n + m) r``); everything else
+    (biases, norm scales, tiny matrices) rides a fused uncompressed ring
+    all-reduce, exactly as in the paper's §IV-C.
+    """
+
+    def __init__(self, group: ProcessGroup, rank: int):
+        super().__init__(group)
+        if rank < 1:
+            raise ValueError(f"rank must be >= 1, got {rank}")
+        self.rank = rank
+
+    def _is_compressible(self, shape: Tuple[int, ...]) -> bool:
+        if not should_compress(shape):
+            return False
+        n = shape[0]
+        m = 1
+        for dim in shape[1:]:
+            m *= dim
+        r = min(self.rank, n, m)
+        return n * m > (n + m) * r
+
+    def _split_names(self, grads: NamedGrads) -> Tuple[List[str], List[str]]:
+        compressible = [n for n, g in grads.items() if self._is_compressible(g.shape)]
+        plain = [n for n in grads if n not in set(compressible)]
+        return compressible, plain
+
+    def _allreduce_plain(
+        self, per_worker_grads: List[NamedGrads], plain: List[str]
+    ) -> NamedGrads:
+        if not plain:
+            return {}
+        buffers = [_pack(grads, plain) for grads in per_worker_grads]
+        reduced = self.group.all_reduce(buffers, average=True)
+        return _unpack(reduced[0], per_worker_grads[0], plain)
+
+
+class PowerSGDAggregator(_LowRankBase):
+    """Power-SGD: all-reduce P, orthogonalize, all-reduce Q, reconstruct.
+
+    P-factors of all compressible tensors are batched into one fused
+    all-reduce, then Q-factors into another — two blocking collectives per
+    step (the structure Fig. 4(a) shows).
+    """
+
+    method = "powersgd"
+
+    def __init__(
+        self,
+        group: ProcessGroup,
+        rank: int = 4,
+        seed: int = 0,
+        use_error_feedback: bool = True,
+        reuse_query: bool = True,
+    ):
+        super().__init__(group, rank)
+        self._states = [
+            PowerSGDState(rank, seed, use_error_feedback, reuse_query)
+            for _ in range(group.world_size)
+        ]
+
+    def aggregate(self, per_worker_grads: List[NamedGrads]) -> NamedGrads:
+        _check_worker_grads(per_worker_grads, self.group.world_size)
+        self.step += 1
+        compressible, plain = self._split_names(per_worker_grads[0])
+        result = self._allreduce_plain(per_worker_grads, plain)
+
+        if compressible:
+            # Stage 1: local P factors, fused all-reduce.
+            local_ps: List[NamedGrads] = []
+            for rank_idx, grads in enumerate(per_worker_grads):
+                state = self._states[rank_idx]
+                ps = {
+                    name: state.compute_p(name, grad_to_matrix(grads[name]))
+                    for name in compressible
+                }
+                local_ps.append(ps)
+            p_buffers = [_pack(ps, compressible) for ps in local_ps]
+            p_reduced = self.group.all_reduce(p_buffers, average=True)
+            p_agg = _unpack(p_reduced[0], local_ps[0], compressible)
+
+            # Stage 2: local Q factors, fused all-reduce.
+            local_qs: List[NamedGrads] = []
+            for rank_idx in range(self.group.world_size):
+                state = self._states[rank_idx]
+                qs = {
+                    name: state.compute_q(name, p_agg[name]) for name in compressible
+                }
+                local_qs.append(qs)
+            q_buffers = [_pack(qs, compressible) for qs in local_qs]
+            q_reduced = self.group.all_reduce(q_buffers, average=True)
+            q_agg = _unpack(q_reduced[0], local_qs[0], compressible)
+
+            # Stage 3: reconstruct on every worker (results identical).
+            for rank_idx in range(self.group.world_size):
+                state = self._states[rank_idx]
+                for name in compressible:
+                    m_hat = state.reconstruct(name, q_agg[name])
+                    if rank_idx == 0:
+                        result[name] = matrix_to_grad(
+                            m_hat, per_worker_grads[0][name].shape
+                        )
+        return {name: result[name] for name in per_worker_grads[0]}
+
+
+class ACPSGDAggregator(_LowRankBase):
+    """ACP-SGD: a single fused all-reduce of the alternating factor."""
+
+    method = "acpsgd"
+
+    def __init__(
+        self,
+        group: ProcessGroup,
+        rank: int = 4,
+        seed: int = 0,
+        use_error_feedback: bool = True,
+        reuse_query: bool = True,
+    ):
+        super().__init__(group, rank)
+        self._states = [
+            ACPSGDState(rank, seed, use_error_feedback, reuse_query)
+            for _ in range(group.world_size)
+        ]
+
+    def aggregate(self, per_worker_grads: List[NamedGrads]) -> NamedGrads:
+        _check_worker_grads(per_worker_grads, self.group.world_size)
+        self.step += 1
+        compressible, plain = self._split_names(per_worker_grads[0])
+        result = self._allreduce_plain(per_worker_grads, plain)
+
+        if compressible:
+            local_factors: List[NamedGrads] = []
+            for rank_idx, grads in enumerate(per_worker_grads):
+                state = self._states[rank_idx]
+                factors = {
+                    name: state.compress(name, grad_to_matrix(grads[name]), self.step)
+                    for name in compressible
+                }
+                local_factors.append(factors)
+            buffers = [_pack(factors, compressible) for factors in local_factors]
+            reduced = self.group.all_reduce(buffers, average=True)
+            agg = _unpack(reduced[0], local_factors[0], compressible)
+            for rank_idx in range(self.group.world_size):
+                state = self._states[rank_idx]
+                for name in compressible:
+                    m_hat = state.finalize(name, agg[name], self.step)
+                    if rank_idx == 0:
+                        result[name] = matrix_to_grad(
+                            m_hat, per_worker_grads[0][name].shape
+                        )
+        return {name: result[name] for name in per_worker_grads[0]}
+
+
+def make_aggregator(
+    method: str, group: ProcessGroup, **kwargs
+) -> GradientAggregator:
+    """Factory by method name: ssgd/signsgd/topk/randomk/qsgd/powersgd/acpsgd."""
+    from repro.optim.dgc import DGCTopkAggregator
+
+    registry = {
+        "ssgd": AllReduceAggregator,
+        "signsgd": SignSGDAggregator,
+        "topk": TopkSGDAggregator,
+        "randomk": RandomKAggregator,
+        "qsgd": QSGDAggregator,
+        "terngrad": TernGradAggregator,
+        "powersgd": PowerSGDAggregator,
+        "acpsgd": ACPSGDAggregator,
+        "dgc": DGCTopkAggregator,
+    }
+    cls = registry.get(method)
+    if cls is None:
+        raise ValueError(
+            f"unknown method {method!r}; available: {', '.join(sorted(registry))}"
+        )
+    return cls(group, **kwargs)

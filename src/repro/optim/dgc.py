@@ -1,0 +1,104 @@
+"""Deep Gradient Compression-style Top-k aggregation (extension).
+
+DGC (Lin et al., ICLR 2018 — the paper's reference [19]) improves plain
+Top-k + error feedback with *momentum correction*: each worker accumulates
+a local momentum ``u`` and a velocity ``v``; the Top-k selection happens on
+``v``, and both accumulators are cleared at the transmitted coordinates so
+stale momentum does not double-count. Aggregation stays all-gather + sparse
+sum like Top-k SGD.
+
+With momentum correction, the *global* optimizer should not apply momentum
+again — pair this aggregator with SGD(momentum=0).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.comm.process_group import ProcessGroup
+from repro.compression.topk import SparsePayload, exact_topk_mask, sparse_aggregate
+from repro.optim.aggregators import GradientAggregator, NamedGrads, _pack, _unpack
+
+
+class _WorkerDGCState:
+    """One worker's momentum/velocity accumulators."""
+
+    def __init__(self, momentum: float):
+        self.momentum = momentum
+        self.u: Dict[str, np.ndarray] = {}
+        self.v: Dict[str, np.ndarray] = {}
+
+    def accumulate(self, name: str, grad: np.ndarray) -> np.ndarray:
+        """Update u, v; returns the velocity to sparsify."""
+        u_prev = self.u.get(name)
+        u = grad if u_prev is None else self.momentum * u_prev + grad
+        v_prev = self.v.get(name)
+        v = u if v_prev is None else v_prev + u
+        self.u[name] = u
+        self.v[name] = v
+        return v
+
+    def clear_transmitted(self, name: str, indices: np.ndarray) -> None:
+        """Zero the accumulators at the coordinates that were sent."""
+        self.u[name][indices] = 0.0
+        self.v[name][indices] = 0.0
+
+
+class DGCTopkAggregator(GradientAggregator):
+    """Top-k with DGC momentum correction.
+
+    Args:
+        group: process group.
+        ratio: keep-fraction per step.
+        momentum: local momentum factor (DGC default 0.9).
+        min_k: floor on selected elements.
+    """
+
+    method = "dgc"
+
+    def __init__(
+        self,
+        group: ProcessGroup,
+        ratio: float = 0.01,
+        momentum: float = 0.9,
+        min_k: int = 1,
+    ):
+        super().__init__(group)
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.ratio = ratio
+        self.min_k = min_k
+        self._states = [
+            _WorkerDGCState(momentum) for _ in range(group.world_size)
+        ]
+
+    def aggregate(self, per_worker_grads: List[NamedGrads]) -> NamedGrads:
+        if len(per_worker_grads) != self.group.world_size:
+            raise ValueError(
+                f"expected gradients from {self.group.world_size} workers, "
+                f"got {len(per_worker_grads)}"
+            )
+        self.step += 1
+        names = list(per_worker_grads[0])
+        payloads = []
+        for rank, grads in enumerate(per_worker_grads):
+            state = self._states[rank]
+            flat = _pack(grads, names)
+            velocity = state.accumulate("fused", flat)
+            k = max(self.min_k, int(round(self.ratio * velocity.size)))
+            idx = exact_topk_mask(velocity, k)
+            payloads.append(
+                SparsePayload(idx, velocity[idx].copy(), velocity.size)
+            )
+            state.clear_transmitted("fused", idx)
+        wires = [
+            np.concatenate([p.indices.astype(np.float64), p.values])
+            for p in payloads
+        ]
+        self.group.all_gather(wires)
+        dense = sparse_aggregate(payloads, (payloads[0].num_elements,), average=True)
+        return _unpack(dense, per_worker_grads[0], names)

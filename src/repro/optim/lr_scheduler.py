@@ -1,0 +1,71 @@
+"""Learning-rate schedules.
+
+The paper's convergence recipe (§V-A): base LR 0.1 with a gradual warmup
+over the first 5 epochs and step decays (x0.1) at epochs 150 and 220 of
+300 — i.e. Goyal et al.'s large-minibatch schedule. Expressed here in
+fractional epochs so scaled-down runs keep the same shape.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.optim.sgd import SGD
+
+
+class WarmupMultiStepSchedule:
+    """Gradual warmup then multi-step decay.
+
+    Args:
+        optimizer: the SGD instance whose ``lr`` is driven.
+        base_lr: LR reached at the end of warmup.
+        total_epochs: schedule length.
+        warmup_epochs: linear ramp from ``base_lr / warmup_steps`` to
+            ``base_lr`` (0 disables warmup).
+        milestones: epochs at which LR multiplies by ``gamma``.
+        gamma: decay factor (paper: 0.1).
+    """
+
+    def __init__(
+        self,
+        optimizer: SGD,
+        base_lr: float = 0.1,
+        total_epochs: int = 300,
+        warmup_epochs: float = 5.0,
+        milestones: Sequence[float] = (150.0, 220.0),
+        gamma: float = 0.1,
+    ):
+        if base_lr <= 0:
+            raise ValueError(f"base_lr must be > 0, got {base_lr}")
+        if warmup_epochs < 0 or warmup_epochs > total_epochs:
+            raise ValueError(
+                f"warmup_epochs must be in [0, {total_epochs}], got {warmup_epochs}"
+            )
+        if sorted(milestones) != list(milestones):
+            raise ValueError(f"milestones must be sorted, got {milestones}")
+        self.optimizer = optimizer
+        self.base_lr = base_lr
+        self.total_epochs = total_epochs
+        self.warmup_epochs = warmup_epochs
+        self.milestones = tuple(milestones)
+        self.gamma = gamma
+
+    def lr_at(self, epoch: float) -> float:
+        """The LR in effect at (fractional) ``epoch``."""
+        if epoch < 0:
+            raise ValueError(f"epoch must be >= 0, got {epoch}")
+        if self.warmup_epochs > 0 and epoch < self.warmup_epochs:
+            # Linear ramp; never exactly zero at epoch 0.
+            fraction = (epoch + 1e-9) / self.warmup_epochs
+            return self.base_lr * max(fraction, 1.0 / max(1.0, self.warmup_epochs * 100))
+        lr = self.base_lr
+        for milestone in self.milestones:
+            if epoch >= milestone:
+                lr *= self.gamma
+        return lr
+
+    def set_epoch(self, epoch: float) -> float:
+        """Update the optimizer's LR for ``epoch``; returns the new LR."""
+        lr = self.lr_at(epoch)
+        self.optimizer.lr = lr
+        return lr

@@ -1,0 +1,78 @@
+"""ASCII Gantt rendering of simulated timelines.
+
+Textual counterpart of the paper's Fig. 1 / Fig. 4 schedule illustrations:
+one row per resource, characters bucketed by time, letters keyed to the
+task category. Lets the README / experiment output *show* WFBP overlap and
+Power-SGD*'s contention without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.sim.engine import GPU_MAIN, GPU_SIDE, NIC, TaskRecord
+
+_ROW_ORDER = (GPU_MAIN, GPU_SIDE, NIC)
+_ROW_LABELS = {GPU_MAIN: "gpu", GPU_SIDE: "side", NIC: "nic"}
+_TAG_CHARS = {
+    "forward": "F",
+    "backward": "B",
+    "compression": "C",
+    "comm": "=",
+    "other": "o",
+}
+
+
+def render_gantt(records: Dict[str, TaskRecord], width: int = 78) -> str:
+    """Render task records as an ASCII Gantt chart.
+
+    Args:
+        records: engine output.
+        width: number of time columns.
+
+    Returns:
+        A multi-line chart; the legend line maps characters to categories.
+        Where several tasks share a cell, the busier category wins.
+    """
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    if not records:
+        return "(empty timeline)"
+    end = max(record.end for record in records.values())
+    if end <= 0:
+        return "(empty timeline)"
+    cell = end / width
+
+    lines: List[str] = []
+    for stream in _ROW_ORDER:
+        stream_records = [
+            r for r in records.values() if r.task.stream == stream and r.duration > 0
+        ]
+        if not stream_records and stream == GPU_SIDE:
+            continue  # hide the side stream when unused
+        # Accumulate busy time per cell per tag.
+        occupancy = [dict() for _ in range(width)]
+        for record in stream_records:
+            first = int(record.start / cell)
+            last = min(width - 1, int(record.end / cell - 1e-12))
+            for idx in range(first, last + 1):
+                lo = max(record.start, idx * cell)
+                hi = min(record.end, (idx + 1) * cell)
+                if hi > lo:
+                    tag = record.task.tag
+                    occupancy[idx][tag] = occupancy[idx].get(tag, 0.0) + (hi - lo)
+        row = []
+        for cell_occ in occupancy:
+            if not cell_occ:
+                row.append(" ")
+            else:
+                tag = max(cell_occ, key=cell_occ.get)
+                row.append(_TAG_CHARS.get(tag, "?"))
+        lines.append(f"{_ROW_LABELS[stream]:>4} |{''.join(row)}|")
+    lines.append(
+        f"{'':>4}  0ms{'':{max(1, width - 14)}}{end * 1e3:.0f}ms"
+    )
+    lines.append(
+        "      F=forward B=backward C=compress ==comm (busiest per cell)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Compute-side cost helpers: layer kernels and compression kernels."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.models.spec import LayerSpec
+from repro.sim.calibration import SimConfig
+
+FP32 = 4
+
+
+def layer_forward_time(layer: LayerSpec, batch_size: int, sim: SimConfig) -> float:
+    """Forward kernel time of one layer for a batch."""
+    return sim.kind_time(layer.kind, layer.forward_flops * batch_size)
+
+
+def layer_backward_time(layer: LayerSpec, batch_size: int, sim: SimConfig) -> float:
+    """Backward kernel time (input + weight gradients) of one layer."""
+    return sim.kind_time(layer.kind, layer.backward_flops * batch_size)
+
+
+def error_feedback_time(n: int, m: int, sim: SimConfig) -> float:
+    """Streaming passes for `M + E` and the residual update (2 R/W passes)."""
+    return sim.memory_pass_time(2.0 * n * m * FP32)
+
+
+def lowrank_project_time(n: int, m: int, rank: int, sim: SimConfig) -> float:
+    """One skinny projection GEMM: ``(n x m) @ (m x r)`` (or transposed)."""
+    return sim.kind_time("gemm_small", 2.0 * n * m * rank)
+
+
+def orthogonalize_time(rows: int, rank: int, sim: SimConfig) -> float:
+    """Reduced QR of a tall-skinny ``rows x rank`` matrix.
+
+    Householder QR costs ``~2 rows rank^2`` FLOPs but is launch-latency
+    bound on GPUs for these sizes — ``qr_launch`` dominates for small ranks.
+    """
+    return sim.qr_launch + sim.kind_time("qr", 2.0 * rows * rank * rank)
+
+
+def reconstruct_time(n: int, m: int, rank: int, sim: SimConfig) -> float:
+    """Decompression GEMM ``P @ Q^T`` back to the dense gradient."""
+    return sim.kind_time("gemm_small", 2.0 * n * m * rank)
+
+
+def pack_copy_time(nbytes: float, sim: SimConfig) -> float:
+    """Copy tensors into a fusion buffer (one read + one write pass)."""
+    return sim.memory_pass_time(2.0 * nbytes * sim.bucket_copy_overhead)
+
+
+def sign_compress_time(total_bytes: float, sim: SimConfig) -> float:
+    """Sign extraction + 1-bit packing over the fused gradient."""
+    elements = total_bytes / FP32
+    return sim.gpu.kernel_launch + elements / sim.sign_rate
+
+
+def sign_decompress_time(total_bytes: float, world_size: int, sim: SimConfig) -> float:
+    """Unpack p workers' sign bits and take the majority vote."""
+    gathered_bytes = world_size * total_bytes / 32.0  # 1 bit per fp32 element
+    return sim.memory_pass_time(gathered_bytes + total_bytes)
+
+
+def topk_compress_time(total_bytes: float, sim: SimConfig) -> float:
+    """Multi-sampling threshold search + gather of the selected values."""
+    elements = total_bytes / FP32
+    return sim.gpu.kernel_launch + elements / sim.topk_rate
+
+
+def topk_decompress_time(k: int, world_size: int, sim: SimConfig) -> float:
+    """Scatter-add of p workers' (index, value) pairs."""
+    return sim.memory_pass_time(world_size * 2.0 * k * FP32)

@@ -1,0 +1,200 @@
+"""Steady-state multi-iteration simulation.
+
+A single-iteration makespan overstates steady-state cost: in DDP-style
+training, the communication tail of iteration ``t`` (the shallow layers'
+buckets, which become ready last) overlaps iteration ``t+1``'s forward
+pass of the *deep* layers, because layer ``l``'s next forward only needs
+layer ``l``'s own update to have arrived. This module chains several
+iterations with exactly that per-layer dependency structure and reports
+the marginal (steady-state) per-iteration time.
+
+Only the per-layer-parameter dependency is modeled for S-SGD and ACP-SGD
+(whose collectives are non-blocking); the original Power-SGD's blocking
+two-phase pipeline serializes at the iteration boundary by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.models.spec import ModelSpec
+from repro.sim.calibration import SimConfig
+from repro.sim.engine import Engine, Task
+from repro.sim.strategies import (
+    ClusterSpec,
+    SystemConfig,
+    build_iteration_tasks,
+)
+
+_PIPELINED_METHODS = ("ssgd", "acpsgd")
+
+
+@dataclass(frozen=True)
+class SteadyStateResult:
+    """Makespans of a chained multi-iteration run.
+
+    Attributes:
+        single_iteration: makespan of one isolated iteration (s).
+        steady_iteration: marginal per-iteration time in the chained run,
+            ``(makespan(n) - makespan(1)) / (n - 1)``.
+        iterations: chain length used.
+    """
+
+    single_iteration: float
+    steady_iteration: float
+    iterations: int
+
+    @property
+    def pipeline_gain(self) -> float:
+        """single / steady — how much cross-iteration overlap buys."""
+        if self.steady_iteration <= 0:
+            return 1.0
+        return self.single_iteration / self.steady_iteration
+
+
+def _retag(tasks: List[Task], iteration: int) -> List[Task]:
+    """Clone tasks with iteration-scoped ids."""
+    prefix = f"it{iteration}:"
+    out = []
+    for task in tasks:
+        out.append(
+            Task(
+                prefix + task.task_id,
+                task.stream,
+                task.work,
+                tuple(prefix + dep for dep in task.deps),
+                tag=task.tag,
+                contends=task.contends,
+                priority=task.priority,
+            )
+        )
+    return out
+
+
+def _chain(
+    per_iteration: List[List[Task]],
+    comm_barrier: bool,
+) -> List[Task]:
+    """Concatenate iteration task lists with cross-iteration dependencies.
+
+    The first forward task of iteration ``i+1`` depends on iteration ``i``'s
+    last *compute* task always (the optimizer step), and — when
+    ``comm_barrier`` — on every comm task of iteration ``i`` too (a full
+    synchronization, the non-pipelined baseline). Without the barrier, each
+    comm task instead gates the forward task of the *latest* layer whose
+    tensors it carried; here we approximate with the matching-index forward
+    task, which preserves the "shallow buckets gate early forwards, deep
+    buckets can lag" structure.
+    """
+    chained: List[Task] = []
+    prev_comm_ids: List[str] = []
+    prev_last_compute: Optional[str] = None
+    for iteration, tasks in enumerate(per_iteration):
+        tasks = _retag(tasks, iteration)
+        forward = [t for t in tasks if t.tag == "forward"]
+        if iteration > 0:
+            extra_deps: Dict[str, tuple] = {}
+            first_forward = forward[0]
+            deps = list(first_forward.deps)
+            if prev_last_compute is not None:
+                deps.append(prev_last_compute)
+            if comm_barrier:
+                deps.extend(prev_comm_ids)
+                extra_deps[first_forward.task_id] = tuple(deps)
+            else:
+                extra_deps[first_forward.task_id] = tuple(deps)
+                # Comm buckets gate forwards progressively: bucket k (ready
+                # k-th from the end of BP, i.e. shallower layers) gates the
+                # k-th forward task. Deep-layer buckets (early k) gate later
+                # forwards, which start late anyway — so their comm hides.
+                count = min(len(prev_comm_ids), len(forward) - 1)
+                for idx in range(count):
+                    fwd = forward[idx + 1]
+                    comm_id = prev_comm_ids[len(prev_comm_ids) - 1 - idx]
+                    extra_deps.setdefault(fwd.task_id, fwd.deps)
+                    extra_deps[fwd.task_id] = extra_deps[fwd.task_id] + (comm_id,)
+            tasks = [
+                Task(t.task_id, t.stream, t.work,
+                     extra_deps.get(t.task_id, t.deps), tag=t.tag,
+                     contends=t.contends, priority=t.priority)
+                if t.task_id in extra_deps else t
+                for t in tasks
+            ]
+        chained.extend(tasks)
+        prev_comm_ids = [t.task_id for t in tasks if t.tag == "comm"]
+        compute = [t for t in tasks if t.stream != "nic"]
+        prev_last_compute = compute[-1].task_id if compute else None
+    return chained
+
+
+def _apply_comm_priorities(tasks: List[Task]) -> List[Task]:
+    """Priority-schedule communication by next-iteration need.
+
+    Buckets become ready deep-to-shallow during BP, but the next forward
+    consumes updates shallow-to-deep — so later-submitted buckets get
+    *higher* priority (the ByteScheduler insight, the paper's ref [3]).
+    """
+    comm_index = 0
+    out = []
+    for task in tasks:
+        if task.tag == "comm":
+            out.append(
+                Task(task.task_id, task.stream, task.work, task.deps,
+                     tag=task.tag, contends=task.contends,
+                     priority=comm_index)
+            )
+            comm_index += 1
+        else:
+            out.append(task)
+    return out
+
+
+def simulate_steady_state(
+    method: str,
+    model: ModelSpec,
+    cluster: Optional[ClusterSpec] = None,
+    system: Optional[SystemConfig] = None,
+    sim: Optional[SimConfig] = None,
+    batch_size: Optional[int] = None,
+    rank: int = 4,
+    iterations: int = 4,
+    pipelined: Optional[bool] = None,
+    priority_comm: bool = False,
+) -> SteadyStateResult:
+    """Chain ``iterations`` iterations and measure the marginal time.
+
+    Args:
+        pipelined: allow cross-iteration comm/forward overlap (default:
+            True for the non-blocking methods S-SGD and ACP-SGD, False
+            otherwise).
+        priority_comm: schedule the NIC by tensor priority instead of FIFO
+            (shallow-layer buckets first), modeling a communication
+            scheduler like the paper's reference [3].
+    """
+    if iterations < 2:
+        raise ValueError(f"need >= 2 iterations, got {iterations}")
+    sim = sim if sim is not None else SimConfig()
+    if pipelined is None:
+        pipelined = method in _PIPELINED_METHODS
+
+    per_iteration = []
+    for idx in range(iterations):
+        parity = idx % 2 == 0
+        tasks = build_iteration_tasks(
+            method, model, cluster, system, sim, batch_size, rank,
+            acp_parity_p=parity,
+        )
+        if priority_comm:
+            tasks = _apply_comm_priorities(tasks)
+        per_iteration.append(tasks)
+    disciplines = {"nic": "priority"} if priority_comm else None
+    engine = Engine(contention_rate=sim.contention_rate,
+                    disciplines=disciplines)
+    single = max(
+        record.end for record in engine.run(per_iteration[0]).values()
+    )
+    chained = _chain(per_iteration, comm_barrier=not pipelined)
+    total = max(record.end for record in engine.run(chained).values())
+    steady = (total - single) / (iterations - 1)
+    return SteadyStateResult(single, steady, iterations)

@@ -1,0 +1,771 @@
+"""Per-method iteration task graphs for the performance simulator.
+
+``simulate_iteration`` is the single entry point: it builds one training
+iteration's task graph for a method under a cluster and system-optimization
+configuration, runs the engine, and returns the paper's breakdown.
+
+Methods (METHODS):
+
+- ``ssgd`` — S-SGD: raw gradients, ring all-reduce.
+- ``signsgd`` — Sign-SGD w/ majority vote: post-BP packed compression +
+  all-gather (the paper's §III characterization setup).
+- ``topk`` — Top-k SGD w/ multi-sampling: post-BP packed compression +
+  all-gather.
+- ``powersgd`` — original Power-SGD: post-BP packed compress P -> all-reduce
+  -> orthogonalize/compute Q -> all-reduce -> reconstruct (Fig. 4(a)).
+- ``powersgd_star`` — Power-SGD on the DDP communication hook: per-bucket
+  compression on a side stream overlapping BP (contending for the GPU,
+  Fig. 4(b)).
+- ``acpsgd`` — ACP-SGD: inline per-tensor compression in the backward hook
+  (serialized with BP on the main stream), single non-blocking all-reduce
+  per bucket, compressed-buffer tensor fusion (Fig. 4(c)).
+
+System variants (Fig. 9): ``SystemConfig(wfbp=..., tensor_fusion=...)``.
+With ``wfbp=False`` communication (and hook compression) waits for BP to
+finish; with ``tensor_fusion=False`` every tensor is its own bucket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.comm.cost_model import LinkSpec, allgather_time, allreduce_time
+from repro.compression.reshaping import matrix_view_shape, should_compress
+from repro.models.spec import LayerSpec, ModelSpec, TensorSpec
+from repro.sim import gpu as gpu_cost
+from repro.sim.calibration import LINK_10GBE, SimConfig
+from repro.sim.engine import GPU_MAIN, GPU_SIDE, NIC, Engine, Task
+from repro.sim.fusion import partition_buckets, scaled_buffer_size
+from repro.sim.results import IterationBreakdown, breakdown_from_records
+
+FP32 = 4
+DEFAULT_BUFFER_BYTES = 25 * 1024 * 1024  # PyTorch-DDP default (§IV-B)
+
+METHODS = ("ssgd", "signsgd", "topk", "powersgd", "powersgd_star", "acpsgd")
+
+# Extension methods with timing strategies (not part of the paper's
+# evaluation): TernGrad / QSGD ride the Sign-SGD all-gather template; DGC
+# rides Top-k's; Random-k — being additive under a shared seed — gets the
+# full WFBP+TF treatment like ACP-SGD.
+EXTENSION_METHODS = ("terngrad", "qsgd", "randomk", "dgc")
+ALL_METHODS = METHODS + EXTENSION_METHODS
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Cluster-side configuration: worker count and interconnect.
+
+    Attributes:
+        world_size: number of GPUs.
+        link: flat alpha-beta interconnect (the default model, calibrated
+            to the paper's testbed).
+        topology: optional explicit two-level topology; when set, all-reduce
+            durations use the best of the flat and hierarchical schedules
+            (see :mod:`repro.comm.topology`) instead of the flat link model.
+        algorithm_selection: when True (and no topology is given), pick the
+            fastest of ring / tree / Rabenseifner per message like NCCL
+            (see :mod:`repro.comm.algorithms`); default False keeps the
+            paper-calibrated ring model.
+    """
+
+    world_size: int = 32
+    link: LinkSpec = LINK_10GBE
+    topology: Optional["ClusterTopology"] = None
+    algorithm_selection: bool = False
+
+    def __post_init__(self) -> None:
+        if self.world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {self.world_size}")
+        if self.topology is not None and self.topology.world_size != self.world_size:
+            raise ValueError(
+                f"topology world size {self.topology.world_size} != "
+                f"world_size {self.world_size}"
+            )
+
+    def allreduce_cost(self, nbytes: float) -> float:
+        """All-reduce wall time under this cluster's communication model."""
+        if self.topology is not None:
+            from repro.comm.topology import best_allreduce_time
+
+            return best_allreduce_time(nbytes, self.topology)
+        if self.algorithm_selection:
+            from repro.comm.algorithms import best_allreduce_algorithm
+
+            return best_allreduce_algorithm(nbytes, self.world_size, self.link)[1]
+        return allreduce_time(nbytes, self.world_size, self.link)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """System-optimization switches (the paper's WFBP / TF study).
+
+    ``scale_compressed_buffer`` toggles the paper's §IV-B design choice of
+    deriving ACP-SGD's fusion buffer from the compression rate (25MB x
+    rate); disabling it applies the raw buffer size to the compressed
+    tensors — the ablation showing why the scaling matters.
+    """
+
+    wfbp: bool = True
+    tensor_fusion: bool = True
+    buffer_bytes: float = DEFAULT_BUFFER_BYTES
+    scale_compressed_buffer: bool = True
+
+    def __post_init__(self) -> None:
+        if self.buffer_bytes < 0:
+            raise ValueError(f"buffer_bytes must be >= 0, got {self.buffer_bytes}")
+
+    @property
+    def effective_buffer(self) -> float:
+        """Bucket capacity honouring the tensor_fusion switch."""
+        return self.buffer_bytes if self.tensor_fusion else 0.0
+
+
+@dataclass
+class _ReadyTensor:
+    """A gradient tensor in BP-readiness order with its producing BP task."""
+
+    tensor: TensorSpec
+    bp_task: str
+
+    @property
+    def nbytes(self) -> int:
+        return self.tensor.nbytes
+
+
+def _compute_tasks(
+    model: ModelSpec, batch_size: int, sim: SimConfig
+) -> Tuple[List[Task], List[_ReadyTensor], str]:
+    """FF + BP task chain; returns (tasks, tensors in readiness order, last bp id)."""
+    tasks: List[Task] = []
+    prev = ""
+    for idx, layer in enumerate(model.layers):
+        task_id = f"ff{idx}"
+        deps = (prev,) if prev else ()
+        tasks.append(
+            Task(task_id, GPU_MAIN, gpu_cost.layer_forward_time(layer, batch_size, sim),
+                 deps, tag="forward")
+        )
+        prev = task_id
+    ready: List[_ReadyTensor] = []
+    for rev_idx, (idx, layer) in enumerate(
+        reversed(list(enumerate(model.layers)))
+    ):
+        task_id = f"bp{idx}"
+        tasks.append(
+            Task(task_id, GPU_MAIN,
+                 gpu_cost.layer_backward_time(layer, batch_size, sim),
+                 (prev,), tag="backward")
+        )
+        prev = task_id
+        for tensor in layer.params:
+            ready.append(_ReadyTensor(tensor, task_id))
+    return tasks, ready, prev
+
+
+def _lowrank_split(
+    ready: Sequence[_ReadyTensor], rank: int
+) -> Tuple[List[_ReadyTensor], List[_ReadyTensor]]:
+    """(compressible matrices, plain tensors) under the §IV-C rules."""
+    matrices: List[_ReadyTensor] = []
+    plain: List[_ReadyTensor] = []
+    for item in ready:
+        shape = item.tensor.shape
+        if should_compress(shape):
+            n, m = matrix_view_shape(shape)
+            r = min(rank, n, m)
+            if n * m > (n + m) * r:
+                matrices.append(item)
+                continue
+        plain.append(item)
+    return matrices, plain
+
+
+def _factor_rows(tensor: TensorSpec, rank: int, parity_p: bool) -> Tuple[int, int, int]:
+    """(n, m, r) matrix view; the travelling factor has ``n`` (P) or ``m``
+    (Q) rows depending on the step parity."""
+    n, m = matrix_view_shape(tensor.shape)
+    return n, m, min(rank, n, m)
+
+
+def _bucket_comm_tasks(
+    ready: Sequence[_ReadyTensor],
+    sizes: Sequence[float],
+    buffer_bytes: float,
+    cluster: ClusterSpec,
+    sim: SimConfig,
+    wfbp: bool,
+    last_bp: str,
+    prefix: str,
+    collective: str = "allreduce",
+) -> Tuple[List[Task], List[str]]:
+    """Fusion buckets -> collective tasks.
+
+    Each bucket becomes one NIC collective, dependent on the producing
+    BP/compress task of its *last* tensor (WFBP) or on the end of BP.
+    The flat-buffer copy is folded into the collective duration (it is a
+    ~0.1ms GPU memcpy per 25MB bucket, negligible against alpha).
+    Returns (tasks, comm task ids).
+    """
+    if len(ready) != len(sizes):
+        raise ValueError("sizes must align with tensors")
+    tasks: List[Task] = []
+    comm_ids: List[str] = []
+    buckets = partition_buckets(sizes, buffer_bytes)
+    for b_idx, (start, end) in enumerate(buckets):
+        bucket_bytes = float(sum(sizes[start:end]))
+        dep = ready[end - 1].bp_task if wfbp else last_bp
+        comm_id = f"{prefix}_comm{b_idx}"
+        if collective == "allreduce":
+            duration = cluster.allreduce_cost(bucket_bytes)
+        elif collective == "allgather":
+            duration = allgather_time(bucket_bytes, cluster.world_size, cluster.link)
+        else:
+            raise ValueError(f"unknown collective {collective!r}")
+        duration += gpu_cost.pack_copy_time(bucket_bytes, sim)
+        tasks.append(Task(comm_id, NIC, duration, (dep,), tag="comm"))
+        comm_ids.append(comm_id)
+    return tasks, comm_ids
+
+
+# ---------------------------------------------------------------------------
+# Method graphs
+# ---------------------------------------------------------------------------
+
+
+def _ssgd_tasks(
+    model: ModelSpec, batch_size: int, cluster: ClusterSpec,
+    system: SystemConfig, sim: SimConfig,
+) -> List[Task]:
+    tasks, ready, last_bp = _compute_tasks(model, batch_size, sim)
+    sizes = [item.nbytes for item in ready]
+    comm_tasks, _ = _bucket_comm_tasks(
+        ready, sizes, system.effective_buffer, cluster, sim,
+        system.wfbp, last_bp, "grad",
+    )
+    tasks.extend(comm_tasks)
+    return tasks
+
+
+def _allgather_method_tasks(
+    model: ModelSpec, batch_size: int, cluster: ClusterSpec,
+    system: SystemConfig, sim: SimConfig, method: str, topk_ratio: float,
+) -> List[Task]:
+    """All-gather methods: post-BP packed compress -> all-gather -> decode.
+
+    Sign-SGD and Top-k follow the paper's §III-A characterization (packed
+    after BP); TernGrad, QSGD and DGC (extensions) ride the same template
+    with their own payload sizes and compression costs. WFBP/TF switches do
+    not change these graphs.
+    """
+    tasks, ready, last_bp = _compute_tasks(model, batch_size, sim)
+    total_bytes = float(sum(item.nbytes for item in ready))
+    total_elems = total_bytes / FP32
+    if method == "signsgd":
+        compress = gpu_cost.sign_compress_time(total_bytes, sim)
+        payload = total_bytes / 32.0  # 1 bit per element
+        decompress = gpu_cost.sign_decompress_time(total_bytes, cluster.world_size, sim)
+    elif method == "terngrad":
+        # 2 bits/element; packing cost ~1.5x sign's (clip + round + pack).
+        compress = 1.5 * gpu_cost.sign_compress_time(total_bytes, sim)
+        payload = total_bytes / 16.0
+        decompress = 2.0 * gpu_cost.sign_decompress_time(
+            total_bytes, cluster.world_size, sim
+        )
+    elif method == "qsgd":
+        # 8-bit levels + sign bit; norm pass + stochastic rounding ~2x sign.
+        compress = 2.0 * gpu_cost.sign_compress_time(total_bytes, sim)
+        payload = total_bytes * 9.0 / 32.0
+        decompress = 4.0 * gpu_cost.sign_decompress_time(
+            total_bytes, cluster.world_size, sim
+        )
+    elif method == "dgc":
+        # Top-k selection on the velocity + two accumulator update passes.
+        k = max(1, int(round(total_elems * topk_ratio)))
+        compress = (
+            gpu_cost.topk_compress_time(total_bytes, sim)
+            + sim.memory_pass_time(4.0 * total_bytes)
+        )
+        payload = 2.0 * k * FP32
+        decompress = gpu_cost.topk_decompress_time(k, cluster.world_size, sim)
+    else:  # topk
+        k = max(1, int(round(total_elems * topk_ratio)))
+        compress = gpu_cost.topk_compress_time(total_bytes, sim)
+        payload = 2.0 * k * FP32  # values + indices
+        decompress = gpu_cost.topk_decompress_time(k, cluster.world_size, sim)
+    tasks.append(Task("compress", GPU_MAIN, compress, (last_bp,), tag="compression"))
+    tasks.append(
+        Task("gather", NIC,
+             sim.allgather_penalty
+             * allgather_time(payload, cluster.world_size, cluster.link),
+             ("compress",), tag="comm")
+    )
+    tasks.append(Task("decompress", GPU_MAIN, decompress, ("gather",), tag="compression"))
+    return tasks
+
+
+def _randomk_tasks(
+    model: ModelSpec, batch_size: int, cluster: ClusterSpec,
+    system: SystemConfig, sim: SimConfig, ratio: float,
+) -> List[Task]:
+    """Random-k with a shared selection seed (extension).
+
+    Because all workers select identical coordinates, the sparse values are
+    *additive* and non-blocking — Random-k enjoys exactly the two §III-C
+    properties ACP-SGD is built around, so it gets the full WFBP + scaled
+    tensor-fusion treatment: inline per-tensor gather on the main stream,
+    fused ring all-reduce of the selected values, scatter on arrival.
+    """
+    ff_bp_tasks, ready, last_bp = _compute_tasks(model, batch_size, sim)
+    tasks: List[Task] = [t for t in ff_bp_tasks if t.tag == "forward"]
+    bp_tasks = [t for t in ff_bp_tasks if t.tag == "backward"]
+
+    compress_of: Dict[int, str] = {}
+    by_bp: Dict[str, List[_ReadyTensor]] = {}
+    for item in ready:
+        by_bp.setdefault(item.bp_task, []).append(item)
+
+    def gather_task(item: _ReadyTensor, idx: int, dep: str) -> Task:
+        # EF add + masked gather: two streaming passes over the tensor.
+        work = sim.memory_pass_time(2.0 * item.nbytes)
+        return Task(f"rk_compress{idx}", GPU_MAIN, work, (dep,),
+                    tag="compression")
+
+    comp_idx = 0
+    if system.wfbp:
+        for bp in bp_tasks:
+            tasks.append(bp)
+            for item in by_bp.get(bp.task_id, []):
+                task = gather_task(item, comp_idx, bp.task_id)
+                compress_of[id(item)] = task.task_id
+                tasks.append(task)
+                comp_idx += 1
+    else:
+        tasks.extend(bp_tasks)
+        for item in ready:
+            task = gather_task(item, comp_idx, last_bp)
+            compress_of[id(item)] = task.task_id
+            tasks.append(task)
+            comp_idx += 1
+
+    compressed_sizes = [item.nbytes * ratio for item in ready]
+    raw_bytes = float(sum(item.nbytes for item in ready))
+    if not system.tensor_fusion:
+        buffer = 0.0
+    elif system.scale_compressed_buffer:
+        buffer = scaled_buffer_size(
+            system.buffer_bytes, sum(compressed_sizes), raw_bytes
+        )
+    else:
+        buffer = system.buffer_bytes
+    for b_idx, (start, end) in enumerate(partition_buckets(compressed_sizes, buffer)):
+        bucket_bytes = float(sum(compressed_sizes[start:end]))
+        dep = compress_of[id(ready[end - 1])] if system.wfbp else \
+            compress_of[id(ready[-1])]
+        comm_id = f"rk_comm{b_idx}"
+        tasks.append(Task(comm_id, NIC,
+                          cluster.allreduce_cost(bucket_bytes),
+                          (dep,), tag="comm"))
+        raw_bucket = float(sum(ready[i].nbytes for i in range(start, end)))
+        tasks.append(Task(f"rk_scatter{b_idx}", GPU_MAIN,
+                          sim.memory_pass_time(raw_bucket), (comm_id,),
+                          tag="compression"))
+    return tasks
+
+
+def _powersgd_bucket_tasks(
+    bucket_idx: int,
+    matrices: Sequence[_ReadyTensor],
+    plain_bytes: float,
+    rank: int,
+    dep: str,
+    stream: str,
+    cluster: ClusterSpec,
+    sim: SimConfig,
+    ortho_contends: Optional[bool] = None,
+) -> List[Task]:
+    """One Power-SGD bucket: compress P -> AR -> ortho+Q -> AR -> reconstruct.
+
+    ``plain_bytes`` (uncompressed tensors of the bucket) ride the P
+    all-reduce, as in the PowerSGD DDP hook.
+    """
+    ef = sum(
+        gpu_cost.error_feedback_time(*matrix_view_shape(m.tensor.shape), sim=sim)
+        for m in matrices
+    )
+    project_p = sum(
+        gpu_cost.lowrank_project_time(*_factor_rows(m.tensor, rank, True), sim=sim)
+        for m in matrices
+    )
+    p_bytes = sum(
+        _factor_rows(m.tensor, rank, True)[0]
+        * _factor_rows(m.tensor, rank, True)[2] * FP32
+        for m in matrices
+    )
+    q_bytes = sum(
+        _factor_rows(m.tensor, rank, True)[1]
+        * _factor_rows(m.tensor, rank, True)[2] * FP32
+        for m in matrices
+    )
+    ortho = sum(
+        gpu_cost.orthogonalize_time(
+            _factor_rows(m.tensor, rank, True)[0],
+            _factor_rows(m.tensor, rank, True)[2], sim)
+        for m in matrices
+    )
+    project_q = sum(
+        gpu_cost.lowrank_project_time(*_factor_rows(m.tensor, rank, True), sim=sim)
+        for m in matrices
+    )
+    reconstruct = sum(
+        gpu_cost.reconstruct_time(*_factor_rows(m.tensor, rank, True), sim=sim)
+        for m in matrices
+    )
+    prefix = f"psgd{bucket_idx}"
+    # QR is launch-latency bound and does not contend for SMs; the EF pass,
+    # the projections and the reconstruction are FLOP-heavy and do.
+    tasks = [
+        Task(f"{prefix}_compress_p", stream, ef + project_p, (dep,),
+             tag="compression", contends=True),
+        Task(f"{prefix}_comm_p", NIC,
+             cluster.allreduce_cost(p_bytes + plain_bytes),
+             (f"{prefix}_compress_p",), tag="comm"),
+        Task(f"{prefix}_ortho", stream, ortho, (f"{prefix}_comm_p",),
+             tag="compression",
+             contends=sim.qr_contends if ortho_contends is None else ortho_contends),
+        Task(f"{prefix}_project_q", stream, project_q, (f"{prefix}_ortho",),
+             tag="compression", contends=True),
+        Task(f"{prefix}_comm_q", NIC,
+             cluster.allreduce_cost(q_bytes),
+             (f"{prefix}_project_q",), tag="comm"),
+        Task(f"{prefix}_reconstruct", stream, reconstruct,
+             (f"{prefix}_comm_q",), tag="compression", contends=True),
+    ]
+    return tasks
+
+
+def _powersgd_tasks(
+    model: ModelSpec, batch_size: int, cluster: ClusterSpec,
+    system: SystemConfig, sim: SimConfig, rank: int, hook: bool,
+) -> List[Task]:
+    """Power-SGD (``hook=False``: original post-BP; ``hook=True``: Power-SGD*)."""
+    tasks, ready, last_bp = _compute_tasks(model, batch_size, sim)
+    overlap = system.wfbp and hook
+    stream = GPU_SIDE if overlap else GPU_MAIN
+
+    if not hook:
+        # Original Power-SGD: packed after BP, batched by matrix shape
+        # (Vogels' reference implementation batches same-shape matrices into
+        # one batched GEMM/QR and one collective per shape group per factor).
+        matrices, plain = _lowrank_split(ready, rank)
+        plain_bytes = float(sum(item.nbytes for item in plain))
+        if not system.tensor_fusion:
+            # Naive variant: per-tensor collectives — same payload split into
+            # one all-reduce per matrix, charging the startup cost each time.
+            tasks.extend(
+                _powersgd_naive_comm(
+                    matrices, plain, rank, last_bp, stream, cluster, sim
+                )
+            )
+            return tasks
+        groups: Dict[Tuple[int, int], List[_ReadyTensor]] = {}
+        for item in matrices:
+            groups.setdefault(matrix_view_shape(item.tensor.shape), []).append(item)
+        for g_idx, group in enumerate(groups.values()):
+            tasks.extend(
+                _powersgd_bucket_tasks(
+                    g_idx, group, plain_bytes if g_idx == 0 else 0.0, rank,
+                    last_bp, stream, cluster, sim,
+                )
+            )
+        return tasks
+
+    # DDP-hook Power-SGD*: buckets of raw gradient bytes in readiness order.
+    # The hook's stages queue on the side stream in completion order — a
+    # bucket's orthogonalize/Q callback runs when its P all-reduce future
+    # resolves, typically before the next bucket's gradients are ready — so
+    # per-bucket interleaved FIFO order models the real pipeline.
+    sizes = [item.nbytes for item in ready]
+    buckets = partition_buckets(sizes, system.effective_buffer)
+    # Fine-grained (per-tensor, no TF) hooks launch a storm of tiny kernels
+    # that stalls the main stream: their orthogonalizations contend too.
+    ortho_contends = True if not system.tensor_fusion else None
+    for b_idx, (start, end) in enumerate(buckets):
+        bucket_items = ready[start:end]
+        matrices, plain = _lowrank_split(bucket_items, rank)
+        plain_bytes = float(sum(item.nbytes for item in plain))
+        dep = bucket_items[-1].bp_task if system.wfbp else last_bp
+        tasks.extend(
+            _powersgd_bucket_tasks(
+                b_idx, matrices, plain_bytes, rank, dep, stream, cluster, sim,
+                ortho_contends=ortho_contends,
+            )
+        )
+    return tasks
+
+
+def _powersgd_naive_comm(
+    matrices: Sequence[_ReadyTensor],
+    plain: Sequence[_ReadyTensor],
+    rank: int,
+    last_bp: str,
+    stream: str,
+    cluster: ClusterSpec,
+    sim: SimConfig,
+) -> List[Task]:
+    """Power-SGD without TF: per-matrix P/Q all-reduces (startup-bound)."""
+    tasks: List[Task] = []
+    compress_ids: List[str] = []
+    for idx, item in enumerate(matrices):
+        n, m, r = _factor_rows(item.tensor, rank, True)
+        cid = f"psgdn_compress_p{idx}"
+        tasks.append(
+            Task(cid, stream,
+                 gpu_cost.error_feedback_time(n, m, sim)
+                 + gpu_cost.lowrank_project_time(n, m, r, sim),
+                 (last_bp,), tag="compression")
+        )
+        tasks.append(
+            Task(f"psgdn_comm_p{idx}", NIC,
+                 cluster.allreduce_cost(n * r * FP32),
+                 (cid,), tag="comm")
+        )
+        oid = f"psgdn_ortho_q{idx}"
+        tasks.append(
+            Task(oid, stream,
+                 gpu_cost.orthogonalize_time(n, r, sim)
+                 + gpu_cost.lowrank_project_time(n, m, r, sim),
+                 (f"psgdn_comm_p{idx}",), tag="compression")
+        )
+        tasks.append(
+            Task(f"psgdn_comm_q{idx}", NIC,
+                 cluster.allreduce_cost(m * r * FP32),
+                 (oid,), tag="comm")
+        )
+        tasks.append(
+            Task(f"psgdn_reconstruct{idx}", stream,
+                 gpu_cost.reconstruct_time(n, m, r, sim),
+                 (f"psgdn_comm_q{idx}",), tag="compression")
+        )
+    for idx, item in enumerate(plain):
+        tasks.append(
+            Task(f"psgdn_plain_comm{idx}", NIC,
+                 cluster.allreduce_cost(item.nbytes),
+                 (last_bp,), tag="comm")
+        )
+    return tasks
+
+
+def _acpsgd_tasks(
+    model: ModelSpec, batch_size: int, cluster: ClusterSpec,
+    system: SystemConfig, sim: SimConfig, rank: int, parity_p: bool,
+) -> List[Task]:
+    """ACP-SGD: inline hook compression, one all-reduce per fused bucket."""
+    ff_bp_tasks, ready, last_bp = _compute_tasks(model, batch_size, sim)
+    matrices, plain = _lowrank_split(ready, rank)
+    matrix_set = {id(item) for item in matrices}
+
+    # --- Inline compression tasks, interleaved with BP in FIFO order. ---
+    # Rebuild the main-stream queue: after each BP task, the compression
+    # tasks of the tensors that BP task produced (WFBP). Without WFBP all
+    # compression queues after the full BP.
+    tasks: List[Task] = [t for t in ff_bp_tasks if t.tag == "forward"]
+    bp_tasks = [t for t in ff_bp_tasks if t.tag == "backward"]
+    compress_of: Dict[int, str] = {}  # id(_ReadyTensor) -> compress task id
+    by_bp: Dict[str, List[_ReadyTensor]] = {}
+    for item in matrices:
+        by_bp.setdefault(item.bp_task, []).append(item)
+
+    def compression_task(item: _ReadyTensor, idx: int, dep: str) -> Task:
+        n, m = matrix_view_shape(item.tensor.shape)
+        r = min(rank, n, m)
+        carried_rows = m if parity_p else n
+        work = (
+            gpu_cost.error_feedback_time(n, m, sim)
+            + gpu_cost.orthogonalize_time(carried_rows, r, sim)
+            + gpu_cost.lowrank_project_time(n, m, r, sim)
+        )
+        return Task(f"acp_compress{idx}", GPU_MAIN, work, (dep,), tag="compression")
+
+    comp_idx = 0
+    if system.wfbp:
+        for bp in bp_tasks:
+            tasks.append(bp)
+            for item in by_bp.get(bp.task_id, []):
+                task = compression_task(item, comp_idx, bp.task_id)
+                compress_of[id(item)] = task.task_id
+                tasks.append(task)
+                comp_idx += 1
+    else:
+        tasks.extend(bp_tasks)
+        for item in matrices:
+            task = compression_task(item, comp_idx, last_bp)
+            compress_of[id(item)] = task.task_id
+            tasks.append(task)
+            comp_idx += 1
+
+    # --- Fused all-reduce of the compressed factors. ---
+    def factor_bytes(item: _ReadyTensor) -> float:
+        n, m = matrix_view_shape(item.tensor.shape)
+        r = min(rank, n, m)
+        rows = n if parity_p else m
+        return float(rows * r * FP32)
+
+    factor_sizes = [factor_bytes(item) for item in matrices]
+    raw_bytes = float(sum(item.nbytes for item in ready))
+    if not system.tensor_fusion:
+        comp_buffer = 0.0
+    elif system.scale_compressed_buffer:
+        comp_buffer = scaled_buffer_size(
+            system.buffer_bytes, sum(factor_sizes), raw_bytes
+        )
+    else:
+        comp_buffer = system.buffer_bytes
+    comm_ids: List[str] = []
+    buckets = partition_buckets(factor_sizes, comp_buffer)
+    for b_idx, (start, end) in enumerate(buckets):
+        bucket_bytes = float(sum(factor_sizes[start:end]))
+        last_item = matrices[end - 1]
+        dep = compress_of[id(last_item)] if system.wfbp else compress_of[id(matrices[-1])]
+        # Without WFBP the bucket still waits for all compression (which is
+        # itself queued after BP); with WFBP it waits only for its last
+        # member's compression.
+        comm_id = f"acp_comm{b_idx}"
+        tasks.append(Task(comm_id, NIC,
+                          cluster.allreduce_cost(bucket_bytes),
+                          (dep,), tag="comm"))
+        comm_ids.append(comm_id)
+        # Reconstruction (P Q^T) per bucket once its factor is aggregated.
+        reconstruct = sum(
+            gpu_cost.reconstruct_time(
+                *matrix_view_shape(matrices[i].tensor.shape),
+                min(rank, *matrix_view_shape(matrices[i].tensor.shape)), sim)
+            for i in range(start, end)
+        )
+        tasks.append(Task(f"acp_reconstruct{b_idx}", GPU_MAIN, reconstruct,
+                          (comm_id,), tag="compression"))
+
+    # --- Plain (vector) tensors: fused uncompressed all-reduce. ---
+    plain_sizes = [float(item.nbytes) for item in plain]
+    if plain:
+        plain_tasks, _ = _bucket_comm_tasks(
+            plain, plain_sizes, system.effective_buffer, cluster, sim,
+            system.wfbp, last_bp, "acp_plain",
+        )
+        tasks.extend(plain_tasks)
+    return tasks
+
+
+def build_iteration_tasks(
+    method: str,
+    model: ModelSpec,
+    cluster: Optional[ClusterSpec] = None,
+    system: Optional[SystemConfig] = None,
+    sim: Optional[SimConfig] = None,
+    batch_size: Optional[int] = None,
+    rank: int = 4,
+    topk_ratio: float = 0.001,
+    acp_parity_p: bool = True,
+) -> List[Task]:
+    """Build (without running) one iteration's task graph for a method.
+
+    Used by trace export and by tests that inspect graph structure. For
+    ACP-SGD, ``acp_parity_p`` picks the P-step (odd) or Q-step (even) graph.
+    """
+    cluster = cluster if cluster is not None else ClusterSpec()
+    system = system if system is not None else SystemConfig()
+    sim = sim if sim is not None else SimConfig()
+    batch = batch_size if batch_size is not None else model.default_batch_size
+    if batch < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch}")
+    if method == "ssgd":
+        return _ssgd_tasks(model, batch, cluster, system, sim)
+    if method in ("signsgd", "topk", "terngrad", "qsgd", "dgc"):
+        return _allgather_method_tasks(
+            model, batch, cluster, system, sim, method, topk_ratio
+        )
+    if method == "randomk":
+        return _randomk_tasks(model, batch, cluster, system, sim, topk_ratio)
+    if method == "powersgd":
+        return _powersgd_tasks(model, batch, cluster, system, sim, rank, hook=False)
+    if method == "powersgd_star":
+        return _powersgd_tasks(model, batch, cluster, system, sim, rank, hook=True)
+    if method == "acpsgd":
+        return _acpsgd_tasks(model, batch, cluster, system, sim, rank, acp_parity_p)
+    raise ValueError(f"unknown method {method!r}; available: {ALL_METHODS}")
+
+
+def simulate_iteration_records(
+    method: str,
+    model: ModelSpec,
+    cluster: Optional[ClusterSpec] = None,
+    system: Optional[SystemConfig] = None,
+    sim: Optional[SimConfig] = None,
+    batch_size: Optional[int] = None,
+    rank: int = 4,
+    topk_ratio: float = 0.001,
+    acp_parity_p: bool = True,
+):
+    """Simulate one iteration and return the raw per-task records.
+
+    The records feed :func:`repro.sim.trace.to_chrome_trace` for timeline
+    visualization. For ACP-SGD this runs a single parity (default: P-step).
+    """
+    sim = sim if sim is not None else SimConfig()
+    tasks = build_iteration_tasks(
+        method, model, cluster, system, sim, batch_size, rank, topk_ratio,
+        acp_parity_p,
+    )
+    return Engine(contention_rate=sim.contention_rate).run(tasks)
+
+
+def simulate_iteration(
+    method: str,
+    model: ModelSpec,
+    cluster: Optional[ClusterSpec] = None,
+    system: Optional[SystemConfig] = None,
+    sim: Optional[SimConfig] = None,
+    batch_size: Optional[int] = None,
+    rank: int = 4,
+    topk_ratio: float = 0.001,
+) -> IterationBreakdown:
+    """Simulate one training iteration and return its timing breakdown.
+
+    Args:
+        method: one of :data:`METHODS`.
+        model: shape-level model spec.
+        cluster: worker count + link (default 32 x 10GbE, the paper's).
+        system: WFBP / TF switches (default both on, 25MB buffer).
+        sim: calibration constants.
+        batch_size: per-GPU batch (default: the spec's paper batch size).
+        rank: Power-SGD / ACP-SGD rank.
+        topk_ratio: Top-k keep fraction (paper: 0.001).
+
+    For ACP-SGD the result averages the P-step and Q-step parities (their
+    factor sizes differ slightly).
+    """
+    cluster = cluster if cluster is not None else ClusterSpec()
+    system = system if system is not None else SystemConfig()
+    sim = sim if sim is not None else SimConfig()
+    batch = batch_size if batch_size is not None else model.default_batch_size
+    if batch < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch}")
+
+    engine = Engine(contention_rate=sim.contention_rate)
+    if method == "acpsgd":
+        first = breakdown_from_records(
+            engine.run(_acpsgd_tasks(model, batch, cluster, system, sim, rank, True))
+        )
+        second = breakdown_from_records(
+            engine.run(_acpsgd_tasks(model, batch, cluster, system, sim, rank, False))
+        )
+        return IterationBreakdown(
+            total=(first.total + second.total) / 2,
+            ffbp=(first.ffbp + second.ffbp) / 2,
+            compression=(first.compression + second.compression) / 2,
+            comm_nonoverlap=(first.comm_nonoverlap + second.comm_nonoverlap) / 2,
+        )
+    tasks = build_iteration_tasks(
+        method, model, cluster, system, sim, batch, rank, topk_ratio
+    )
+    return breakdown_from_records(engine.run(tasks))

@@ -1,0 +1,35 @@
+"""Data-parallel training harness for the convergence experiments.
+
+- :mod:`repro.train.datasets` — synthetic CIFAR-like image classification
+  data (the offline substitute for CIFAR-10; see DESIGN.md §1).
+- :mod:`repro.train.trainer` — synchronous data-parallel trainer driving a
+  model replica per simulated worker through any
+  :class:`~repro.optim.aggregators.GradientAggregator`.
+- :mod:`repro.train.history` — loss/accuracy curves for Fig. 6 / Fig. 7.
+"""
+
+from repro.train.datasets import (
+    ArrayDataset,
+    SyntheticImageDataset,
+    SyntheticSequenceDataset,
+    make_cifar_like,
+    make_token_classification,
+)
+from repro.train.checkpoint import load_checkpoint, save_checkpoint
+from repro.train.metrics import StepRecord, TrainingMetrics
+from repro.train.history import TrainingHistory
+from repro.train.trainer import DataParallelTrainer
+
+__all__ = [
+    "ArrayDataset",
+    "SyntheticImageDataset",
+    "SyntheticSequenceDataset",
+    "make_token_classification",
+    "make_cifar_like",
+    "TrainingHistory",
+    "DataParallelTrainer",
+    "load_checkpoint",
+    "save_checkpoint",
+    "StepRecord",
+    "TrainingMetrics",
+]

@@ -1,0 +1,170 @@
+"""Synthetic CIFAR-like datasets.
+
+The paper's convergence study uses CIFAR-10, which is not available
+offline; we substitute a structured 10-class image dataset whose difficulty
+is controllable. Each class has a fixed random spatial template; a sample
+is its class template under a random spatial jitter, scaled, plus Gaussian
+pixel noise. The task requires learning translation-tolerant spatial
+features (which is what convnets do on CIFAR) but is learnable to high
+accuracy in a few numpy-scale epochs.
+
+What matters to the reproduction is *relative* convergence across
+aggregation methods on an identical data stream — the property Figs. 6-7
+test — not the absolute dataset identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass
+class ArrayDataset:
+    """A fixed array-backed classification dataset.
+
+    ``inputs`` is any array with a leading sample dimension (NCHW images,
+    integer token matrices, flat feature vectors); ``labels`` are integer
+    classes. This is the protocol the data-parallel trainer consumes:
+    ``__len__``, ``shard``, ``batch``.
+    """
+
+    inputs: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.inputs.ndim < 2:
+            raise ValueError(
+                f"inputs need a leading sample dim, got shape {self.inputs.shape}"
+            )
+        if self.labels.shape != (self.inputs.shape[0],):
+            raise ValueError(
+                f"labels shape {self.labels.shape} != ({self.inputs.shape[0]},)"
+            )
+
+    def __len__(self) -> int:
+        return int(self.inputs.shape[0])
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1
+
+    def shard(self, rank: int, world_size: int) -> "ArrayDataset":
+        """Strided shard for one worker (disjoint across ranks)."""
+        if not 0 <= rank < world_size:
+            raise ValueError(f"rank {rank} out of range for world size {world_size}")
+        return type(self)(
+            self.inputs[rank::world_size], self.labels[rank::world_size]
+        )
+
+    def batch(
+        self, rng: np.random.Generator, batch_size: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample a batch with replacement."""
+        idx = rng.integers(0, len(self), size=batch_size)
+        return self.inputs[idx], self.labels[idx]
+
+
+@dataclass
+class SyntheticImageDataset(ArrayDataset):
+    """NCHW image dataset (the CIFAR-like substitute)."""
+
+    def __post_init__(self) -> None:
+        if self.inputs.ndim != 4:
+            raise ValueError(f"images must be NCHW, got shape {self.inputs.shape}")
+        super().__post_init__()
+
+    @property
+    def images(self) -> np.ndarray:
+        """Alias kept for readability at call sites."""
+        return self.inputs
+
+
+@dataclass
+class SyntheticSequenceDataset(ArrayDataset):
+    """Integer token-sequence dataset for the transformer workloads."""
+
+    def __post_init__(self) -> None:
+        if self.inputs.ndim != 2:
+            raise ValueError(
+                f"tokens must be (N, seq), got shape {self.inputs.shape}"
+            )
+        if not np.issubdtype(self.inputs.dtype, np.integer):
+            raise ValueError(f"tokens must be integers, got {self.inputs.dtype}")
+        super().__post_init__()
+
+
+def make_cifar_like(
+    num_train: int = 2000,
+    num_test: int = 500,
+    image_size: int = 16,
+    num_classes: int = 10,
+    noise: float = 0.35,
+    jitter: int = 2,
+    seed: int = 0,
+) -> Tuple[SyntheticImageDataset, SyntheticImageDataset]:
+    """Generate (train, test) synthetic image classification splits.
+
+    Args:
+        num_train/num_test: split sizes.
+        image_size: square image side (3 channels).
+        num_classes: label count (10, CIFAR-like).
+        noise: pixel-noise std relative to the unit-normalized template.
+        jitter: max absolute circular shift in pixels along each axis.
+        seed: generation seed (templates + samples).
+    """
+    rng = np.random.default_rng(seed)
+    templates = rng.normal(size=(num_classes, 3, image_size, image_size))
+    templates /= np.linalg.norm(
+        templates.reshape(num_classes, -1), axis=1
+    )[:, None, None, None] / image_size
+
+    def synthesize(count: int) -> Tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, num_classes, size=count)
+        images = np.empty((count, 3, image_size, image_size))
+        shifts = rng.integers(-jitter, jitter + 1, size=(count, 2))
+        for i in range(count):
+            img = templates[labels[i]]
+            img = np.roll(img, shifts[i, 0], axis=1)
+            img = np.roll(img, shifts[i, 1], axis=2)
+            images[i] = img + noise * rng.normal(size=img.shape)
+        return images, labels
+
+    train_images, train_labels = synthesize(num_train)
+    test_images, test_labels = synthesize(num_test)
+    return (
+        SyntheticImageDataset(train_images, train_labels),
+        SyntheticImageDataset(test_images, test_labels),
+    )
+
+
+def make_token_classification(
+    num_train: int = 1000,
+    num_test: int = 250,
+    vocab_size: int = 64,
+    seq_len: int = 16,
+    num_classes: int = 4,
+    seed: int = 0,
+) -> Tuple[SyntheticSequenceDataset, SyntheticSequenceDataset]:
+    """Generate (train, test) synthetic token-sequence classification splits.
+
+    Wraps :func:`repro.models.transformer.make_sequence_dataset` (each class
+    has signature tokens) into the trainer's dataset protocol, for the
+    transformer convergence experiments.
+    """
+    from repro.models.transformer import make_sequence_dataset
+
+    train_tokens, train_labels = make_sequence_dataset(
+        num_train, vocab_size=vocab_size, seq_len=seq_len,
+        num_classes=num_classes, seed=seed,
+    )
+    test_tokens, test_labels = make_sequence_dataset(
+        num_test, vocab_size=vocab_size, seq_len=seq_len,
+        num_classes=num_classes, seed=seed + 1,
+    )
+    return (
+        SyntheticSequenceDataset(train_tokens, train_labels),
+        SyntheticSequenceDataset(test_tokens, test_labels),
+    )

@@ -1,0 +1,47 @@
+"""Training curves for the convergence figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch records of one training run."""
+
+    method: str
+    epochs: List[int] = field(default_factory=list)
+    train_loss: List[float] = field(default_factory=list)
+    test_accuracy: List[float] = field(default_factory=list)
+    learning_rate: List[float] = field(default_factory=list)
+
+    def record(
+        self, epoch: int, loss: float, accuracy: float, lr: float
+    ) -> None:
+        """Append one epoch's numbers."""
+        self.epochs.append(epoch)
+        self.train_loss.append(loss)
+        self.test_accuracy.append(accuracy)
+        self.learning_rate.append(lr)
+
+    @property
+    def final_accuracy(self) -> float:
+        """Last-epoch test accuracy (the paper's headline convergence number)."""
+        if not self.test_accuracy:
+            raise ValueError("no epochs recorded")
+        return self.test_accuracy[-1]
+
+    @property
+    def best_accuracy(self) -> float:
+        """Best test accuracy across epochs."""
+        if not self.test_accuracy:
+            raise ValueError("no epochs recorded")
+        return max(self.test_accuracy)
+
+    def render(self) -> str:
+        """Plain-text curve, one line per epoch."""
+        lines = [f"method={self.method}"]
+        for epoch, loss, acc in zip(self.epochs, self.train_loss, self.test_accuracy):
+            lines.append(f"  epoch {epoch:3d}  loss {loss:7.4f}  acc {acc:6.2%}")
+        return "\n".join(lines)

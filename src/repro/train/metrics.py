@@ -1,0 +1,105 @@
+"""Training metrics: throughput and communication accounting.
+
+Collects, per training step, the wall-clock duration, samples processed
+and bytes communicated (from the process group's measured collective
+stats), yielding the throughput numbers the paper reports alongside
+iteration times (§V-E discusses throughput explicitly).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.comm.process_group import ProcessGroup
+
+
+@dataclass
+class StepRecord:
+    """One training step's measurements."""
+
+    duration_s: float
+    samples: int
+    bytes_communicated: int
+
+
+@dataclass
+class TrainingMetrics:
+    """Accumulates per-step measurements for one training run.
+
+    Use either via :meth:`step_timer` around each step, or by calling
+    :meth:`record` directly.
+    """
+
+    group: Optional[ProcessGroup] = None
+    records: List[StepRecord] = field(default_factory=list)
+    _step_started: Optional[float] = None
+    _bytes_before: int = 0
+
+    def start_step(self) -> None:
+        """Mark the beginning of a step."""
+        self._step_started = time.perf_counter()
+        if self.group is not None:
+            self._bytes_before = self.group.total_bytes()
+
+    def end_step(self, samples: int) -> StepRecord:
+        """Mark the end of a step; returns its record."""
+        if self._step_started is None:
+            raise RuntimeError("end_step called before start_step")
+        duration = time.perf_counter() - self._step_started
+        communicated = 0
+        if self.group is not None:
+            communicated = self.group.total_bytes() - self._bytes_before
+        record = StepRecord(duration, samples, communicated)
+        self.records.append(record)
+        self._step_started = None
+        return record
+
+    def record(self, duration_s: float, samples: int,
+               bytes_communicated: int = 0) -> None:
+        """Append a measurement directly (e.g. from a simulator)."""
+        if duration_s < 0 or samples < 0 or bytes_communicated < 0:
+            raise ValueError("metrics values must be >= 0")
+        self.records.append(StepRecord(duration_s, samples, bytes_communicated))
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def steps(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_samples(self) -> int:
+        return sum(r.samples for r in self.records)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.bytes_communicated for r in self.records)
+
+    def throughput(self) -> float:
+        """Samples per second over the recorded steps."""
+        elapsed = sum(r.duration_s for r in self.records)
+        if elapsed <= 0:
+            return 0.0
+        return self.total_samples / elapsed
+
+    def mean_step_seconds(self) -> float:
+        """Mean step duration."""
+        if not self.records:
+            return 0.0
+        return sum(r.duration_s for r in self.records) / len(self.records)
+
+    def bytes_per_step(self) -> float:
+        """Mean communicated bytes per step."""
+        if not self.records:
+            return 0.0
+        return self.total_bytes / len(self.records)
+
+    def render(self) -> str:
+        """One-line summary."""
+        return (
+            f"{self.steps} steps, {self.throughput():.1f} samples/s, "
+            f"{self.bytes_per_step() / 1e6:.2f}MB communicated/step"
+        )

@@ -1,0 +1,147 @@
+"""Synchronous data-parallel trainer over simulated workers.
+
+Semantics mirror DDP + the paper's compression prototypes:
+
+- every worker holds the same model weights (enforced by construction: one
+  physical replica evaluated per worker shard, like DDP's lockstep);
+- per step, each worker computes local gradients on its own batch;
+- a :class:`~repro.optim.aggregators.GradientAggregator` combines them
+  (through the measured collectives) into the global gradient;
+- a single SGD update applies the global gradient.
+
+The trainer keeps one physical model and replays it per worker batch; this
+is numerically identical to per-worker replicas under synchronous updates,
+while per-worker *compressor* state (EF residuals) lives inside the
+aggregator, preserving each method's true distributed behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.nn.loss import CrossEntropyLoss
+from repro.nn.module import Module
+from repro.optim.aggregators import GradientAggregator
+from repro.optim.lr_scheduler import WarmupMultiStepSchedule
+from repro.optim.sgd import SGD
+from repro.train.datasets import ArrayDataset
+from repro.train.history import TrainingHistory
+from repro.utils.seeding import spawn_rngs
+
+
+class DataParallelTrainer:
+    """Train one model with data parallelism across simulated workers.
+
+    ``optimizer`` is duck-typed: anything exposing ``step(grads)`` and an
+    ``lr`` attribute works (:class:`~repro.optim.sgd.SGD`,
+    :class:`~repro.optim.adam.Adam`).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: SGD,
+        aggregator: GradientAggregator,
+        train_data: ArrayDataset,
+        test_data: ArrayDataset,
+        batch_size_per_worker: int = 32,
+        schedule: Optional[WarmupMultiStepSchedule] = None,
+        seed: int = 0,
+        accumulation_steps: int = 1,
+    ):
+        if batch_size_per_worker < 1:
+            raise ValueError(
+                f"batch_size_per_worker must be >= 1, got {batch_size_per_worker}"
+            )
+        if accumulation_steps < 1:
+            raise ValueError(
+                f"accumulation_steps must be >= 1, got {accumulation_steps}"
+            )
+        self.model = model
+        self.optimizer = optimizer
+        self.aggregator = aggregator
+        self.world_size = aggregator.group.world_size
+        self.train_shards = [
+            train_data.shard(rank, self.world_size) for rank in range(self.world_size)
+        ]
+        self.test_data = test_data
+        self.batch_size = batch_size_per_worker
+        self.schedule = schedule
+        self.accumulation_steps = accumulation_steps
+        self.loss_fn = CrossEntropyLoss()
+        self._rngs = spawn_rngs(seed, self.world_size)
+
+    def _worker_gradients(self, rank: int) -> tuple:
+        """One worker's (loss, named gradients) for a fresh batch.
+
+        With ``accumulation_steps > 1`` the worker runs several micro-batch
+        passes and averages their gradients locally before communication —
+        the standard trick for fitting large effective batches, which also
+        amortizes each communication round over more computation.
+        """
+        self.model.zero_grad()
+        losses = []
+        for _ in range(self.accumulation_steps):
+            inputs, labels = self.train_shards[rank].batch(
+                self._rngs[rank], self.batch_size
+            )
+            logits = self.model(inputs)
+            losses.append(self.loss_fn(logits, labels))
+            self.model.backward(self.loss_fn.backward())
+        grads: Dict[str, np.ndarray] = {}
+        for name, param in self.model.named_parameters():
+            if param.grad is None:
+                raise RuntimeError(f"parameter {name!r} received no gradient")
+            grads[name] = param.grad / self.accumulation_steps
+        return float(np.mean(losses)), grads
+
+    def train_step(self) -> float:
+        """One synchronous step across all workers; returns mean local loss."""
+        losses: List[float] = []
+        per_worker: List[Dict[str, np.ndarray]] = []
+        for rank in range(self.world_size):
+            loss, grads = self._worker_gradients(rank)
+            losses.append(loss)
+            per_worker.append(grads)
+        aggregated = self.aggregator.aggregate(per_worker)
+        self.optimizer.step(aggregated)
+        return float(np.mean(losses))
+
+    def evaluate(self, max_batches: int = 0, batch_size: int = 256) -> float:
+        """Test-set accuracy (full set unless ``max_batches`` limits it)."""
+        self.model.eval()
+        correct = 0
+        total = 0
+        count = len(self.test_data)
+        for start in range(0, count, batch_size):
+            inputs = self.test_data.inputs[start : start + batch_size]
+            labels = self.test_data.labels[start : start + batch_size]
+            logits = self.model(inputs)
+            correct += int((logits.argmax(axis=1) == labels).sum())
+            total += len(labels)
+            if max_batches and start // batch_size + 1 >= max_batches:
+                break
+        self.model.train()
+        return correct / max(1, total)
+
+    def run(
+        self,
+        epochs: int,
+        steps_per_epoch: int,
+        method_label: str = "",
+    ) -> TrainingHistory:
+        """Train for ``epochs`` and record the convergence curve."""
+        if epochs < 1 or steps_per_epoch < 1:
+            raise ValueError("epochs and steps_per_epoch must be >= 1")
+        history = TrainingHistory(method_label or self.aggregator.method)
+        for epoch in range(epochs):
+            if self.schedule is not None:
+                self.schedule.set_epoch(epoch)
+            losses = [self.train_step() for _ in range(steps_per_epoch)]
+            accuracy = self.evaluate()
+            history.record(
+                epoch, float(np.mean(losses)), accuracy, self.optimizer.lr
+            )
+        return history

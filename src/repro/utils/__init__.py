@@ -1,0 +1,18 @@
+"""Shared utilities: deterministic seeding, formatting, and small helpers."""
+
+from repro.utils.seeding import seeded_rng, spawn_rngs
+from repro.utils.formatting import (
+    format_bytes,
+    format_count,
+    format_seconds,
+    render_table,
+)
+
+__all__ = [
+    "seeded_rng",
+    "spawn_rngs",
+    "format_bytes",
+    "format_count",
+    "format_seconds",
+    "render_table",
+]

@@ -1,0 +1,72 @@
+"""Human-readable formatting for experiment output.
+
+The experiment drivers print tables that mirror the paper's presentation
+(Table I, Table III, figure series). These helpers keep that rendering
+consistent across benchmarks and examples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Format a byte count with a binary-ish unit (KB/MB/GB, base 1024)."""
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or unit == "TB":
+            if unit == "B":
+                return f"{value:.0f}{unit}"
+            return f"{value:.2f}{unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_count(count: float) -> str:
+    """Format a large count compactly, e.g. ``25.6M`` parameters."""
+    value = float(count)
+    for unit in ("", "K", "M", "B"):
+        if abs(value) < 1000.0 or unit == "B":
+            if unit == "":
+                return f"{value:.0f}"
+            return f"{value:.1f}{unit}"
+        value /= 1000.0
+    raise AssertionError("unreachable")
+
+
+def format_seconds(seconds: float) -> str:
+    """Format a duration, switching between us / ms / s as appropriate."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render an aligned plain-text table.
+
+    Args:
+        headers: column titles.
+        rows: row cells; each row must have ``len(headers)`` entries.
+
+    Returns:
+        A multi-line string with a header rule, suitable for printing from
+        benchmarks so the output can be compared side by side with the paper.
+    """
+    str_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[idx]) for idx, cell in enumerate(cells))
+
+    lines = [fmt_row(headers), fmt_row(["-" * w for w in widths])]
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

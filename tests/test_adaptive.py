@@ -1,0 +1,85 @@
+"""Adaptive rank selection."""
+
+import numpy as np
+import pytest
+
+from repro.compression.adaptive import (
+    per_tensor_ranks,
+    rank_for_energy,
+    rank_for_target_ratio,
+)
+from repro.compression.ratios import (
+    acpsgd_compressed_elements,
+    total_elements,
+)
+from repro.models import get_model_spec
+
+
+class TestRankForTargetRatio:
+    def test_meets_target_and_is_maximal(self):
+        shapes = get_model_spec("ResNet-50").parameter_shapes()
+        n = total_elements(shapes)
+        rank = rank_for_target_ratio(shapes, target_ratio=32.0)
+        assert n / acpsgd_compressed_elements(shapes, rank) >= 32.0
+        # rank + 1 would violate the budget (maximality).
+        assert n / acpsgd_compressed_elements(shapes, rank + 1) < 32.0
+
+    def test_loose_target_gives_large_rank(self):
+        shapes = get_model_spec("BERT-Base").parameter_shapes()
+        loose = rank_for_target_ratio(shapes, 4.0)
+        tight = rank_for_target_ratio(shapes, 64.0)
+        assert loose > tight
+
+    def test_unattainable_target_raises(self):
+        # Mostly-vector model: compression cannot reach 1000x.
+        shapes = [(64,), (64,), (8, 8)]
+        with pytest.raises(ValueError, match="unattainable"):
+            rank_for_target_ratio(shapes, 1000.0)
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError, match="target_ratio"):
+            rank_for_target_ratio([(8, 8)], 1.0)
+
+
+class TestRankForEnergy:
+    def test_exact_low_rank_matrix(self, rng):
+        a = rng.normal(size=(20, 3))
+        b = rng.normal(size=(15, 3))
+        matrix = a @ b.T  # exactly rank 3
+        assert rank_for_energy(matrix, energy=0.999) == 3
+
+    def test_full_energy_full_rank(self, rng):
+        matrix = rng.normal(size=(6, 6))
+        assert rank_for_energy(matrix, energy=1.0) == 6
+
+    def test_energy_monotone(self, rng):
+        matrix = rng.normal(size=(30, 30))
+        r50 = rank_for_energy(matrix, 0.5)
+        r90 = rank_for_energy(matrix, 0.9)
+        r99 = rank_for_energy(matrix, 0.99)
+        assert r50 <= r90 <= r99
+
+    def test_max_rank_cap(self, rng):
+        matrix = rng.normal(size=(30, 30))
+        assert rank_for_energy(matrix, 0.99, max_rank=4) <= 4
+
+    def test_zero_matrix(self):
+        assert rank_for_energy(np.zeros((5, 5))) == 1
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="matrix"):
+            rank_for_energy(rng.normal(size=5))
+        with pytest.raises(ValueError, match="energy"):
+            rank_for_energy(rng.normal(size=(3, 3)), energy=0.0)
+
+
+class TestPerTensorRanks:
+    def test_vectors_excluded_matrices_ranked(self, rng):
+        grads = {
+            "fc.weight": rng.normal(size=(16, 16)),
+            "fc.bias": rng.normal(size=16),
+            "conv.weight": rng.normal(size=(8, 4, 3, 3)),
+        }
+        ranks = per_tensor_ranks(grads, energy=0.9)
+        assert set(ranks) == {"fc.weight", "conv.weight"}
+        assert all(r >= 1 for r in ranks.values())

@@ -1,0 +1,105 @@
+"""Property-based tests across all gradient aggregators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comm.process_group import ProcessGroup
+from repro.optim.aggregators import make_aggregator
+
+ALL_AGGREGATORS = (
+    ("ssgd", {}),
+    ("signsgd", {}),
+    ("topk", {"ratio": 0.2}),
+    ("randomk", {"ratio": 0.2}),
+    ("qsgd", {}),
+    ("terngrad", {}),
+    ("powersgd", {"rank": 2}),
+    ("acpsgd", {"rank": 2}),
+    ("dgc", {"ratio": 0.2}),
+)
+
+
+@st.composite
+def worker_gradients(draw):
+    """Random (world_size, named gradient dicts) input."""
+    world = draw(st.integers(1, 5))
+    rows = draw(st.integers(2, 12))
+    cols = draw(st.integers(2, 12))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    per_worker = [
+        {
+            "w": rng.normal(size=(rows, cols)),
+            "b": rng.normal(size=rows),
+        }
+        for _ in range(world)
+    ]
+    return world, per_worker
+
+
+class TestSSGDExactness:
+    @settings(max_examples=30, deadline=None)
+    @given(data=worker_gradients())
+    def test_property_exact_mean(self, data):
+        world, per_worker = data
+        agg = make_aggregator("ssgd", ProcessGroup(world))
+        out = agg.aggregate([{k: v.copy() for k, v in g.items()}
+                             for g in per_worker])
+        for name in per_worker[0]:
+            mean = np.mean([g[name] for g in per_worker], axis=0)
+            np.testing.assert_allclose(out[name], mean, rtol=1e-9, atol=1e-12)
+
+
+class TestUniversalProperties:
+    @pytest.mark.parametrize("method,kwargs", ALL_AGGREGATORS)
+    @settings(max_examples=8, deadline=None)
+    @given(data=worker_gradients())
+    def test_property_shape_and_finiteness(self, method, kwargs, data):
+        world, per_worker = data
+        agg = make_aggregator(method, ProcessGroup(world), **kwargs)
+        out = agg.aggregate([{k: v.copy() for k, v in g.items()}
+                             for g in per_worker])
+        assert set(out) == set(per_worker[0])
+        for name, grad in per_worker[0].items():
+            assert out[name].shape == grad.shape
+            assert np.isfinite(out[name]).all(), (method, name)
+
+    @pytest.mark.parametrize("method,kwargs", ALL_AGGREGATORS)
+    def test_repeated_steps_stay_finite(self, method, kwargs, rng):
+        """Stateful compressors (EF, reuse, momentum) must not blow up
+        over repeated steps on a noisy gradient stream."""
+        world = 3
+        agg = make_aggregator(method, ProcessGroup(world), **kwargs)
+        base = {"w": rng.normal(size=(8, 10)), "b": rng.normal(size=8)}
+        for _ in range(20):
+            per_worker = [
+                {k: v + 0.3 * rng.normal(size=v.shape) for k, v in base.items()}
+                for _ in range(world)
+            ]
+            out = agg.aggregate(per_worker)
+            for name in out:
+                assert np.isfinite(out[name]).all(), (method, name)
+                # Bounded: no more than ~100x the input magnitude.
+                assert np.abs(out[name]).max() < 100 * (
+                    np.abs(base[name]).max() + 1
+                )
+
+    @pytest.mark.parametrize("method,kwargs", ALL_AGGREGATORS)
+    def test_descent_direction_on_average(self, method, kwargs, rng):
+        """Across steps, the aggregated gradient should correlate with the
+        true mean gradient (all methods are descent methods)."""
+        world = 2
+        agg = make_aggregator(method, ProcessGroup(world), **kwargs)
+        base = rng.normal(size=(12, 12))
+        dots = []
+        for _ in range(30):
+            per_worker = [
+                {"w": base + 0.2 * rng.normal(size=base.shape)}
+                for _ in range(world)
+            ]
+            out = agg.aggregate(per_worker)["w"]
+            denom = np.linalg.norm(out) * np.linalg.norm(base)
+            if denom > 0:
+                dots.append((out * base).sum() / denom)
+        assert np.mean(dots) > 0.15, method

@@ -1,0 +1,125 @@
+"""Alternative all-reduce algorithms: numerics, traffic, selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comm.algorithms import (
+    all_reduce_recursive_halving,
+    all_reduce_tree,
+    best_allreduce_algorithm,
+    rabenseifner_allreduce_time,
+    tree_allreduce_time,
+)
+from repro.comm.cost_model import allreduce_time
+from repro.sim.calibration import LINK_10GBE
+
+
+def _buffers(rng, world, length):
+    return [rng.normal(size=length) for _ in range(world)]
+
+
+class TestTreeAllReduce:
+    def test_matches_sum(self, rng):
+        bufs = _buffers(rng, 6, 33)
+        results, _ = all_reduce_tree(bufs)
+        for result in results:
+            np.testing.assert_allclose(result, np.sum(bufs, axis=0), rtol=1e-10)
+
+    def test_single_rank(self, rng):
+        buf = rng.normal(size=5)
+        results, stats = all_reduce_tree([buf])
+        np.testing.assert_array_equal(results[0], buf)
+        assert stats.steps == 0
+
+    def test_round_count_logarithmic(self, rng):
+        _, stats = all_reduce_tree(_buffers(rng, 8, 16))
+        assert stats.steps == 6  # 2 * log2(8)
+
+    @settings(max_examples=20, deadline=None)
+    @given(world=st.integers(1, 9), length=st.integers(1, 40),
+           seed=st.integers(0, 999))
+    def test_property_any_world_size(self, world, length, seed):
+        rng = np.random.default_rng(seed)
+        bufs = _buffers(rng, world, length)
+        results, _ = all_reduce_tree(bufs)
+        expected = np.sum(bufs, axis=0)
+        for result in results:
+            np.testing.assert_allclose(result, expected, rtol=1e-9, atol=1e-9)
+
+
+class TestRabenseifner:
+    def test_matches_sum_power_of_two(self, rng):
+        for world in (2, 4, 8):
+            bufs = _buffers(rng, world, 64)
+            results, _ = all_reduce_recursive_halving(bufs)
+            for result in results:
+                np.testing.assert_allclose(
+                    result, np.sum(bufs, axis=0), rtol=1e-10
+                )
+
+    def test_rejects_non_power_of_two(self, rng):
+        with pytest.raises(ValueError, match="power-of-two"):
+            all_reduce_recursive_halving(_buffers(rng, 6, 8))
+
+    def test_traffic_matches_ring_bandwidth(self, rng):
+        """Rabenseifner moves the same per-rank volume as the ring."""
+        from repro.comm.collectives import all_reduce_ring
+
+        world, length = 8, 4096
+        bufs = _buffers(rng, world, length)
+        _, rab = all_reduce_recursive_halving(bufs)
+        _, ring = all_reduce_ring(bufs)
+        assert rab.bytes_sent_per_rank[0] == pytest.approx(
+            ring.bytes_sent_per_rank[0], rel=0.02
+        )
+
+    def test_fewer_rounds_than_ring(self, rng):
+        from repro.comm.collectives import all_reduce_ring
+
+        bufs = _buffers(rng, 8, 64)
+        _, rab = all_reduce_recursive_halving(bufs)
+        _, ring = all_reduce_ring(bufs)
+        assert rab.steps < ring.steps  # 6 vs 14
+
+    @settings(max_examples=20, deadline=None)
+    @given(exponent=st.integers(1, 4), length=st.integers(4, 64),
+           seed=st.integers(0, 999))
+    def test_property_power_of_two_worlds(self, exponent, length, seed):
+        rng = np.random.default_rng(seed)
+        world = 2**exponent
+        bufs = _buffers(rng, world, length)
+        results, _ = all_reduce_recursive_halving(bufs)
+        expected = np.sum(bufs, axis=0)
+        for result in results:
+            np.testing.assert_allclose(result, expected, rtol=1e-9, atol=1e-9)
+
+
+class TestCostAndSelection:
+    def test_rabenseifner_dominates_ring(self):
+        """Fewer startups, same bandwidth: never slower in the model."""
+        for nbytes in (1e3, 1e6, 1e9):
+            assert rabenseifner_allreduce_time(nbytes, 32, LINK_10GBE) <= \
+                allreduce_time(nbytes, 32, LINK_10GBE) + 1e-12
+
+    def test_tree_wins_small_ring_wins_large(self):
+        small_algo, _ = best_allreduce_algorithm(1e2, 32, LINK_10GBE)
+        assert small_algo in ("tree", "rabenseifner")
+        # Non-power-of-two world (no Rabenseifner): ring for big messages.
+        big_algo, _ = best_allreduce_algorithm(1e9, 24, LINK_10GBE)
+        assert big_algo == "ring"
+
+    def test_best_returns_minimum(self):
+        algo, time = best_allreduce_algorithm(1e6, 16, LINK_10GBE)
+        assert time <= allreduce_time(1e6, 16, LINK_10GBE)
+        assert time <= tree_allreduce_time(1e6, 16, LINK_10GBE)
+
+    def test_zero_cases(self):
+        assert tree_allreduce_time(0, 8, LINK_10GBE) == 0.0
+        assert rabenseifner_allreduce_time(1e6, 1, LINK_10GBE) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tree_allreduce_time(-1, 8, LINK_10GBE)
+        with pytest.raises(ValueError):
+            rabenseifner_allreduce_time(1e3, 0, LINK_10GBE)

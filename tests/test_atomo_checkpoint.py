@@ -1,0 +1,127 @@
+"""SVD compressor (ATOMO-style) and checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.compression.atomo import SVDLowRankState, best_rank_r_error
+from repro.models.convnets import make_mlp
+from repro.optim.sgd import SGD
+from repro.train.checkpoint import load_checkpoint, save_checkpoint
+
+
+class TestSVDCompressor:
+    def test_optimal_in_one_step(self, rng):
+        """SVD reaches the Eckart-Young floor immediately (no EF)."""
+        matrix = rng.normal(size=(20, 30))
+        state = SVDLowRankState(rank=3, use_error_feedback=False)
+        p, q = state.compress("w", matrix)
+        m_hat = SVDLowRankState.reconstruct(p, q)
+        err = np.linalg.norm(matrix - m_hat) / np.linalg.norm(matrix)
+        assert err == pytest.approx(best_rank_r_error(matrix, 3), rel=1e-10)
+
+    def test_beats_one_step_powersgd(self, rng):
+        """The quality gap that made ATOMO expensive but optimal."""
+        from repro.compression.powersgd import PowerSGDState
+
+        matrix = rng.normal(size=(24, 24))
+        svd = SVDLowRankState(rank=2, use_error_feedback=False)
+        p, q = svd.compress("w", matrix)
+        svd_err = np.linalg.norm(matrix - p @ q.T)
+
+        power = PowerSGDState(rank=2, seed=0, use_error_feedback=False)
+        p1 = power.compute_p("w", matrix)
+        q1 = power.compute_q("w", p1)
+        power_err = np.linalg.norm(matrix - power.reconstruct("w", q1))
+        assert svd_err <= power_err + 1e-12
+
+    def test_error_feedback_invariant(self, rng):
+        state = SVDLowRankState(rank=2, use_error_feedback=True)
+        base = rng.normal(size=(10, 12))
+        total_in = np.zeros_like(base)
+        total_out = np.zeros_like(base)
+        for _ in range(100):
+            grad = base + 0.1 * rng.normal(size=base.shape)
+            p, q = state.compress("w", grad)
+            total_out += p @ q.T
+            total_in += grad
+        gap = np.linalg.norm(total_out - total_in) / np.linalg.norm(total_in)
+        assert gap < 0.15
+
+    def test_factor_shapes(self, rng):
+        state = SVDLowRankState(rank=4)
+        p, q = state.compress("w", rng.normal(size=(6, 50)))
+        assert p.shape == (6, 4)
+        assert q.shape == (50, 4)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="rank"):
+            SVDLowRankState(rank=0)
+        with pytest.raises(ValueError, match="matrix"):
+            SVDLowRankState(rank=2).compress("w", rng.normal(size=5))
+        with pytest.raises(ValueError, match="matrix"):
+            best_rank_r_error(rng.normal(size=5), 2)
+
+    def test_best_rank_r_error_zero_matrix(self):
+        assert best_rank_r_error(np.zeros((4, 4)), 2) == 0.0
+
+
+class TestCheckpoint:
+    def _train_a_bit(self, model, opt, rng, steps=3):
+        from repro.nn.loss import CrossEntropyLoss
+
+        loss_fn = CrossEntropyLoss()
+        for _ in range(steps):
+            x = rng.normal(size=(8, 6))
+            y = rng.integers(0, 3, size=8)
+            model.zero_grad()
+            loss_fn(model(x), y)
+            model.backward(loss_fn.backward())
+            opt.step()
+
+    def test_roundtrip_restores_parameters_and_momentum(self, rng, tmp_path):
+        model = make_mlp(6, 12, 3, rng=np.random.default_rng(0))
+        opt = SGD(model, lr=0.05, momentum=0.9)
+        self._train_a_bit(model, opt, rng)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, model, opt, metadata={"epoch": 7})
+
+        model2 = make_mlp(6, 12, 3, rng=np.random.default_rng(99))
+        opt2 = SGD(model2, lr=0.3, momentum=0.9)
+        meta = load_checkpoint(path, model2, opt2)
+        assert meta == {"epoch": 7}
+        np.testing.assert_array_equal(model2.state_vector(), model.state_vector())
+        assert opt2.lr == pytest.approx(0.05)
+        assert set(opt2._velocity) == set(opt._velocity)
+        for name in opt._velocity:
+            np.testing.assert_array_equal(opt2._velocity[name], opt._velocity[name])
+
+    def test_resumed_training_is_bitwise_identical(self, rng, tmp_path):
+        """Training 3+3 steps with a checkpoint in between equals 6 straight
+        steps on the same data."""
+        data_rng1 = np.random.default_rng(5)
+        model_a = make_mlp(6, 12, 3, rng=np.random.default_rng(0))
+        opt_a = SGD(model_a, lr=0.05, momentum=0.9)
+        self._train_a_bit(model_a, opt_a, data_rng1, steps=6)
+
+        data_rng2 = np.random.default_rng(5)
+        model_b = make_mlp(6, 12, 3, rng=np.random.default_rng(0))
+        opt_b = SGD(model_b, lr=0.05, momentum=0.9)
+        self._train_a_bit(model_b, opt_b, data_rng2, steps=3)
+        path = str(tmp_path / "mid.npz")
+        save_checkpoint(path, model_b, opt_b)
+        model_c = make_mlp(6, 12, 3, rng=np.random.default_rng(42))
+        opt_c = SGD(model_c, lr=0.1, momentum=0.9)
+        load_checkpoint(path, model_c, opt_c)
+        self._train_a_bit(model_c, opt_c, data_rng2, steps=3)
+        np.testing.assert_allclose(
+            model_c.state_vector(), model_a.state_vector(), rtol=1e-12
+        )
+
+    def test_parameter_count_mismatch_rejected(self, rng, tmp_path):
+        model = make_mlp(6, 12, 3, rng=np.random.default_rng(0))
+        opt = SGD(model, lr=0.05)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, model, opt)
+        other = make_mlp(6, 8, 3, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="parameters"):
+            load_checkpoint(path, other, SGD(other, lr=0.05))

@@ -1,0 +1,124 @@
+"""Attention / transformer layers: shapes and gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import MultiHeadSelfAttention, TransformerEncoderLayer
+from repro.models.transformer import TinyBERT, make_sequence_dataset, make_tiny_bert
+from repro.nn.loss import CrossEntropyLoss
+from tests.gradcheck import check_layer_gradients
+
+
+class TestMultiHeadSelfAttention:
+    def test_forward_shape(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng=rng)
+        out = attn(rng.normal(size=(2, 5, 8)))
+        assert out.shape == (2, 5, 8)
+
+    def test_gradients(self, rng):
+        attn = MultiHeadSelfAttention(4, 2, rng=rng)
+        check_layer_gradients(attn, rng.normal(size=(2, 3, 4)), rtol=1e-4, atol=1e-6)
+
+    def test_attention_rows_normalized(self, rng):
+        """Internal attention weights sum to 1 over keys."""
+        attn = MultiHeadSelfAttention(8, 2, rng=rng)
+        attn(rng.normal(size=(1, 4, 8)))
+        _, _, _, weights, _ = attn._cache
+        np.testing.assert_allclose(weights.sum(axis=-1), 1.0, atol=1e-10)
+
+    def test_head_divisibility_validation(self):
+        with pytest.raises(ValueError, match="divisible"):
+            MultiHeadSelfAttention(10, 3)
+
+    def test_input_validation(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng=rng)
+        with pytest.raises(ValueError, match="expected"):
+            attn(rng.normal(size=(2, 8)))
+
+
+class TestTransformerEncoderLayer:
+    def test_forward_shape(self, rng):
+        layer = TransformerEncoderLayer(8, 2, rng=rng)
+        out = layer(rng.normal(size=(2, 4, 8)))
+        assert out.shape == (2, 4, 8)
+
+    def test_gradients(self, rng):
+        layer = TransformerEncoderLayer(4, 2, ffn_multiple=2, rng=rng)
+        check_layer_gradients(layer, rng.normal(size=(1, 3, 4)), rtol=1e-4, atol=1e-6)
+
+    def test_has_bert_matrix_shapes(self, rng):
+        """The compressible families the paper's rank-32 setting targets."""
+        layer = TransformerEncoderLayer(8, 2, rng=rng)
+        shapes = {tuple(p.shape) for p in layer.parameters() if len(p.shape) == 2}
+        assert (8, 8) in shapes  # attention projections
+        assert (32, 8) in shapes  # FFN in
+        assert (8, 32) in shapes  # FFN out
+
+
+class TestTinyBERT:
+    def test_forward_shape(self, rng):
+        model = make_tiny_bert(vocab_size=32, hidden=16, num_layers=1,
+                               num_heads=2, max_seq=8, num_classes=3, rng=rng)
+        tokens = rng.integers(0, 32, size=(4, 8))
+        out = model(tokens)
+        assert out.shape == (4, 3)
+
+    def test_all_parameters_receive_gradients(self, rng):
+        model = make_tiny_bert(vocab_size=32, hidden=16, num_layers=2,
+                               num_heads=2, max_seq=8, rng=rng)
+        tokens = rng.integers(0, 32, size=(3, 8))
+        loss_fn = CrossEntropyLoss()
+        loss_fn(model(tokens), rng.integers(0, 4, size=3))
+        model.backward(loss_fn.backward())
+        for name, param in model.named_parameters():
+            assert param.grad is not None, name
+            assert np.isfinite(param.grad).all(), name
+
+    def test_sequence_length_validation(self, rng):
+        model = make_tiny_bert(max_seq=8, rng=rng)
+        with pytest.raises(ValueError, match="max_seq"):
+            model(rng.integers(0, 64, size=(2, 9)))
+
+    def test_trains_on_synthetic_sequences(self, rng):
+        """A few SGD steps reduce loss on the signature-token task."""
+        model = make_tiny_bert(vocab_size=32, hidden=16, num_layers=1,
+                               num_heads=2, max_seq=16, num_classes=4,
+                               rng=np.random.default_rng(0))
+        tokens, labels = make_sequence_dataset(
+            128, vocab_size=32, seq_len=16, num_classes=4, seed=1
+        )
+        loss_fn = CrossEntropyLoss()
+        first = None
+        for _ in range(15):
+            loss = loss_fn(model(tokens), labels)
+            if first is None:
+                first = loss
+            model.backward(loss_fn.backward())
+            for param in model.parameters():
+                param.data -= 0.1 * param.grad
+            model.zero_grad()
+        assert loss < 0.8 * first
+
+
+class TestSequenceDataset:
+    def test_shapes_and_range(self):
+        tokens, labels = make_sequence_dataset(50, vocab_size=32, seq_len=10)
+        assert tokens.shape == (50, 10)
+        assert tokens.min() >= 0 and tokens.max() < 32
+        assert labels.shape == (50,)
+
+    def test_signature_tokens_present(self):
+        tokens, labels = make_sequence_dataset(
+            200, vocab_size=40, seq_len=12, num_classes=4, noise_tokens=2, seed=3
+        )
+        slice_size = 10
+        hits = 0
+        for i in range(200):
+            lo = labels[i] * slice_size
+            in_slice = ((tokens[i] >= lo) & (tokens[i] < lo + slice_size)).sum()
+            hits += in_slice >= 4
+        assert hits > 150  # most samples carry a strong class signature
+
+    def test_vocab_validation(self):
+        with pytest.raises(ValueError, match="vocab"):
+            make_sequence_dataset(10, vocab_size=4, num_classes=4)

@@ -1,0 +1,102 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestSimulate:
+    def test_basic_run(self, capsys):
+        code = main(["simulate", "--method", "acpsgd", "--model", "ResNet-50",
+                     "--gpus", "8", "--rank", "4", "--batch-size", "16"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total=" in out and "acpsgd" in out
+
+    def test_system_switches(self, capsys):
+        code = main(["simulate", "--method", "ssgd", "--model", "ResNet-50",
+                     "--batch-size", "16", "--no-wfbp", "--no-tf"])
+        assert code == 0
+
+    def test_trace_export(self, tmp_path, capsys):
+        trace = tmp_path / "timeline.json"
+        code = main(["simulate", "--method", "powersgd_star",
+                     "--model", "ResNet-50", "--batch-size", "16",
+                     "--rank", "4", "--trace", str(trace)])
+        assert code == 0
+        with open(trace) as handle:
+            doc = json.load(handle)
+        assert doc["traceEvents"]
+
+    def test_unknown_model_errors(self):
+        with pytest.raises(KeyError):
+            main(["simulate", "--model", "AlexNet"])
+
+    def test_unknown_method_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--method", "magic"])
+
+
+class TestAutotune:
+    def test_reports_best_buffer(self, capsys):
+        code = main(["autotune", "--method", "ssgd", "--model", "ResNet-50",
+                     "--batch-size", "16", "--gpus", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best buffer" in out and "<-- best" in out
+
+
+class TestTrain:
+    def test_tiny_training_run(self, capsys):
+        code = main(["train", "--method", "ssgd", "--workers", "2",
+                     "--epochs", "1", "--steps-per-epoch", "3",
+                     "--samples", "200", "--batch-size", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final accuracy" in out
+
+
+class TestEvaluateJson:
+    def test_json_export_smoke(self, tmp_path, capsys, monkeypatch):
+        """`evaluate --json` writes structured results (patched to a tiny
+        subset so the test stays fast)."""
+        import repro.cli as cli
+
+        written = {}
+
+        def fake_export(path, fast):
+            written["path"] = path
+            written["fast"] = fast
+            with open(path, "w") as handle:
+                handle.write("{}")
+            return {}
+
+        monkeypatch.setattr("repro.experiments.export.export_json", fake_export)
+        path = str(tmp_path / "r.json")
+        code = cli.main(["evaluate", "--fast", "--json", path])
+        assert code == 0
+        assert written == {"path": path, "fast": True}
+
+
+class TestExtensionMethods:
+    def test_simulate_extension_method(self, capsys):
+        code = main(["simulate", "--method", "terngrad", "--model",
+                     "ResNet-50", "--batch-size", "16", "--gpus", "8"])
+        assert code == 0
+        assert "terngrad" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_link_choices(self):
+        args = build_parser().parse_args(
+            ["simulate", "--link", "1GbE"]
+        )
+        assert args.link == "1GbE"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--link", "5GbE"])

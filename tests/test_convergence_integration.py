@@ -1,0 +1,88 @@
+"""Integration: the Fig. 6 / Fig. 7 convergence claims on reduced budgets.
+
+These are the slowest tests in the suite (they actually train convnets on
+several workers); the setups are scaled down to keep the suite fast while
+preserving the relative claims.
+"""
+
+import pytest
+
+from repro.experiments.fig6 import ConvergenceSetup, run_fig6, train_one
+from repro.experiments.fig7 import run_fig7
+
+SMALL = ConvergenceSetup(
+    model_family="vgg",
+    world_size=4,
+    epochs=6,
+    steps_per_epoch=12,
+    batch_size=24,
+    base_lr=0.08,
+    rank=4,
+    num_train=1200,
+    num_test=320,
+    seed=13,
+)
+
+
+@pytest.fixture(scope="module")
+def fig6_histories():
+    return run_fig6(SMALL)
+
+
+@pytest.fixture(scope="module")
+def fig7_histories():
+    return run_fig7(SMALL)
+
+
+class TestFig6Convergence:
+    def test_all_methods_learn(self, fig6_histories):
+        for method, hist in fig6_histories.items():
+            assert hist.final_accuracy > 0.4, method  # chance = 0.1
+
+    def test_compressed_methods_on_par_with_ssgd(self, fig6_histories):
+        """The paper's central convergence claim: ACP-SGD ~ Power-SGD ~
+        S-SGD in final accuracy."""
+        ssgd = fig6_histories["ssgd"].final_accuracy
+        for method in ("powersgd", "acpsgd"):
+            acc = fig6_histories[method].final_accuracy
+            assert acc > ssgd - 0.15, (method, acc, ssgd)
+
+    def test_loss_decreases_for_all(self, fig6_histories):
+        for method, hist in fig6_histories.items():
+            assert hist.train_loss[-1] < hist.train_loss[0], method
+
+
+class TestFig7Ablation:
+    def test_full_acpsgd_is_best(self, fig7_histories):
+        full = fig7_histories["acpsgd"].final_accuracy
+        no_ef = fig7_histories["acpsgd_no_ef"].final_accuracy
+        no_reuse = fig7_histories["acpsgd_no_reuse"].final_accuracy
+        assert full >= no_ef - 0.02
+        assert full >= no_reuse - 0.02
+
+    def test_removing_ef_hurts(self, fig7_histories):
+        """Fig. 7: ACP-SGD without EF converges clearly worse."""
+        full = fig7_histories["acpsgd"].final_accuracy
+        no_ef = fig7_histories["acpsgd_no_ef"].final_accuracy
+        assert no_ef < full - 0.03
+
+
+class TestResNetVariant:
+    def test_resnet_family_trains_with_acpsgd(self):
+        setup = ConvergenceSetup(
+            model_family="resnet", world_size=2, epochs=5, steps_per_epoch=12,
+            batch_size=24, base_lr=0.08, num_train=800, num_test=200, seed=5,
+        )
+        hist = train_one("acpsgd", setup)
+        assert hist.final_accuracy > 0.3
+
+
+class TestTransformerVariant:
+    def test_transformer_family_trains_with_acpsgd(self):
+        setup = ConvergenceSetup(
+            model_family="transformer", world_size=2, epochs=3,
+            steps_per_epoch=10, batch_size=32, base_lr=0.1, rank=4,
+            num_train=800, num_test=200, seed=3,
+        )
+        hist = train_one("acpsgd", setup)
+        assert hist.final_accuracy > 0.4  # chance = 0.1

@@ -1,0 +1,148 @@
+"""Discrete-event engine: FIFO, dependencies, contention math."""
+
+import pytest
+
+from repro.sim.engine import GPU_MAIN, GPU_SIDE, NIC, Engine, Task
+
+
+def run(tasks, rate=0.5):
+    return Engine(contention_rate=rate).run(tasks)
+
+
+class TestBasics:
+    def test_sequential_fifo(self):
+        rec = run([
+            Task("a", GPU_MAIN, 1.0),
+            Task("b", GPU_MAIN, 2.0),
+        ])
+        assert rec["a"].end == pytest.approx(1.0)
+        assert rec["b"].start == pytest.approx(1.0)
+        assert rec["b"].end == pytest.approx(3.0)
+
+    def test_independent_streams_parallel(self):
+        rec = run([
+            Task("compute", GPU_MAIN, 2.0),
+            Task("comm", NIC, 3.0),
+        ])
+        assert rec["compute"].end == pytest.approx(2.0)
+        assert rec["comm"].end == pytest.approx(3.0)
+
+    def test_dependency_delays_start(self):
+        rec = run([
+            Task("a", GPU_MAIN, 1.0),
+            Task("c", NIC, 1.0, deps=("a",)),
+        ])
+        assert rec["c"].start == pytest.approx(1.0)
+        assert rec["c"].end == pytest.approx(2.0)
+
+    def test_fifo_head_of_line_blocking(self):
+        """A blocked head prevents later tasks in the same stream."""
+        rec = run([
+            Task("x", NIC, 5.0),
+            Task("blocked", GPU_MAIN, 1.0, deps=("x",)),
+            Task("behind", GPU_MAIN, 1.0),
+        ])
+        assert rec["blocked"].start == pytest.approx(5.0)
+        assert rec["behind"].start == pytest.approx(6.0)
+
+    def test_zero_work_tasks(self):
+        rec = run([
+            Task("a", GPU_MAIN, 0.0),
+            Task("b", GPU_MAIN, 1.0, deps=("a",)),
+        ])
+        assert rec["a"].end == 0.0
+        assert rec["b"].end == pytest.approx(1.0)
+
+
+class TestContention:
+    def test_both_gpu_streams_slow_down(self):
+        """With rate 0.5, two concurrent 1s GPU tasks take 2s each."""
+        rec = run([
+            Task("main", GPU_MAIN, 1.0),
+            Task("side", GPU_SIDE, 1.0),
+        ], rate=0.5)
+        assert rec["main"].end == pytest.approx(2.0)
+        assert rec["side"].end == pytest.approx(2.0)
+
+    def test_contention_ends_when_one_finishes(self):
+        """side(0.5s work) at rate 0.5 finishes at 1.0; main then speeds up:
+        main does 0.5 work by t=1.0, remaining 1.5 at full rate -> 2.5."""
+        rec = run([
+            Task("main", GPU_MAIN, 2.0),
+            Task("side", GPU_SIDE, 0.5),
+        ], rate=0.5)
+        assert rec["side"].end == pytest.approx(1.0)
+        assert rec["main"].end == pytest.approx(2.5)
+
+    def test_non_contending_task_runs_free(self):
+        """A contends=False side task does not slow the main stream."""
+        rec = run([
+            Task("main", GPU_MAIN, 2.0),
+            Task("qr", GPU_SIDE, 1.0, contends=False),
+        ], rate=0.5)
+        assert rec["main"].end == pytest.approx(2.0)
+        assert rec["qr"].end == pytest.approx(1.0)
+
+    def test_nic_never_contends(self):
+        rec = run([
+            Task("main", GPU_MAIN, 2.0),
+            Task("comm", NIC, 2.0),
+        ], rate=0.5)
+        assert rec["main"].end == pytest.approx(2.0)
+        assert rec["comm"].end == pytest.approx(2.0)
+
+    def test_analytic_processor_sharing_formula(self):
+        """For side work C < main work B: makespan = B + C(1-rho)/rho."""
+        rho = 0.25
+        B, C = 10.0, 2.0
+        rec = run([
+            Task("main", GPU_MAIN, B),
+            Task("side", GPU_SIDE, C),
+        ], rate=rho)
+        assert rec["main"].end == pytest.approx(B + C * (1 - rho) / rho)
+
+    def test_analytic_formula_side_longer_than_main(self):
+        """For C > B the roles swap: side ends at C + B(1-rho)/rho."""
+        rho = 0.5
+        B, C = 2.0, 10.0
+        rec = run([
+            Task("main", GPU_MAIN, B),
+            Task("side", GPU_SIDE, C),
+        ], rate=rho)
+        assert rec["main"].end == pytest.approx(B / rho)
+        assert rec["side"].end == pytest.approx(C + B * (1 - rho) / rho)
+
+    def test_three_way_no_extra_contention(self):
+        """NIC activity never changes GPU contention rates."""
+        rec = run([
+            Task("main", GPU_MAIN, 1.0),
+            Task("side", GPU_SIDE, 1.0),
+            Task("wire", NIC, 5.0),
+        ], rate=0.5)
+        assert rec["main"].end == pytest.approx(2.0)
+        assert rec["wire"].end == pytest.approx(5.0)
+
+
+class TestValidation:
+    def test_duplicate_ids(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            run([Task("a", GPU_MAIN, 1.0), Task("a", NIC, 1.0)])
+
+    def test_unknown_dependency(self):
+        with pytest.raises(ValueError, match="unknown"):
+            run([Task("a", GPU_MAIN, 1.0, deps=("ghost",))])
+
+    def test_deadlock_detection(self):
+        with pytest.raises(ValueError, match="deadlock"):
+            run([
+                Task("a", GPU_MAIN, 1.0, deps=("b",)),
+                Task("b", NIC, 1.0, deps=("a",)),
+            ])
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            Task("a", GPU_MAIN, -1.0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError, match="contention_rate"):
+            Engine(contention_rate=0.0)

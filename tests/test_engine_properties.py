@@ -1,0 +1,105 @@
+"""Property-based tests of the discrete-event engine on random task DAGs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import GPU_MAIN, GPU_SIDE, NIC, Engine, Task
+
+STREAMS = (GPU_MAIN, GPU_SIDE, NIC)
+
+
+@st.composite
+def random_dag(draw):
+    """A random forward-referencing task DAG (acyclic by construction)."""
+    count = draw(st.integers(1, 24))
+    tasks = []
+    for idx in range(count):
+        stream = draw(st.sampled_from(STREAMS))
+        work = draw(st.floats(0.0, 5.0))
+        max_deps = min(idx, 3)
+        dep_count = draw(st.integers(0, max_deps))
+        deps = tuple(
+            f"t{d}" for d in sorted(
+                draw(
+                    st.sets(st.integers(0, idx - 1), min_size=dep_count,
+                            max_size=dep_count)
+                )
+            )
+        ) if idx > 0 else ()
+        contends = draw(st.booleans())
+        priority = draw(st.integers(0, 3))
+        tasks.append(
+            Task(f"t{idx}", stream, work, deps, tag="other",
+                 contends=contends, priority=priority)
+        )
+    return tasks
+
+
+class TestEngineProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(tasks=random_dag(), rate=st.sampled_from((0.2, 0.5, 1.0)))
+    def test_invariants_fifo(self, tasks, rate):
+        records = Engine(contention_rate=rate).run(tasks)
+        self._check_invariants(tasks, records, rate)
+
+    @settings(max_examples=40, deadline=None)
+    @given(tasks=random_dag())
+    def test_invariants_priority_nic(self, tasks):
+        records = Engine(disciplines={NIC: "priority"}).run(tasks)
+        self._check_invariants(tasks, records, 0.4, fifo_nic=False)
+
+    def _check_invariants(self, tasks, records, rate, fifo_nic=True):
+        assert len(records) == len(tasks)
+        by_id = {t.task_id: t for t in tasks}
+        for task_id, record in records.items():
+            task = by_id[task_id]
+            # Dependencies respected.
+            for dep in task.deps:
+                assert records[dep].end <= record.start + 1e-9
+            # Duration at least the work (never faster than full rate).
+            assert record.duration >= task.work - 1e-9
+            # Contention can at most slow by 1/rate.
+            assert record.duration <= task.work / rate + 1e-9
+
+        # No overlap within one stream.
+        for stream in STREAMS:
+            intervals = sorted(
+                (records[t.task_id].start, records[t.task_id].end)
+                for t in tasks if t.stream == stream
+                and records[t.task_id].duration > 0
+            )
+            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                assert e1 <= s2 + 1e-9
+
+        # Makespan bounded below by per-stream total work and by the
+        # longest dependency chain.
+        makespan = max(record.end for record in records.values())
+        for stream in STREAMS:
+            total = sum(t.work for t in tasks if t.stream == stream)
+            assert makespan >= total - 1e-9
+
+        # FIFO streams preserve submission order of start times.
+        if fifo_nic:
+            nic_tasks = [t for t in tasks if t.stream == NIC]
+            starts = [records[t.task_id].start for t in nic_tasks]
+            assert starts == sorted(starts)
+
+    @settings(max_examples=30, deadline=None)
+    @given(tasks=random_dag())
+    def test_determinism(self, tasks):
+        first = Engine().run(tasks)
+        second = Engine().run(tasks)
+        for task_id in first:
+            assert first[task_id].start == second[task_id].start
+            assert first[task_id].end == second[task_id].end
+
+    @settings(max_examples=30, deadline=None)
+    @given(tasks=random_dag())
+    def test_contention_only_slows_gpu_streams(self, tasks):
+        records = Engine(contention_rate=0.25).run(tasks)
+        for task in tasks:
+            if task.stream == NIC:
+                assert records[task.task_id].duration == pytest.approx(
+                    task.work, abs=1e-9
+                )

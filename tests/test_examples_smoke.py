@@ -1,0 +1,40 @@
+"""Smoke-run the fast examples as subprocesses (library-consumer view)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestFastExamples:
+    def test_timeline_trace(self, tmp_path):
+        out = _run("timeline_trace.py", "ResNet-18", str(tmp_path))
+        assert "acpsgd" in out
+        assert (tmp_path / "ResNet-18_acpsgd.json").exists()
+
+    def test_cluster_planning(self):
+        out = _run("cluster_planning.py", "ResNet-50")
+        assert "recommendation" in out
+        assert "10GbE" in out
+
+    def test_paper_evaluation_fast(self):
+        out = _run("paper_evaluation.py", "--fast", timeout=420)
+        assert "Table III" in out
+        assert "ACP-SGD mean speedups" in out
+
+    def test_adaptive_compression(self):
+        out = _run("adaptive_compression.py")
+        assert "rank @90% energy" in out
+        assert "rank 32" in out  # the paper's BERT choice, recovered

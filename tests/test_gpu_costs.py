@@ -1,0 +1,70 @@
+"""GPU-side cost helpers."""
+
+import pytest
+
+from repro.models.spec import LayerSpec, TensorSpec
+from repro.sim import gpu as G
+from repro.sim.calibration import SimConfig
+
+
+@pytest.fixture
+def sim():
+    return SimConfig()
+
+
+class TestLayerTimes:
+    def test_forward_scales_with_batch(self, sim):
+        layer = LayerSpec("l", "gemm", (), forward_flops=1e9)
+        t1 = G.layer_forward_time(layer, 1, sim)
+        t4 = G.layer_forward_time(layer, 4, sim)
+        # Launch overhead is fixed; the FLOP part scales 4x.
+        assert 3.0 < (t4 - sim.gpu.kernel_launch) / (t1 - sim.gpu.kernel_launch) < 4.01
+
+    def test_backward_uses_multiple(self, sim):
+        layer = LayerSpec("l", "gemm", (), forward_flops=1e9,
+                          backward_flops_multiple=2.0)
+        assert G.layer_backward_time(layer, 8, sim) > 1.9 * (
+            G.layer_forward_time(layer, 8, sim) - sim.gpu.kernel_launch
+        )
+
+    def test_zero_flops_layer_is_free(self, sim):
+        layer = LayerSpec("l", "elementwise", (), forward_flops=0.0)
+        assert G.layer_forward_time(layer, 8, sim) == 0.0
+
+    def test_kind_changes_rate(self, sim):
+        conv = LayerSpec("c", "conv", (), forward_flops=1e10)
+        norm = LayerSpec("n", "norm", (), forward_flops=1e10)
+        assert G.layer_forward_time(conv, 1, sim) < G.layer_forward_time(norm, 1, sim)
+
+
+class TestCompressionCosts:
+    def test_orthogonalize_launch_dominates_small_ranks(self, sim):
+        t = G.orthogonalize_time(rows=1024, rank=4, sim=sim)
+        assert t == pytest.approx(sim.qr_launch, rel=0.25)
+
+    def test_projection_scales_with_rank(self, sim):
+        t4 = G.lowrank_project_time(512, 512, 4, sim)
+        t64 = G.lowrank_project_time(512, 512, 64, sim)
+        assert t64 > 8 * (t4 - sim.gpu.kernel_launch)
+
+    def test_topk_costlier_than_sign(self, sim):
+        """The paper's Fig. 3: Top-k compression ~4x Sign-SGD's."""
+        nbytes = 440e6  # BERT-Base
+        ratio = G.topk_compress_time(nbytes, sim) / G.sign_compress_time(nbytes, sim)
+        assert 3.0 < ratio < 5.5
+
+    def test_decompress_scales_with_world(self, sim):
+        """Gathered-bits term grows with p; the fixed dense-write term
+        (total_bytes) bounds the ratio: (32/32+1)/(4/32+1) ~ 1.78."""
+        small = G.sign_decompress_time(1e8, 4, sim)
+        large = G.sign_decompress_time(1e8, 32, sim)
+        assert 1.5 * small < large < 2.5 * small
+
+    def test_error_feedback_time_positive(self, sim):
+        assert G.error_feedback_time(512, 512, sim) > 0
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            sim.kind_time("gemm", -1)
+        with pytest.raises(ValueError):
+            sim.memory_pass_time(-5)

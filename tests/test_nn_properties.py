@@ -1,0 +1,131 @@
+"""Property-based tests for the nn framework."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import nn
+
+
+class TestLinearProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        batch=st.integers(1, 6),
+        in_features=st.integers(1, 10),
+        out_features=st.integers(1, 10),
+        seed=st.integers(0, 5000),
+    )
+    def test_property_linearity(self, batch, in_features, out_features, seed):
+        """f(a x + b y) == a f(x) + b f(y) for the bias-free layer."""
+        rng = np.random.default_rng(seed)
+        layer = nn.Linear(in_features, out_features, bias=False, rng=rng)
+        x = rng.normal(size=(batch, in_features))
+        y = rng.normal(size=(batch, in_features))
+        a, b = 2.0, -0.5
+        np.testing.assert_allclose(
+            layer(a * x + b * y), a * layer(x) + b * layer(y), atol=1e-10
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        batch=st.integers(1, 5),
+        features=st.integers(1, 8),
+        seed=st.integers(0, 5000),
+    )
+    def test_property_backward_is_adjoint(self, batch, features, seed):
+        """<W x, u> == <x, W^T u>: backward implements the exact adjoint."""
+        rng = np.random.default_rng(seed)
+        layer = nn.Linear(features, features + 1, bias=False, rng=rng)
+        x = rng.normal(size=(batch, features))
+        u = rng.normal(size=(batch, features + 1))
+        out = layer(x)
+        grad_x = layer.backward(u)
+        np.testing.assert_allclose(
+            (out * u).sum(), (x * grad_x).sum(), rtol=1e-10
+        )
+
+
+class TestConvProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        channels=st.integers(1, 3),
+        size=st.integers(3, 7),
+        seed=st.integers(0, 5000),
+    )
+    def test_property_conv_adjoint(self, channels, size, seed):
+        rng = np.random.default_rng(seed)
+        layer = nn.Conv2d(channels, 2, 3, padding=1, bias=False, rng=rng)
+        x = rng.normal(size=(2, channels, size, size))
+        out = layer(x)
+        u = rng.normal(size=out.shape)
+        layer(x)
+        grad_x = layer.backward(u)
+        np.testing.assert_allclose(
+            (out * u).sum(), (x * grad_x).sum(), rtol=1e-9
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_property_translation_equivariance(self, seed):
+        """Circular-shifting the input shifts a padding-1 conv's output
+        (away from borders)."""
+        rng = np.random.default_rng(seed)
+        layer = nn.Conv2d(1, 1, 3, padding=1, bias=False, rng=rng)
+        x = rng.normal(size=(1, 1, 8, 8))
+        out = layer(x)
+        shifted = np.roll(x, 2, axis=3)
+        out_shifted = layer(shifted)
+        np.testing.assert_allclose(
+            out_shifted[0, 0, 2:-2, 4:-2], np.roll(out, 2, axis=3)[0, 0, 2:-2, 4:-2],
+            atol=1e-10,
+        )
+
+
+class TestNormalizationProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        scale=st.floats(0.5, 50.0),
+        shift=st.floats(-20.0, 20.0),
+        seed=st.integers(0, 5000),
+    )
+    def test_property_batchnorm_affine_invariance(self, scale, shift, seed):
+        """BN(a x + b) ~ BN(x) for a > 0 in training mode (up to the eps
+        term in 1/sqrt(a^2 var + eps), hence the loose tolerance)."""
+        rng = np.random.default_rng(seed)
+        layer = nn.BatchNorm2d(3)
+        x = rng.normal(size=(8, 3, 4, 4))
+        base = layer(x)
+        transformed = layer(scale * x + shift)
+        np.testing.assert_allclose(base, transformed, atol=1e-3)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 5000), dim=st.integers(2, 12))
+    def test_property_layernorm_output_statistics(self, seed, dim):
+        rng = np.random.default_rng(seed)
+        layer = nn.LayerNorm(dim)
+        x = rng.normal(loc=3, scale=5, size=(4, dim))
+        out = layer(x)
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-8)
+        # Exact identity (gamma=1, beta=0): out.var = var / (var + eps).
+        var = x.var(axis=-1)
+        np.testing.assert_allclose(
+            out.var(axis=-1), var / (var + layer.eps), rtol=1e-10
+        )
+
+
+class TestSoftmaxProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.integers(1, 6), cols=st.integers(2, 10),
+        shift=st.floats(-100, 100), seed=st.integers(0, 5000),
+    )
+    def test_property_shift_invariance_and_normalization(
+        self, rows, cols, shift, seed
+    ):
+        from repro.nn.functional import softmax
+
+        rng = np.random.default_rng(seed)
+        logits = rng.normal(size=(rows, cols))
+        probs = softmax(logits)
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, atol=1e-12)
+        np.testing.assert_allclose(softmax(logits + shift), probs, atol=1e-9)

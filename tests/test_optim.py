@@ -1,0 +1,108 @@
+"""SGD with momentum and the warmup/multi-step LR schedule."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.optim.lr_scheduler import WarmupMultiStepSchedule
+from repro.optim.sgd import SGD
+
+
+def _model(rng):
+    return nn.Linear(3, 2, rng=rng)
+
+
+class TestSGD:
+    def test_plain_step_matches_manual(self, rng):
+        model = _model(rng)
+        opt = SGD(model, lr=0.1, momentum=0.0)
+        before = model.weight.data.copy()
+        grad = rng.normal(size=model.weight.shape)
+        opt.step({"weight": grad, "bias": np.zeros(2)})
+        np.testing.assert_allclose(model.weight.data, before - 0.1 * grad)
+
+    def test_momentum_accumulates(self, rng):
+        model = _model(rng)
+        opt = SGD(model, lr=1.0, momentum=0.9)
+        grad = np.ones(model.weight.shape)
+        before = model.weight.data.copy()
+        opt.step({"weight": grad})
+        opt.step({"weight": grad})
+        # Updates: v1 = g, v2 = 0.9 g + g = 1.9 g -> total 2.9 g.
+        np.testing.assert_allclose(model.weight.data, before - 2.9 * grad)
+
+    def test_weight_decay(self, rng):
+        model = _model(rng)
+        opt = SGD(model, lr=0.1, momentum=0.0, weight_decay=0.01)
+        before = model.weight.data.copy()
+        opt.step({"weight": np.zeros(model.weight.shape)})
+        np.testing.assert_allclose(model.weight.data, before * (1 - 0.1 * 0.01))
+
+    def test_uses_param_grads_when_no_dict(self, rng):
+        model = _model(rng)
+        x = rng.normal(size=(4, 3))
+        model(x)
+        model.backward(np.ones((4, 2)))
+        before = model.weight.data.copy()
+        opt = SGD(model, lr=0.1, momentum=0.0)
+        opt.step()
+        assert not np.allclose(model.weight.data, before)
+
+    def test_missing_grads_skipped(self, rng):
+        model = _model(rng)
+        before = model.bias.data.copy()
+        SGD(model, lr=0.1).step({"weight": np.zeros(model.weight.shape)})
+        np.testing.assert_array_equal(model.bias.data, before)
+
+    def test_shape_validation(self, rng):
+        model = _model(rng)
+        opt = SGD(model, lr=0.1)
+        with pytest.raises(ValueError, match="gradient shape"):
+            opt.step({"weight": np.zeros(5)})
+
+    def test_hyperparameter_validation(self, rng):
+        model = _model(rng)
+        with pytest.raises(ValueError):
+            SGD(model, lr=0.0)
+        with pytest.raises(ValueError):
+            SGD(model, lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD(model, lr=0.1, weight_decay=-1)
+
+
+class TestSchedule:
+    def _schedule(self, rng, **kwargs):
+        opt = SGD(_model(rng), lr=0.1)
+        defaults = dict(base_lr=0.1, total_epochs=300, warmup_epochs=5,
+                        milestones=(150, 220), gamma=0.1)
+        defaults.update(kwargs)
+        return WarmupMultiStepSchedule(opt, **defaults)
+
+    def test_warmup_ramps_linearly(self, rng):
+        sched = self._schedule(rng)
+        assert sched.lr_at(0) < sched.lr_at(2.5) < sched.lr_at(4.9)
+        assert sched.lr_at(2.5) == pytest.approx(0.05, rel=0.01)
+
+    def test_plateau_then_decays(self, rng):
+        sched = self._schedule(rng)
+        assert sched.lr_at(100) == pytest.approx(0.1)
+        assert sched.lr_at(160) == pytest.approx(0.01)
+        assert sched.lr_at(250) == pytest.approx(0.001)
+
+    def test_set_epoch_updates_optimizer(self, rng):
+        sched = self._schedule(rng)
+        sched.set_epoch(200)
+        assert sched.optimizer.lr == pytest.approx(0.01)
+
+    def test_no_warmup(self, rng):
+        sched = self._schedule(rng, warmup_epochs=0)
+        assert sched.lr_at(0) == pytest.approx(0.1)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="sorted"):
+            self._schedule(rng, milestones=(220, 150))
+        with pytest.raises(ValueError, match="warmup"):
+            self._schedule(rng, warmup_epochs=500)
+        sched = self._schedule(rng)
+        with pytest.raises(ValueError, match="epoch"):
+            sched.lr_at(-1)

@@ -1,0 +1,63 @@
+"""Orthogonalization: orthonormality, span preservation, degenerate inputs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.orthogonalize import orthogonalize
+
+
+class TestOrthogonalize:
+    def test_columns_orthonormal(self, rng):
+        q = orthogonalize(rng.normal(size=(20, 4)))
+        np.testing.assert_allclose(q.T @ q, np.eye(4), atol=1e-10)
+
+    def test_preserves_column_span(self, rng):
+        m = rng.normal(size=(10, 3))
+        q = orthogonalize(m)
+        # Projection of M onto span(Q) recovers M.
+        projected = q @ (q.T @ m)
+        np.testing.assert_allclose(projected, m, atol=1e-8)
+
+    def test_rank_deficient_input(self, rng):
+        col = rng.normal(size=(10, 1))
+        m = np.hstack([col, col, col])  # rank 1, 3 columns
+        q = orthogonalize(m)
+        # First column spans the input; remaining are unit and orthogonal.
+        gram = q.T @ q
+        np.testing.assert_allclose(np.diag(gram), 1.0, atol=1e-8)
+        np.testing.assert_allclose(gram, np.eye(3), atol=1e-8)
+
+    def test_zero_matrix(self):
+        q = orthogonalize(np.zeros((8, 2)))
+        # Degenerate columns are re-randomized to unit vectors.
+        np.testing.assert_allclose(q.T @ q, np.eye(2), atol=1e-8)
+
+    def test_wide_matrix_rows_less_than_cols(self, rng):
+        q = orthogonalize(rng.normal(size=(2, 5)))
+        assert q.shape == (2, 5)
+        # Only 2 directions exist; first two columns orthonormal.
+        np.testing.assert_allclose(q[:, :2].T @ q[:, :2], np.eye(2), atol=1e-8)
+
+    def test_rejects_non_matrix(self, rng):
+        with pytest.raises(ValueError, match="2-D"):
+            orthogonalize(rng.normal(size=5))
+
+    def test_rejects_nan(self):
+        m = np.ones((4, 2))
+        m[0, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            orthogonalize(m)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rows=st.integers(2, 30),
+        cols=st.integers(1, 6),
+        seed=st.integers(0, 10_000),
+    )
+    def test_property_orthonormal_for_tall_random(self, rows, cols, seed):
+        if rows < cols:
+            rows, cols = cols, rows
+        rng = np.random.default_rng(seed)
+        q = orthogonalize(rng.normal(size=(rows, cols)))
+        np.testing.assert_allclose(q.T @ q, np.eye(cols), atol=1e-8)

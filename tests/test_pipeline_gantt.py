@@ -1,0 +1,135 @@
+"""Steady-state pipeline simulation, priority scheduling, Gantt rendering."""
+
+import pytest
+
+from repro.models import get_model_spec
+from repro.sim.engine import GPU_MAIN, NIC, Engine, Task
+from repro.sim.gantt import render_gantt
+from repro.sim.pipeline import simulate_steady_state
+from repro.sim.strategies import ClusterSpec, simulate_iteration_records
+
+
+@pytest.fixture(scope="module")
+def resnet18():
+    return get_model_spec("ResNet-18")
+
+
+class TestPriorityDiscipline:
+    def test_priority_overrides_submission_order(self):
+        """On a priority stream, a later-submitted high-priority ready task
+        runs before an earlier low-priority one."""
+        engine = Engine(disciplines={NIC: "priority"})
+        records = engine.run([
+            Task("low", NIC, 1.0, priority=0),
+            Task("high", NIC, 1.0, priority=5),
+        ])
+        assert records["high"].start == pytest.approx(0.0)
+        assert records["low"].start == pytest.approx(1.0)
+
+    def test_no_head_of_line_blocking(self):
+        """A blocked high-priority head does not stall ready work."""
+        engine = Engine(disciplines={NIC: "priority"})
+        records = engine.run([
+            Task("gate", GPU_MAIN, 2.0),
+            Task("blocked", NIC, 1.0, deps=("gate",), priority=9),
+            Task("free", NIC, 1.0, priority=0),
+        ])
+        assert records["free"].start == pytest.approx(0.0)
+        assert records["blocked"].start == pytest.approx(2.0)
+
+    def test_non_preemptive(self):
+        """A running task finishes even if a higher priority becomes ready."""
+        engine = Engine(disciplines={NIC: "priority"})
+        records = engine.run([
+            Task("long", NIC, 3.0, priority=0),
+            Task("gate", GPU_MAIN, 1.0),
+            Task("urgent", NIC, 1.0, deps=("gate",), priority=9),
+        ])
+        assert records["long"].end == pytest.approx(3.0)
+        assert records["urgent"].start == pytest.approx(3.0)
+
+    def test_fifo_unchanged_by_default(self):
+        records = Engine().run([
+            Task("a", NIC, 1.0, priority=0),
+            Task("b", NIC, 1.0, priority=9),
+        ])
+        assert records["a"].end <= records["b"].start
+
+    def test_invalid_discipline(self):
+        with pytest.raises(ValueError, match="discipline"):
+            Engine(disciplines={NIC: "weighted-fair"})
+
+
+class TestSteadyState:
+    def test_steady_not_worse_than_single(self, resnet18):
+        result = simulate_steady_state(
+            "acpsgd", resnet18, cluster=ClusterSpec(8), batch_size=16,
+            rank=4, iterations=3,
+        )
+        assert result.steady_iteration <= result.single_iteration * 1.01
+        assert result.pipeline_gain >= 0.99
+
+    def test_nonblocking_methods_pipeline(self, resnet18):
+        """Pipelined chaining is at least as good as the full barrier."""
+        barrier = simulate_steady_state(
+            "ssgd", resnet18, batch_size=16, iterations=3, pipelined=False,
+        )
+        pipelined = simulate_steady_state(
+            "ssgd", resnet18, batch_size=16, iterations=3, pipelined=True,
+        )
+        assert pipelined.steady_iteration <= barrier.steady_iteration * 1.001
+
+    def test_priority_comm_not_worse(self, resnet18):
+        fifo = simulate_steady_state("ssgd", resnet18, batch_size=16,
+                                     iterations=3)
+        prio = simulate_steady_state("ssgd", resnet18, batch_size=16,
+                                     iterations=3, priority_comm=True)
+        assert prio.steady_iteration <= fifo.steady_iteration * 1.005
+
+    def test_iterations_validation(self, resnet18):
+        with pytest.raises(ValueError, match="iterations"):
+            simulate_steady_state("ssgd", resnet18, iterations=1)
+
+
+class TestGantt:
+    def test_renders_rows_and_legend(self, resnet18):
+        records = simulate_iteration_records("acpsgd", resnet18,
+                                             batch_size=16, rank=4)
+        chart = render_gantt(records, width=60)
+        lines = chart.splitlines()
+        assert any(line.startswith(" gpu |") for line in lines)
+        assert any(line.startswith(" nic |") for line in lines)
+        assert "F=forward" in chart
+
+    def test_side_stream_shown_only_when_used(self, resnet18):
+        acp = render_gantt(
+            simulate_iteration_records("acpsgd", resnet18, batch_size=16,
+                                       rank=4), width=50,
+        )
+        assert "side" not in acp
+        star = render_gantt(
+            simulate_iteration_records("powersgd_star", resnet18,
+                                       batch_size=16, rank=4), width=50,
+        )
+        assert "side" in star
+
+    def test_row_width_matches(self, resnet18):
+        records = simulate_iteration_records("ssgd", resnet18, batch_size=16)
+        chart = render_gantt(records, width=40)
+        gpu_row = next(l for l in chart.splitlines() if l.startswith(" gpu"))
+        assert len(gpu_row.split("|")[1]) == 40
+
+    def test_empty_and_validation(self):
+        assert render_gantt({}) == "(empty timeline)"
+        with pytest.raises(ValueError, match="width"):
+            render_gantt({}, width=2)
+
+
+class TestFig4:
+    def test_charts_render(self):
+        from repro.experiments.fig4 import render, run_fig4
+
+        charts = run_fig4(model_name="ResNet-18", width=50)
+        text = render(charts)
+        assert "Power-SGD*" in text and "ACP-SGD" in text
+        assert text.count("F=forward") == 3

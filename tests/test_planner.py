@@ -1,0 +1,61 @@
+"""Deployment planner."""
+
+import pytest
+
+from repro.planner import Plan, plan
+
+
+class TestPlanner:
+    @pytest.fixture(scope="class")
+    def bert_plan(self):
+        return plan("BERT-Large", gpus=32, link="10GbE", tune_buffer=False)
+
+    def test_recommends_acpsgd_for_bert_on_ethernet(self, bert_plan):
+        """The paper's headline configuration: ACP-SGD wins."""
+        assert bert_plan.recommended_method == "acpsgd"
+        assert bert_plan.speedup_over_ssgd > 5.0
+
+    def test_all_candidates_assessed(self, bert_plan):
+        methods = {a.method for a in bert_plan.assessments}
+        assert {"ssgd", "signsgd", "topk", "powersgd",
+                "powersgd_star", "acpsgd"} == methods
+
+    def test_signsgd_flagged_oom_on_bert_large(self, bert_plan):
+        sign = next(a for a in bert_plan.assessments if a.method == "signsgd")
+        assert not sign.fits_memory
+
+    def test_render(self, bert_plan):
+        text = bert_plan.render()
+        assert "recommended" in text
+        assert "BERT-Large" in text and "32 GPUs" in text
+
+    def test_never_recommends_low_quality_method(self):
+        """Even if Top-k simulated faster, the quality tier excludes it."""
+        result = plan("BERT-Large", gpus=32, link="1GbE", tune_buffer=False)
+        assert result.recommended_method in (
+            "ssgd", "powersgd", "powersgd_star", "acpsgd"
+        )
+
+    def test_fast_network_small_model_keeps_ssgd_competitive(self):
+        """On 100Gb IB with ResNet-50 the planner may keep S-SGD; whatever
+        it picks must not be slower than S-SGD."""
+        result = plan("ResNet-50", gpus=32, link="100GbIB", rank=4,
+                      tune_buffer=False)
+        ssgd = next(a for a in result.assessments if a.method == "ssgd")
+        winner = next(a for a in result.assessments
+                      if a.method == result.recommended_method)
+        assert winner.iteration_ms <= ssgd.iteration_ms + 1e-9
+
+    def test_buffer_tuning_improves_or_matches(self):
+        untuned = plan("ResNet-152", gpus=16, rank=4, tune_buffer=False)
+        tuned = plan("ResNet-152", gpus=16, rank=4, tune_buffer=True)
+        assert tuned.expected_iteration_ms <= untuned.expected_iteration_ms + 1e-9
+        assert tuned.tuned_buffer_mb > 0
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(ValueError, match="unknown link"):
+            plan("ResNet-50", link="5GbE")
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            plan("AlexNet")

@@ -1,0 +1,60 @@
+"""Gradient-to-matrix reshaping rules (§IV-C)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.reshaping import (
+    grad_to_matrix,
+    matrix_to_grad,
+    matrix_view_shape,
+    should_compress,
+)
+
+
+class TestShouldCompress:
+    def test_vectors_never_compressed(self):
+        assert not should_compress(())
+        assert not should_compress((64,))
+
+    def test_matrices_compressed(self):
+        assert should_compress((64, 64))
+        assert should_compress((64, 3, 7, 7))
+
+    def test_min_elements_floor(self):
+        assert not should_compress((4, 4), min_elements=100)
+        assert should_compress((100, 100), min_elements=100)
+
+
+class TestMatrixView:
+    def test_conv_flattening(self):
+        assert matrix_view_shape((64, 3, 7, 7)) == (64, 147)
+
+    def test_linear_identity(self):
+        assert matrix_view_shape((128, 256)) == (128, 256)
+
+    def test_vector_rejected(self):
+        with pytest.raises(ValueError, match="matrix"):
+            matrix_view_shape((5,))
+
+    def test_roundtrip(self, rng):
+        grad = rng.normal(size=(8, 3, 3, 3))
+        matrix = grad_to_matrix(grad)
+        assert matrix.shape == (8, 27)
+        back = matrix_to_grad(matrix, (8, 3, 3, 3))
+        np.testing.assert_array_equal(back, grad)
+
+    def test_matrix_to_grad_shape_validation(self, rng):
+        with pytest.raises(ValueError, match="does not match"):
+            matrix_to_grad(rng.normal(size=(4, 4)), (4, 5))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        dims=st.lists(st.integers(1, 6), min_size=2, max_size=4),
+        seed=st.integers(0, 1000),
+    )
+    def test_property_roundtrip_preserves_values(self, dims, seed):
+        rng = np.random.default_rng(seed)
+        grad = rng.normal(size=tuple(dims))
+        back = matrix_to_grad(grad_to_matrix(grad), tuple(dims))
+        np.testing.assert_array_equal(back, grad)

@@ -1,0 +1,73 @@
+"""Breakdown accounting over task records."""
+
+import pytest
+
+from repro.sim.engine import GPU_MAIN, NIC, Task, TaskRecord
+from repro.sim.results import IterationBreakdown, breakdown_from_records
+
+
+def record(task_id, stream, tag, start, end):
+    return TaskRecord(Task(task_id, stream, end - start, tag=tag), start, end)
+
+
+class TestBreakdown:
+    def test_pure_compute(self):
+        records = {
+            "ff": record("ff", GPU_MAIN, "forward", 0.0, 1.0),
+            "bp": record("bp", GPU_MAIN, "backward", 1.0, 3.0),
+        }
+        bd = breakdown_from_records(records)
+        assert bd.total == pytest.approx(3.0)
+        assert bd.ffbp == pytest.approx(3.0)
+        assert bd.compression == 0.0
+        assert bd.comm_nonoverlap == 0.0
+
+    def test_comm_overlapped_by_compute_not_counted(self):
+        records = {
+            "bp": record("bp", GPU_MAIN, "backward", 0.0, 2.0),
+            "comm": record("comm", NIC, "comm", 1.0, 3.0),
+        }
+        bd = breakdown_from_records(records)
+        assert bd.total == pytest.approx(3.0)
+        assert bd.ffbp == pytest.approx(2.0)
+        assert bd.comm_nonoverlap == pytest.approx(1.0)  # only the tail
+
+    def test_compression_hidden_behind_backward(self):
+        records = {
+            "bp": record("bp", GPU_MAIN, "backward", 0.0, 3.0),
+            "comp": record("comp", GPU_MAIN, "compression", 3.0, 4.0),
+            "overlapped_comp": record("c2", "gpu_side", "compression", 1.0, 2.0),
+        }
+        bd = breakdown_from_records(records)
+        assert bd.ffbp == pytest.approx(3.0)
+        assert bd.compression == pytest.approx(1.0)  # only the exposed part
+
+    def test_components_sum_to_total(self):
+        records = {
+            "ff": record("ff", GPU_MAIN, "forward", 0.0, 1.0),
+            "comp": record("comp", GPU_MAIN, "compression", 1.0, 2.0),
+            "comm": record("comm", NIC, "comm", 2.0, 4.0),
+        }
+        bd = breakdown_from_records(records)
+        assert bd.ffbp + bd.compression + bd.comm_nonoverlap == pytest.approx(bd.total)
+
+    def test_idle_gaps_not_attributed(self):
+        records = {
+            "ff": record("ff", GPU_MAIN, "forward", 0.0, 1.0),
+            "comm": record("comm", NIC, "comm", 2.0, 3.0),
+        }
+        bd = breakdown_from_records(records)
+        assert bd.total == pytest.approx(3.0)
+        assert bd.ffbp + bd.compression + bd.comm_nonoverlap == pytest.approx(2.0)
+
+    def test_empty_records(self):
+        bd = breakdown_from_records({})
+        assert bd.total == 0.0
+
+    def test_milliseconds_and_render(self):
+        bd = IterationBreakdown(total=0.25, ffbp=0.2, compression=0.03,
+                                comm_nonoverlap=0.02)
+        total, ffbp, comp, comm = bd.milliseconds
+        assert total == pytest.approx(250)
+        text = bd.render("acpsgd")
+        assert "acpsgd" in text and "250.0ms" in text

@@ -1,0 +1,55 @@
+"""Smoke grid: every method x every paper model simulates sanely."""
+
+import pytest
+
+from repro.models import get_model_spec
+from repro.models.registry import PAPER_RANKS
+from repro.sim.strategies import ALL_METHODS as METHODS
+from repro.sim.strategies import ClusterSpec, simulate_iteration
+
+MODELS = ("ResNet-50", "ResNet-152", "BERT-Base", "BERT-Large",
+          "ResNet-18", "VGG-16")
+
+
+@pytest.fixture(scope="module")
+def grid():
+    """Simulate the full grid once (fast: <5s total)."""
+    results = {}
+    for model_name in MODELS:
+        spec = get_model_spec(model_name)
+        for method in METHODS:
+            results[(model_name, method)] = simulate_iteration(
+                method, spec, cluster=ClusterSpec(16),
+                rank=PAPER_RANKS[model_name],
+            )
+    return results
+
+
+class TestGrid:
+    @pytest.mark.parametrize("model_name", MODELS)
+    @pytest.mark.parametrize("method", METHODS)
+    def test_breakdown_sane(self, grid, model_name, method):
+        bd = grid[(model_name, method)]
+        assert bd.total > 0
+        assert bd.ffbp > 0
+        assert bd.compression >= 0
+        assert bd.comm_nonoverlap >= 0
+        assert bd.ffbp + bd.compression + bd.comm_nonoverlap <= bd.total + 1e-9
+        # Nothing takes absurdly long (catching unit errors): < 60s/iter.
+        assert bd.total < 60.0
+
+    @pytest.mark.parametrize("model_name", MODELS)
+    def test_ffbp_consistent_across_methods(self, grid, model_name):
+        """All methods share the same model compute; their FF&BP components
+        may differ only by overlap accounting and contention (<= ~2.5x)."""
+        values = [grid[(model_name, m)].ffbp for m in METHODS]
+        assert max(values) < 2.5 * min(values)
+
+    @pytest.mark.parametrize("model_name", MODELS)
+    def test_ssgd_has_no_compression_cost(self, grid, model_name):
+        assert grid[(model_name, "ssgd")].compression == 0.0
+
+    def test_vgg16_is_a_compression_showcase(self, grid):
+        """VGG-16's 138M params (two-thirds in one FC matrix) make low-rank
+        compression spectacular — ACP-SGD should crush S-SGD."""
+        assert grid[("VGG-16", "acpsgd")].total < 0.5 * grid[("VGG-16", "ssgd")].total

@@ -1,0 +1,186 @@
+"""TernGrad quantizer and Adam optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.comm.process_group import ProcessGroup
+from repro.compression.terngrad import (
+    TernGradCompressor,
+    _pack_ternary,
+    _unpack_ternary,
+)
+from repro.models.convnets import make_mlp
+from repro.optim.adam import Adam
+from repro.optim.aggregators import make_aggregator
+
+
+class TestTernaryPacking:
+    def test_roundtrip(self, rng):
+        values = rng.integers(-1, 2, size=37).astype(np.int8)
+        packed = _pack_ternary(values)
+        assert packed.nbytes == 10  # ceil(37/4)
+        recovered = _unpack_ternary(packed, 37)
+        np.testing.assert_array_equal(recovered, values.astype(np.float64))
+
+    def test_exact_multiple_of_four(self, rng):
+        values = rng.integers(-1, 2, size=16).astype(np.int8)
+        recovered = _unpack_ternary(_pack_ternary(values), 16)
+        np.testing.assert_array_equal(recovered, values)
+
+
+class TestTernGrad:
+    def test_values_are_ternary(self, rng):
+        comp = TernGradCompressor(rng)
+        grad = rng.normal(size=200)
+        payload = comp.compress(grad)
+        dense = TernGradCompressor.decompress(payload, (200,))
+        levels = np.unique(np.round(np.abs(dense), 12))
+        assert len(levels) <= 2  # {0, s}
+
+    def test_unbiasedness(self, rng):
+        comp = TernGradCompressor(rng)
+        x = rng.normal(size=48)
+        total = np.zeros(48)
+        trials = 4000
+        for _ in range(trials):
+            payload = comp.compress(x)
+            total += TernGradCompressor.decompress(payload, (48,))
+        np.testing.assert_allclose(total / trials, x, atol=0.08)
+
+    def test_payload_is_16x_smaller(self, rng):
+        grad = rng.normal(size=6400)
+        payload = TernGradCompressor(rng).compress(grad)
+        assert payload.packed.nbytes == 1600  # 2 bits/element
+
+    def test_zero_gradient(self):
+        payload = TernGradCompressor().compress(np.zeros(10))
+        np.testing.assert_array_equal(
+            TernGradCompressor.decompress(payload, (10,)), np.zeros(10)
+        )
+
+    def test_clipping_reduces_scale(self, rng):
+        grad = rng.normal(size=1000)
+        grad[0] = 100.0  # outlier
+        unclipped = TernGradCompressor(rng, clip_sigma=0.0).compress(grad)
+        clipped = TernGradCompressor(rng, clip_sigma=2.5).compress(grad)
+        assert clipped.scale < unclipped.scale
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="clip_sigma"):
+            TernGradCompressor(clip_sigma=-1)
+
+    def test_aggregator_registered(self, rng):
+        agg = make_aggregator("terngrad", ProcessGroup(3))
+        per_worker = [{"w": rng.normal(size=(6, 6))} for _ in range(3)]
+        out = agg.aggregate(per_worker)
+        assert out["w"].shape == (6, 6)
+        assert np.isfinite(out["w"]).all()
+
+    def test_aggregator_uses_allgather(self, rng):
+        group = ProcessGroup(2)
+        make_aggregator("terngrad", group).aggregate(
+            [{"w": rng.normal(size=8)} for _ in range(2)]
+        )
+        assert any(s.algorithm == "all_gather" for s in group.history)
+
+
+class TestAdam:
+    def test_first_step_is_lr_sized(self, rng):
+        """With bias correction, the first update has magnitude ~lr."""
+        model = make_mlp(4, 8, 2, rng=rng)
+        opt = Adam(model, lr=0.01)
+        before = model.parameters()[0].data.copy()
+        grads = {n: rng.normal(size=p.shape)
+                 for n, p in model.named_parameters()}
+        opt.step(grads)
+        delta = np.abs(model.parameters()[0].data - before)
+        assert np.median(delta) == pytest.approx(0.01, rel=0.05)
+
+    def test_adapts_to_gradient_scale(self, rng):
+        """Coordinates with persistently large gradients get the same step
+        size as small ones (the defining Adam property)."""
+        model = make_mlp(4, 8, 2, rng=rng)
+        opt = Adam(model, lr=0.01)
+        name, param = next(iter(model.named_parameters()))
+        grad = np.ones(param.shape)
+        grad.reshape(-1)[0] = 1000.0
+        before = param.data.copy()
+        for _ in range(5):
+            opt.step({name: grad})
+        delta = np.abs(param.data - before).reshape(-1)
+        assert delta[0] == pytest.approx(delta[1], rel=0.05)
+
+    def test_optimizes_quadratic(self, rng):
+        """Adam reaches the optimum of a simple quadratic."""
+        from repro.nn.linear import Linear
+
+        model = Linear(1, 1, bias=False, rng=rng)
+        opt = Adam(model, lr=0.1)
+        target = 3.0
+        for _ in range(200):
+            grad = 2 * (model.weight.data - target)
+            opt.step({"weight": grad})
+        assert model.weight.data[0, 0] == pytest.approx(target, abs=0.05)
+
+    def test_weight_decay(self, rng):
+        model = make_mlp(4, 8, 2, rng=rng)
+        opt = Adam(model, lr=0.1, weight_decay=0.1)
+        name, param = next(iter(model.named_parameters()))
+        before = np.abs(param.data).sum()
+        for _ in range(20):
+            opt.step({name: np.zeros(param.shape)})
+        assert np.abs(param.data).sum() < before
+
+    def test_trains_mlp(self, rng):
+        from repro.nn.loss import CrossEntropyLoss
+
+        model = make_mlp(8, 16, 3, rng=np.random.default_rng(0))
+        opt = Adam(model, lr=0.01)
+        loss_fn = CrossEntropyLoss()
+        centers = np.random.default_rng(5).normal(size=(3, 8)) * 3
+        losses = []
+        for step in range(50):
+            r = np.random.default_rng(step)
+            y = r.integers(0, 3, size=32)
+            x = centers[y] + r.normal(size=(32, 8))
+            model.zero_grad()
+            losses.append(loss_fn(model(x), y))
+            model.backward(loss_fn.backward())
+            opt.step()
+        assert np.mean(losses[-10:]) < 0.3 * np.mean(losses[:10])
+
+    def test_works_with_data_parallel_trainer(self):
+        """Adam is interface-compatible with the trainer (duck-typed)."""
+        from repro.comm.process_group import ProcessGroup
+        from repro.models.transformer import make_tiny_bert
+        from repro.optim.aggregators import make_aggregator
+        from repro.train.datasets import make_token_classification
+        from repro.train.trainer import DataParallelTrainer
+
+        train_data, test_data = make_token_classification(
+            num_train=320, num_test=80, vocab_size=24, seq_len=8,
+            num_classes=4, seed=2,
+        )
+        model = make_tiny_bert(vocab_size=24, hidden=16, num_layers=1,
+                               num_heads=2, max_seq=8, num_classes=4,
+                               rng=np.random.default_rng(1))
+        trainer = DataParallelTrainer(
+            model, Adam(model, lr=0.01),
+            make_aggregator("acpsgd", ProcessGroup(2), rank=4),
+            train_data, test_data, batch_size_per_worker=16, seed=5,
+        )
+        for _ in range(20):
+            trainer.train_step()
+        assert trainer.evaluate() > 0.4  # chance = 0.25
+
+    def test_validation(self, rng):
+        model = make_mlp(4, 8, 2, rng=rng)
+        with pytest.raises(ValueError):
+            Adam(model, lr=0)
+        with pytest.raises(ValueError):
+            Adam(model, beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam(model, eps=0)
+        opt = Adam(model)
+        with pytest.raises(ValueError, match="gradient shape"):
+            opt.step({"layers.0.weight": np.zeros(3)})

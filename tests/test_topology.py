@@ -1,0 +1,95 @@
+"""Hierarchical topology cost model."""
+
+import pytest
+
+from repro.comm.topology import (
+    ClusterTopology,
+    NVLINK2,
+    PCIE3_X16,
+    best_allreduce_time,
+    crossover_bytes,
+    flat_allreduce_time,
+    hierarchical_allreduce_time,
+)
+
+PAPER_TESTBED = ClusterTopology(num_nodes=8, gpus_per_node=4)
+
+
+class TestTopology:
+    def test_world_size(self):
+        assert PAPER_TESTBED.world_size == 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterTopology(num_nodes=0, gpus_per_node=4)
+        with pytest.raises(ValueError):
+            ClusterTopology(num_nodes=2, gpus_per_node=0)
+        with pytest.raises(ValueError):
+            flat_allreduce_time(-1, PAPER_TESTBED)
+        with pytest.raises(ValueError):
+            hierarchical_allreduce_time(-1, PAPER_TESTBED)
+
+    def test_zero_and_single(self):
+        assert hierarchical_allreduce_time(0, PAPER_TESTBED) == 0.0
+        single = ClusterTopology(1, 1)
+        assert hierarchical_allreduce_time(1e6, single) == 0.0
+
+
+class TestFlatVsHierarchical:
+    def test_hierarchical_wins_for_small_messages(self):
+        """Start-up bound: 2*(8-1) slow steps beat 2*(32-1)."""
+        small = 64 * 1024
+        assert hierarchical_allreduce_time(small, PAPER_TESTBED) < \
+            flat_allreduce_time(small, PAPER_TESTBED)
+
+    def test_fast_intra_link_hierarchical_dominates(self):
+        """With PCIe >> 10GbE, the intra detour is nearly free and the
+        hierarchy also shaves the bandwidth factor ((nodes-1)/nodes vs
+        (p-1)/p) — hierarchical wins at every size, but its *relative*
+        advantage shrinks as messages grow (startup amortizes away)."""
+        small, huge = 64 * 1024, 1e9
+        adv_small = flat_allreduce_time(small, PAPER_TESTBED) / \
+            hierarchical_allreduce_time(small, PAPER_TESTBED)
+        adv_huge = flat_allreduce_time(huge, PAPER_TESTBED) / \
+            hierarchical_allreduce_time(huge, PAPER_TESTBED)
+        assert adv_small > 2.0
+        assert 1.0 < adv_huge < 1.3
+        assert crossover_bytes(PAPER_TESTBED) == pytest.approx(1e9)
+
+    def test_slow_intra_link_crossover(self):
+        """When the intra link is no faster than the inter link, the
+        detour costs real bandwidth and flat wins for large messages."""
+        slow = ClusterTopology(
+            8, 4,
+            intra_link=PAPER_TESTBED.inter_link,
+            inter_link=PAPER_TESTBED.inter_link,
+        )
+        crossover = crossover_bytes(slow)
+        assert 1e3 < crossover < 1e9
+        below, above = crossover / 4, crossover * 4
+        assert hierarchical_allreduce_time(below, slow) < \
+            flat_allreduce_time(below, slow)
+        assert hierarchical_allreduce_time(above, slow) > \
+            flat_allreduce_time(above, slow)
+
+    def test_best_picks_minimum(self):
+        for nbytes in (1e4, 1e6, 1e8):
+            best = best_allreduce_time(nbytes, PAPER_TESTBED)
+            assert best == min(
+                flat_allreduce_time(nbytes, PAPER_TESTBED),
+                hierarchical_allreduce_time(nbytes, PAPER_TESTBED),
+            )
+
+    def test_nvlink_speeds_up_hierarchical(self):
+        pcie = ClusterTopology(8, 4, intra_link=PCIE3_X16)
+        nvlink = ClusterTopology(8, 4, intra_link=NVLINK2)
+        nbytes = 100e6
+        assert hierarchical_allreduce_time(nbytes, nvlink) < \
+            hierarchical_allreduce_time(nbytes, pcie)
+
+    def test_monotone_in_bytes(self):
+        times = [
+            hierarchical_allreduce_time(n, PAPER_TESTBED)
+            for n in (1e4, 1e5, 1e6, 1e7)
+        ]
+        assert times == sorted(times)

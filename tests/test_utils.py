@@ -1,0 +1,83 @@
+"""Utilities: seeding and formatting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.utils import (
+    format_bytes,
+    format_count,
+    format_seconds,
+    render_table,
+    seeded_rng,
+    spawn_rngs,
+)
+
+
+class TestSeeding:
+    def test_same_seed_same_stream(self):
+        a = seeded_rng(42).normal(size=10)
+        b = seeded_rng(42).normal(size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = seeded_rng(1).normal(size=10)
+        b = seeded_rng(2).normal(size=10)
+        assert not np.allclose(a, b)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            seeded_rng(-1)
+
+    def test_spawn_decorrelated_and_deterministic(self):
+        rngs1 = spawn_rngs(7, 4)
+        rngs2 = spawn_rngs(7, 4)
+        for r1, r2 in zip(rngs1, rngs2):
+            np.testing.assert_array_equal(r1.normal(size=5), r2.normal(size=5))
+        draws = [r.normal(size=100) for r in spawn_rngs(7, 4)]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                corr = np.corrcoef(draws[i], draws[j])[0, 1]
+                assert abs(corr) < 0.35
+
+    def test_spawn_validation(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, 0)
+
+
+class TestFormatting:
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512B"
+        assert format_bytes(25 * 1024 * 1024) == "25.00MB"
+        assert format_bytes(3 * 1024**3) == "3.00GB"
+
+    def test_format_count(self):
+        assert format_count(999) == "999"
+        assert format_count(25.6e6) == "25.6M"
+        assert format_count(1.3e9) == "1.3B"
+
+    def test_format_seconds(self):
+        assert format_seconds(5e-5) == "50.0us"
+        assert format_seconds(0.266) == "266.0ms"
+        assert format_seconds(2.5) == "2.50s"
+
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+    def test_render_table_validates_row_width(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [["1"]])
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.lists(
+            st.lists(st.text(alphabet="abc123", max_size=8), min_size=2, max_size=2),
+            min_size=1, max_size=6,
+        )
+    )
+    def test_property_render_table_line_count(self, rows):
+        text = render_table(["x", "y"], rows)
+        assert len(text.splitlines()) == 2 + len(rows)

@@ -1,0 +1,75 @@
+"""Iteration-time variance simulation."""
+
+import pytest
+
+from repro.models import get_model_spec
+from repro.sim.variance import (
+    IterationDistribution,
+    simulate_iteration_distribution,
+)
+from repro.sim.strategies import ClusterSpec, simulate_iteration
+
+
+@pytest.fixture(scope="module")
+def resnet18():
+    return get_model_spec("ResNet-18")
+
+
+class TestVariance:
+    def test_mean_close_to_deterministic(self, resnet18):
+        dist = simulate_iteration_distribution(
+            "ssgd", resnet18, cluster=ClusterSpec(8), batch_size=16,
+            iterations=12, seed=1,
+        )
+        base = simulate_iteration(
+            "ssgd", resnet18, cluster=ClusterSpec(8), batch_size=16
+        ).total
+        assert dist.mean == pytest.approx(base, rel=0.05)
+
+    def test_std_small_relative_to_mean(self, resnet18):
+        """Per-task 2% jitter averages out over hundreds of tasks — the
+        paper's <=1% iteration-level std."""
+        dist = simulate_iteration_distribution(
+            "acpsgd", resnet18, cluster=ClusterSpec(8), batch_size=16,
+            rank=4, iterations=12, seed=2,
+        )
+        assert 0 < dist.std < 0.05 * dist.mean
+
+    def test_zero_jitter_acp_still_varies_by_parity(self, resnet18):
+        """With sigma=0, ACP-SGD's P/Q parity alternation is the only
+        variance source — std > 0 but tiny; S-SGD is exactly constant."""
+        acp = simulate_iteration_distribution(
+            "acpsgd", resnet18, cluster=ClusterSpec(8), batch_size=16,
+            rank=4, iterations=6, jitter_sigma=0.0,
+        )
+        assert acp.std >= 0.0
+        ssgd = simulate_iteration_distribution(
+            "ssgd", resnet18, cluster=ClusterSpec(8), batch_size=16,
+            iterations=6, jitter_sigma=0.0,
+        )
+        assert ssgd.std == pytest.approx(0.0, abs=1e-12)
+
+    def test_deterministic_given_seed(self, resnet18):
+        a = simulate_iteration_distribution(
+            "ssgd", resnet18, batch_size=16, iterations=5, seed=7)
+        b = simulate_iteration_distribution(
+            "ssgd", resnet18, batch_size=16, iterations=5, seed=7)
+        assert a.samples == b.samples
+
+    def test_more_jitter_more_std(self, resnet18):
+        small = simulate_iteration_distribution(
+            "ssgd", resnet18, batch_size=16, iterations=10,
+            jitter_sigma=0.01, seed=3)
+        large = simulate_iteration_distribution(
+            "ssgd", resnet18, batch_size=16, iterations=10,
+            jitter_sigma=0.10, seed=3)
+        assert large.std > 2 * small.std
+
+    def test_render_and_validation(self, resnet18):
+        dist = IterationDistribution((0.1, 0.11, 0.09))
+        assert "+/-" in dist.render("x")
+        with pytest.raises(ValueError, match="iterations"):
+            simulate_iteration_distribution("ssgd", resnet18, iterations=1)
+        with pytest.raises(ValueError, match="jitter"):
+            simulate_iteration_distribution("ssgd", resnet18,
+                                            jitter_sigma=-0.1)
