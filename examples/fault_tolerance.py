@@ -1,0 +1,96 @@
+"""Fault-injected resilient training + iteration time under faults.
+
+Part 1 trains a small convnet on two simulated workers with ACP-SGD while
+the wire misbehaves — random payload corruption plus one transient rank
+outage — through the self-healing :class:`ResilientProcessGroup`, and
+compares the trajectory against an identically seeded fault-free control.
+Because every injected fault is recovered within the retry budget, the two
+runs end with *bit-identical* weights.
+
+Part 2 asks the performance question on the simulator: what do 3-sigma
+stragglers and a 1% transfer drop rate do to ACP-SGD vs S-SGD iteration
+time on a 32-GPU cluster?
+
+Run:
+    python examples/fault_tolerance.py [--epochs 2] [--steps 10]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    ResilientProcessGroup,
+    TransientFailure,
+)
+from repro.models import get_model_spec, make_small_vgg
+from repro.optim import SGD, make_aggregator
+from repro.sim.faults import FaultModel, compare_methods_under_faults
+from repro.train import DataParallelTrainer, ResilienceConfig, make_cifar_like
+
+WORLD_SIZE = 2
+
+
+def train(injector, epochs: int, steps: int):
+    """One resilient training run; returns (history, group, trainer)."""
+    train_data, test_data = make_cifar_like(num_train=512, num_test=200, seed=3)
+    model = make_small_vgg(base_width=8, rng=np.random.default_rng(7))
+    group = ResilientProcessGroup(WORLD_SIZE, injector=injector)
+    aggregator = make_aggregator("acpsgd", group, rank=4)
+    trainer = DataParallelTrainer(
+        model, SGD(model, lr=0.06, momentum=0.9), aggregator,
+        train_data, test_data, batch_size_per_worker=16, seed=11,
+        resilience=ResilienceConfig(),
+    )
+    history = trainer.run(epochs, steps, method_label="acpsgd")
+    return history, group, model
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=2)
+    parser.add_argument("--steps", type=int, default=10)
+    args = parser.parse_args()
+
+    print("=== Part 1: resilient training under injected faults ===")
+    plan = FaultPlan(
+        seed=1,
+        corrupt_rate=0.04,
+        corrupt_mode="nan",
+        transient=(TransientFailure(rank=1, call_index=5, attempts=2),),
+    )
+    faulty_history, faulty_group, faulty_model = train(
+        FaultInjector(plan), args.epochs, args.steps
+    )
+    clean_history, _, clean_model = train(None, args.epochs, args.steps)
+
+    print(faulty_history.render())
+    print("\n--- resilience report (faulty run) ---")
+    print(faulty_group.resilience_report())
+    max_diff = float(np.abs(
+        faulty_model.state_vector() - clean_model.state_vector()
+    ).max())
+    print(f"\nmax |faulty - clean| weight difference: {max_diff:g}")
+    print("every fault recovered within the retry budget -> trajectories "
+          + ("MATCH bit-exactly" if max_diff == 0.0 else "DIVERGED"))
+
+    print("\n=== Part 2: iteration time under cluster faults ===")
+    spec = get_model_spec("ResNet-50")
+    fault_model = FaultModel(
+        straggler_prob=0.05, straggler_sigma=3.0, drop_rate=0.01,
+    )
+    traces = compare_methods_under_faults(
+        ("acpsgd", "ssgd"), spec, fault_model, iterations=40, seed=0,
+    )
+    print(f"ResNet-50, 32x10GbE, straggler_prob=0.05 sigma=3.0 "
+          f"drop_rate=0.01 (40 iterations):")
+    for trace in traces.values():
+        print(trace.render())
+    print("\nCompression shrinks drop exposure (fewer bytes to retransmit) "
+          "but not straggler exposure (the slowest rank gates everyone).")
+
+
+if __name__ == "__main__":
+    main()

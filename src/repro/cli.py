@@ -6,6 +6,10 @@ Subcommands:
   optional Chrome-trace export of the timeline;
 - ``autotune`` — search the fusion buffer size minimizing iteration time;
 - ``train`` — a small data-parallel convergence run on synthetic data;
+  ``--resilient`` arms the fault-tolerance stack (injected communication
+  faults + self-healing collectives + trainer recovery ladder);
+- ``faults`` — straggler/drop sensitivity of each method's iteration time
+  (the "what does a 3-sigma straggler do to ACP-SGD vs S-SGD" question);
 - ``evaluate`` — regenerate the paper's tables/figures (wraps the
   experiment drivers; ``--fast`` skips the convergence figures).
 """
@@ -85,7 +89,7 @@ def cmd_train(args: argparse.Namespace) -> int:
     from repro.comm import ProcessGroup
     from repro.models import make_small_resnet, make_small_vgg
     from repro.optim import SGD, make_aggregator
-    from repro.train import DataParallelTrainer, make_cifar_like
+    from repro.train import DataParallelTrainer, ResilienceConfig, make_cifar_like
 
     train_data, test_data = make_cifar_like(
         num_train=args.samples, num_test=max(100, args.samples // 4),
@@ -96,7 +100,22 @@ def cmd_train(args: argparse.Namespace) -> int:
         model = make_small_vgg(rng=rng)
     else:
         model = make_small_resnet(rng=rng)
-    group = ProcessGroup(args.workers)
+    resilience = None
+    if args.resilient:
+        from repro.faults import FaultInjector, FaultPlan, ResilientProcessGroup
+
+        injector = None
+        if args.drop_rate > 0 or args.corrupt_rate > 0 or args.straggler_rate > 0:
+            injector = FaultInjector(FaultPlan(
+                seed=args.fault_seed,
+                drop_rate=args.drop_rate,
+                corrupt_rate=args.corrupt_rate,
+                straggler_rate=args.straggler_rate,
+            ))
+        group = ResilientProcessGroup(args.workers, injector=injector)
+        resilience = ResilienceConfig()
+    else:
+        group = ProcessGroup(args.workers)
     kwargs = {}
     if args.method in ("powersgd", "acpsgd"):
         kwargs["rank"] = args.rank
@@ -104,13 +123,54 @@ def cmd_train(args: argparse.Namespace) -> int:
     trainer = DataParallelTrainer(
         model, SGD(model, lr=args.lr, momentum=0.9), aggregator,
         train_data, test_data, batch_size_per_worker=args.batch_size or 32,
-        seed=args.seed + 2,
+        seed=args.seed + 2, resilience=resilience,
     )
     history = trainer.run(args.epochs, args.steps_per_epoch,
                           method_label=args.method)
     print(history.render())
     print(f"final accuracy {history.final_accuracy:.1%}; "
           f"wire traffic {group.total_bytes() / MB:.1f}MB")
+    if args.resilient:
+        print("--- communication resilience ---")
+        print(group.resilience_report())
+        if trainer.resilience_log is not None:
+            print("--- trainer resilience ---")
+            print(trainer.resilience_log.render())
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    from repro.sim.faults import (
+        FaultModel,
+        compare_methods_under_faults,
+        render_fault_comparison,
+    )
+
+    spec = get_model_spec(args.model)
+    fault_model = FaultModel(
+        straggler_prob=args.straggler_prob,
+        straggler_sigma=args.straggler_sigma,
+        drop_rate=args.drop_rate,
+        retry_timeout_s=args.retry_timeout_ms * 1e-3,
+        rank_down_s=args.rank_down_ms * 1e-3,
+    )
+    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    for method in methods:
+        if method not in ALL_METHODS:
+            raise SystemExit(
+                f"unknown method {method!r}; available: {', '.join(ALL_METHODS)}"
+            )
+    traces = compare_methods_under_faults(
+        methods, spec, fault_model, cluster=_cluster_from(args),
+        rank=args.rank, batch_size=args.batch_size,
+        iterations=args.iterations, seed=args.seed,
+    )
+    print(f"{args.model} on {args.gpus}x{args.link}: "
+          f"straggler_prob={fault_model.straggler_prob} "
+          f"sigma={fault_model.straggler_sigma} "
+          f"drop_rate={fault_model.drop_rate} "
+          f"({args.iterations} iterations)")
+    print(render_fault_comparison(traces))
     return 0
 
 
@@ -171,7 +231,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--lr", type=float, default=0.08)
     p_train.add_argument("--rank", type=int, default=4)
     p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument("--resilient", action="store_true",
+                         help="use ResilientProcessGroup + trainer recovery "
+                              "ladder (arm the fault-tolerance stack)")
+    p_train.add_argument("--drop-rate", type=float, default=0.0,
+                         help="injected per-rank payload drop probability")
+    p_train.add_argument("--corrupt-rate", type=float, default=0.0,
+                         help="injected per-rank payload corruption probability")
+    p_train.add_argument("--straggler-rate", type=float, default=0.0,
+                         help="injected per-rank straggler probability")
+    p_train.add_argument("--fault-seed", type=int, default=0,
+                         help="seed for the deterministic fault plan")
     p_train.set_defaults(func=cmd_train)
+
+    p_faults = sub.add_parser(
+        "faults", help="iteration-time sensitivity to stragglers/drops"
+    )
+    p_faults.add_argument("--methods", default="acpsgd,ssgd",
+                          help="comma-separated method list")
+    _add_cluster_args(p_faults)
+    p_faults.add_argument("--straggler-prob", type=float, default=0.05,
+                          help="per-rank per-iteration straggling probability")
+    p_faults.add_argument("--straggler-sigma", type=float, default=3.0,
+                          help="straggler severity (slowdown 1 + sigma*|z|)")
+    p_faults.add_argument("--drop-rate", type=float, default=0.01,
+                          help="per-transfer retransmission probability")
+    p_faults.add_argument("--retry-timeout-ms", type=float, default=10.0,
+                          help="detection timeout per retransmission")
+    p_faults.add_argument("--rank-down-ms", type=float, default=0.0,
+                          help="rank downtime at iteration start")
+    p_faults.add_argument("--iterations", type=int, default=100)
+    p_faults.add_argument("--seed", type=int, default=0)
+    p_faults.set_defaults(func=cmd_faults)
 
     p_plan = sub.add_parser("plan", help="recommend a method for a deployment")
     _add_cluster_args(p_plan)

@@ -35,12 +35,15 @@ class CollectiveStats:
             symmetric ring algorithms every rank sends the same amount.
         steps: number of communication rounds (each round is one send/recv
             per rank, all rings progressing in parallel).
+        delay_s: simulated extra wall time attributed to this call by the
+            fault layer (straggler waits, retry backoff); 0 for clean calls.
     """
 
     algorithm: str
     world_size: int
     bytes_sent_per_rank: List[int] = field(default_factory=list)
     steps: int = 0
+    delay_s: float = 0.0
 
     @property
     def total_bytes(self) -> int:
@@ -64,6 +67,24 @@ def _check_inputs(buffers: Sequence[np.ndarray]) -> Tuple[int, Tuple[int, ...]]:
                 f"rank {rank} buffer dtype {buf.dtype} != rank 0 dtype {dtype}"
             )
     return len(buffers), shape
+
+
+def _check_dtypes(buffers: Sequence[np.ndarray]) -> int:
+    """Validate per-rank buffers whose *shapes* may legitimately differ.
+
+    Used by :func:`all_gather` and :func:`gather`, whose payload sizes vary
+    across ranks (Top-k threshold sampling); dtypes must still agree or the
+    receiver would silently misinterpret the bytes. Returns the world size.
+    """
+    if len(buffers) == 0:
+        raise ValueError("collective requires at least one rank buffer")
+    dtype = buffers[0].dtype
+    for rank, buf in enumerate(buffers[1:], start=1):
+        if buf.dtype != dtype:
+            raise ValueError(
+                f"rank {rank} buffer dtype {buf.dtype} != rank 0 dtype {dtype}"
+            )
+    return len(buffers)
 
 
 def _chunk_bounds(length: int, num_chunks: int) -> List[Tuple[int, int]]:
@@ -234,9 +255,7 @@ def all_gather(
     own payload — the Table II all-gather figure that makes Sign-SGD and
     Top-k SGD scale linearly with ``p``.
     """
-    if len(buffers) == 0:
-        raise ValueError("collective requires at least one rank buffer")
-    world_size = len(buffers)
+    world_size = _check_dtypes(buffers)
     sent = [0] * world_size
 
     # Each rank's buffer travels p-1 hops around the ring. Model the hops
@@ -306,9 +325,7 @@ def gather(
     Per-rank payloads may differ in shape (like :func:`all_gather`).
     Returns the buffers in rank order as received at the root.
     """
-    if len(buffers) == 0:
-        raise ValueError("collective requires at least one rank buffer")
-    world_size = len(buffers)
+    world_size = _check_dtypes(buffers)
     if not 0 <= root < world_size:
         raise ValueError(f"root {root} out of range for world size {world_size}")
     sent = [buf.nbytes if rank != root else 0

@@ -64,6 +64,10 @@ class ACPSGDState:
         reuse_query: warm-start from the previous aggregated factor
             (ablated in Fig. 7); when disabled the carried factor is
             re-drawn randomly each step.
+        validate: check the aggregated alternating factor finite on
+            arrival — because the factor is stored for next-step reuse, a
+            single corrupted element would otherwise poison every later
+            step through the carried state.
     """
 
     def __init__(
@@ -72,6 +76,7 @@ class ACPSGDState:
         seed: int = 0,
         use_error_feedback: bool = True,
         reuse_query: bool = True,
+        validate: bool = False,
     ):
         if rank < 1:
             raise ValueError(f"rank must be >= 1, got {rank}")
@@ -79,6 +84,7 @@ class ACPSGDState:
         self.seed = seed
         self.use_error_feedback = use_error_feedback
         self.reuse_query = reuse_query
+        self.validate = validate
         self._p: Dict[str, np.ndarray] = {}
         self._q: Dict[str, np.ndarray] = {}
         self._error: Dict[str, np.ndarray] = {}
@@ -160,6 +166,10 @@ class ACPSGDState:
         carried = self._carried.pop(name, None)
         if carried is None:
             raise RuntimeError(f"finalize called before compress for {name!r}")
+        if self.validate:
+            from repro.utils.validation import assert_finite
+
+            assert_finite(factor_aggregated, f"aggregated factor for {name!r}")
         if self.compresses_p(step):
             self._p[name] = factor_aggregated.copy()
             self._q[name] = carried

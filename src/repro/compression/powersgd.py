@@ -58,6 +58,9 @@ class PowerSGDState:
         reuse_query: warm-start each step's power iteration from the
             previous aggregated Q (the paper's "query reuse"); when False, Q
             is re-drawn randomly each step (per-tensor deterministic stream).
+        validate: check the aggregated P/Q factors finite on arrival —
+            a corrupted factor would otherwise contaminate both the
+            reconstruction and the carried query for every later step.
     """
 
     def __init__(
@@ -66,6 +69,7 @@ class PowerSGDState:
         seed: int = 0,
         use_error_feedback: bool = True,
         reuse_query: bool = True,
+        validate: bool = False,
     ):
         if rank < 1:
             raise ValueError(f"rank must be >= 1, got {rank}")
@@ -73,6 +77,7 @@ class PowerSGDState:
         self.seed = seed
         self.use_error_feedback = use_error_feedback
         self.reuse_query = reuse_query
+        self.validate = validate
         self._query: Dict[str, np.ndarray] = {}
         self._error: Dict[str, np.ndarray] = {}
         self._fresh_rng: Dict[str, np.random.Generator] = {}
@@ -127,6 +132,10 @@ class PowerSGDState:
         work = self._pending.get(name)
         if work is None:
             raise RuntimeError(f"compute_q called before compute_p for {name!r}")
+        if self.validate:
+            from repro.utils.validation import assert_finite
+
+            assert_finite(p_aggregated, f"aggregated P factor for {name!r}")
         p_hat = orthogonalize(p_aggregated)
         q_local = work.T @ p_hat
         if self.use_error_feedback:
@@ -139,6 +148,10 @@ class PowerSGDState:
         p_hat = self._pending.pop(name, None)
         if p_hat is None:
             raise RuntimeError(f"reconstruct called before compute_q for {name!r}")
+        if self.validate:
+            from repro.utils.validation import assert_finite
+
+            assert_finite(q_aggregated, f"aggregated Q factor for {name!r}")
         if self.reuse_query:
             self._query[name] = q_aggregated.copy()
         return p_hat @ q_aggregated.T

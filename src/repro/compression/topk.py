@@ -166,11 +166,25 @@ class TopkCompressor:
 
 
 def sparse_aggregate(
-    payloads: List[SparsePayload], shape: Tuple[int, ...], average: bool = True
+    payloads: List[SparsePayload],
+    shape: Tuple[int, ...],
+    average: bool = True,
+    validate: bool = False,
 ) -> np.ndarray:
-    """Sum gathered sparse payloads into a dense tensor (optionally mean)."""
+    """Sum gathered sparse payloads into a dense tensor (optionally mean).
+
+    With ``validate`` each payload's values are checked finite before the
+    scatter-add (cost: one pass over the ~k received values per worker), so
+    a corrupted payload fails loudly instead of silently poisoning the
+    dense gradient.
+    """
     if not payloads:
         raise ValueError("need at least one payload")
+    if validate:
+        from repro.utils.validation import assert_finite
+
+        for worker, payload in enumerate(payloads):
+            assert_finite(payload.values, f"topk payload values (worker {worker})")
     num_elements = payloads[0].num_elements
     dense = np.zeros(num_elements)
     for payload in payloads:

@@ -1,0 +1,49 @@
+"""Fault injection and resilient communication (``repro.faults``).
+
+The paper's argument is that gradient compression must earn its keep on
+*imperfect* clusters — stragglers, flaky links, lossy numerics. This
+package supplies the missing fault model for the reproduction:
+
+- :mod:`repro.faults.plan` — deterministic, seeded fault plans
+  (:class:`FaultPlan`) and the :class:`FaultInjector` that applies them to
+  per-rank buffers at the process-group boundary: drops, bit-flip/NaN
+  corruption, stragglers, transient outages, permanent rank deaths;
+- :mod:`repro.faults.resilient` — :class:`ResilientProcessGroup`, the
+  self-healing group with checksum/finite detection, retry + exponential
+  backoff, ring -> naive fallback, and rank ejection with rescaled
+  averaging.
+
+Trainer-level recovery (skip-step, compression fallback, checkpoint
+rollback) lives in :mod:`repro.train.resilience`; the analytical
+straggler/failure timing model for the simulator lives in
+:mod:`repro.sim.faults`. See ``docs/fault_tolerance.md`` for the taxonomy
+and the determinism guarantees.
+"""
+
+from repro.faults.plan import (
+    AttemptFaults,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    PermanentFailure,
+    TransientFailure,
+    corrupt_payload,
+)
+from repro.faults.resilient import (
+    BackoffPolicy,
+    ResilienceStats,
+    ResilientProcessGroup,
+)
+
+__all__ = [
+    "AttemptFaults",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "PermanentFailure",
+    "TransientFailure",
+    "corrupt_payload",
+    "BackoffPolicy",
+    "ResilienceStats",
+    "ResilientProcessGroup",
+]

@@ -1,0 +1,261 @@
+"""Deterministic, seeded fault plans for the in-process comm stack.
+
+A :class:`FaultPlan` describes *what can go wrong* on the simulated wire:
+random payload drops and corruptions, stragglers, and scheduled transient /
+permanent rank failures. A :class:`FaultInjector` turns the plan into
+concrete per-attempt fault assignments and applies them to per-rank buffers
+at the :class:`~repro.comm.process_group.ProcessGroup` boundary.
+
+Determinism is the design center: every random draw comes from a generator
+seeded with ``(plan.seed, call_index, attempt, rank)``, so
+
+- the same plan replayed over the same call sequence produces bit-identical
+  faults (CI can assert exact recovery behaviour);
+- a *retry* of a call (``attempt + 1``) re-samples the random faults — a
+  dropped packet is usually clean on retransmit, exactly like a real
+  network — while scheduled failures (a rank that is down) persist for as
+  many attempts as the plan says.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+_CORRUPT_MODES = ("nan", "bitflip")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault occurrence (the injector's audit log entry)."""
+
+    kind: str  # "drop" | "corrupt" | "straggle" | "down"
+    call_index: int
+    attempt: int
+    rank: int
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class TransientFailure:
+    """Rank ``rank`` is unreachable for the first ``attempts`` attempts of
+    call ``call_index`` and recovers afterwards.
+
+    With ``attempts`` within the retry budget the call recovers bit-exactly;
+    beyond the budget the resilient group degrades by excluding the rank
+    from that call only.
+    """
+
+    rank: int
+    call_index: int
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+        if self.call_index < 0:
+            raise ValueError(f"call_index must be >= 0, got {self.call_index}")
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+
+
+@dataclass(frozen=True)
+class PermanentFailure:
+    """Rank ``rank`` dies at call ``call_index`` and never returns."""
+
+    rank: int
+    call_index: int
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+        if self.call_index < 0:
+            raise ValueError(f"call_index must be >= 0, got {self.call_index}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded description of the fault environment.
+
+    Attributes:
+        seed: root seed for all random fault draws.
+        drop_rate: per-(call, attempt, rank) probability a rank's payload is
+            lost in transit.
+        corrupt_rate: per-(call, attempt, rank) probability a rank's payload
+            is corrupted (mode below).
+        corrupt_mode: ``"nan"`` (poison one element) or ``"bitflip"`` (flip
+            one random bit of the raw bytes — may stay finite, but never
+            passes the CRC check).
+        straggler_rate: per-(call, attempt, rank) probability the rank is
+            slow; stragglers delay the call but do not fail it.
+        straggler_delay_s: simulated extra seconds a straggling rank adds.
+        transient: scheduled recoverable outages.
+        permanent: scheduled unrecoverable rank deaths.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    corrupt_mode: str = "nan"
+    straggler_rate: float = 0.0
+    straggler_delay_s: float = 0.05
+    transient: Tuple[TransientFailure, ...] = ()
+    permanent: Tuple[PermanentFailure, ...] = ()
+
+    def __post_init__(self) -> None:
+        for rate_name in ("drop_rate", "corrupt_rate", "straggler_rate"):
+            rate = getattr(self, rate_name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{rate_name} must be in [0, 1], got {rate}")
+        if self.corrupt_mode not in _CORRUPT_MODES:
+            raise ValueError(
+                f"corrupt_mode must be one of {_CORRUPT_MODES}, "
+                f"got {self.corrupt_mode!r}"
+            )
+        if self.straggler_delay_s < 0:
+            raise ValueError(
+                f"straggler_delay_s must be >= 0, got {self.straggler_delay_s}"
+            )
+        # Coerce lists (convenient at call sites) to tuples for hashability.
+        object.__setattr__(self, "transient", tuple(self.transient))
+        object.__setattr__(self, "permanent", tuple(self.permanent))
+
+    def rank_rng(self, call_index: int, attempt: int, rank: int) -> np.random.Generator:
+        """Deterministic generator for one (call, attempt, rank) cell."""
+        return np.random.default_rng((self.seed, call_index, attempt, rank))
+
+    def rank_down(self, call_index: int, attempt: int, rank: int) -> bool:
+        """Whether a scheduled (non-random) outage silences this rank now."""
+        for failure in self.permanent:
+            if failure.rank == rank and call_index >= failure.call_index:
+                return True
+        for failure in self.transient:
+            if (failure.rank == rank and failure.call_index == call_index
+                    and attempt < failure.attempts):
+                return True
+        return False
+
+    def permanently_dead(self, call_index: int) -> Set[int]:
+        """Ranks whose permanent failure has fired by ``call_index``."""
+        return {
+            failure.rank for failure in self.permanent
+            if call_index >= failure.call_index
+        }
+
+
+@dataclass
+class AttemptFaults:
+    """Concrete fault assignment for one attempt of one collective call."""
+
+    call_index: int
+    attempt: int
+    dropped: Set[int] = field(default_factory=set)
+    corrupted: Set[int] = field(default_factory=set)
+    down: Set[int] = field(default_factory=set)
+    straggler_delay_s: float = 0.0
+
+    @property
+    def faulty_ranks(self) -> Set[int]:
+        """Ranks whose payload will not arrive intact this attempt."""
+        return self.dropped | self.corrupted | self.down
+
+    @property
+    def clean(self) -> bool:
+        return not self.faulty_ranks
+
+
+def corrupt_payload(
+    buffer: np.ndarray, rng: np.random.Generator, mode: str = "nan"
+) -> np.ndarray:
+    """Return a corrupted copy of ``buffer`` (the original is untouched)."""
+    out = np.array(buffer, copy=True)
+    if out.size == 0:
+        return out
+    if mode == "nan":
+        flat = out.reshape(-1)
+        if flat.dtype.kind != "f":
+            flat = flat.astype(np.float64)
+            out = flat.reshape(out.shape)
+        flat[int(rng.integers(flat.size))] = np.nan
+        return out
+    if mode == "bitflip":
+        raw = bytearray(out.tobytes())
+        bit = int(rng.integers(len(raw) * 8))
+        raw[bit // 8] ^= 1 << (bit % 8)
+        return np.frombuffer(bytes(raw), dtype=out.dtype).reshape(out.shape).copy()
+    raise ValueError(f"unknown corrupt mode {mode!r}")
+
+
+class FaultInjector:
+    """Materializes a :class:`FaultPlan` into per-attempt buffer faults.
+
+    One injector serves one process group; it keeps an append-only
+    :attr:`events` log so tests (and the resilience report) can reconcile
+    detected faults against injected ones.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.events: List[FaultEvent] = []
+
+    def sample(
+        self, call_index: int, attempt: int, ranks: Sequence[int]
+    ) -> AttemptFaults:
+        """Draw this attempt's fault assignment for the given live ranks."""
+        faults = AttemptFaults(call_index=call_index, attempt=attempt)
+        plan = self.plan
+        for rank in ranks:
+            if plan.rank_down(call_index, attempt, rank):
+                faults.down.add(rank)
+                self._log("down", call_index, attempt, rank)
+                continue
+            rng = plan.rank_rng(call_index, attempt, rank)
+            draw_drop, draw_corrupt, draw_straggle = rng.random(3)
+            if plan.drop_rate and draw_drop < plan.drop_rate:
+                faults.dropped.add(rank)
+                self._log("drop", call_index, attempt, rank)
+            elif plan.corrupt_rate and draw_corrupt < plan.corrupt_rate:
+                faults.corrupted.add(rank)
+                self._log("corrupt", call_index, attempt, rank, plan.corrupt_mode)
+            if plan.straggler_rate and draw_straggle < plan.straggler_rate:
+                faults.straggler_delay_s = max(
+                    faults.straggler_delay_s, plan.straggler_delay_s
+                )
+                self._log("straggle", call_index, attempt, rank)
+        return faults
+
+    def apply(
+        self,
+        buffers: Sequence[np.ndarray],
+        ranks: Sequence[int],
+        faults: AttemptFaults,
+    ) -> List[Optional[np.ndarray]]:
+        """Simulate the transfer: per position, the payload as received.
+
+        ``None`` marks a payload that never arrived (drop or down rank);
+        corrupted ranks yield a tampered copy; everyone else passes their
+        buffer through untouched.
+        """
+        received: List[Optional[np.ndarray]] = []
+        for position, rank in enumerate(ranks):
+            if rank in faults.dropped or rank in faults.down:
+                received.append(None)
+            elif rank in faults.corrupted:
+                rng = self.plan.rank_rng(faults.call_index, faults.attempt, rank)
+                rng = np.random.default_rng(rng.integers(2**63))  # decouple from sample()
+                received.append(
+                    corrupt_payload(buffers[position], rng, self.plan.corrupt_mode)
+                )
+            else:
+                received.append(buffers[position])
+        return received
+
+    def events_of_kind(self, kind: str) -> List[FaultEvent]:
+        """Filter the audit log by fault kind."""
+        return [event for event in self.events if event.kind == kind]
+
+    def _log(self, kind: str, call_index: int, attempt: int, rank: int,
+             detail: str = "") -> None:
+        self.events.append(FaultEvent(kind, call_index, attempt, rank, detail))

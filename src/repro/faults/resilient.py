@@ -1,0 +1,364 @@
+"""Fault-detecting, self-healing process group.
+
+:class:`ResilientProcessGroup` extends the lockstep
+:class:`~repro.comm.process_group.ProcessGroup` with the recovery ladder a
+production collective stack needs (NCCL + an elastic-training controller,
+condensed into one in-process object):
+
+1. **Detect** — every per-rank payload is verified on receipt with a CRC-32
+   checksum (catches bit flips and drops) and a finite check (catches NaN
+   poisoning even when no checksum is available).
+2. **Retry with backoff** — a failed attempt is retransmitted after an
+   exponential backoff, up to ``BackoffPolicy.max_retries`` attempts and a
+   per-call simulated-time budget ``call_timeout_s``. Transient faults
+   (random drops/corruption, short outages) recover *bit-exactly*: the
+   retried collective runs on the original buffers.
+3. **Fall back** — after ``ring_failure_threshold`` consecutive all-reduce
+   calls that needed retries, the group abandons the chunked ring (whose
+   2(p-1) steps make it fragile: any bad link fails the whole call) for the
+   naive gather-to-root reduce, trading bandwidth optimality for fewer
+   moving parts.
+4. **Degrade / eject** — when retries are exhausted, the call proceeds
+   *without* the faulty ranks and the average is rescaled to the ranks that
+   actually contributed. A rank the plan marks permanently dead is ejected:
+   at the next :meth:`begin_step` the world shrinks to ``p - 1``, the ring
+   re-chunks, and training continues.
+
+All waiting is *simulated* (accumulated into ``CollectiveStats.delay_s``
+and the resilience stats), so recovery behaviour is deterministic and can
+be asserted in CI: the same :class:`~repro.faults.plan.FaultPlan` replayed
+with the same seed yields bit-identical training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.comm import collectives
+from repro.comm.process_group import ProcessGroup
+from repro.faults.plan import AttemptFaults, FaultInjector
+from repro.utils.validation import is_finite, payload_checksum
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Retry/backoff budget for one collective call.
+
+    Attributes:
+        max_retries: retransmission attempts after the initial one.
+        base_delay_s: backoff before the first retry.
+        multiplier: exponential backoff growth factor.
+        max_delay_s: cap on a single backoff interval.
+        call_timeout_s: per-call budget of simulated waiting (stragglers +
+            backoff); once exceeded, the call stops retrying and degrades.
+        ring_failure_threshold: consecutive all-reduce calls needing >= 1
+            retry before the group falls back to the naive algorithm.
+    """
+
+    max_retries: int = 4
+    base_delay_s: float = 0.01
+    multiplier: float = 2.0
+    max_delay_s: float = 1.0
+    call_timeout_s: float = 5.0
+    ring_failure_threshold: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.call_timeout_s <= 0:
+            raise ValueError(
+                f"call_timeout_s must be > 0, got {self.call_timeout_s}"
+            )
+        if self.ring_failure_threshold < 1:
+            raise ValueError(
+                f"ring_failure_threshold must be >= 1, "
+                f"got {self.ring_failure_threshold}"
+            )
+
+    def backoff_delay(self, retry: int) -> float:
+        """Backoff before retry number ``retry`` (1-based)."""
+        if retry < 1:
+            raise ValueError(f"retry is 1-based, got {retry}")
+        return min(
+            self.base_delay_s * self.multiplier ** (retry - 1), self.max_delay_s
+        )
+
+
+@dataclass
+class ResilienceStats:
+    """Cumulative recovery accounting for one resilient group."""
+
+    calls: int = 0
+    retries: int = 0
+    backoff_s: float = 0.0
+    straggler_delay_s: float = 0.0
+    drops_detected: int = 0
+    corruptions_detected: int = 0
+    timeouts: int = 0
+    ring_fallback_calls: int = 0
+    degraded_calls: int = 0
+    ejected_ranks: List[int] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Human-readable one-call-per-line summary."""
+        lines = [
+            f"collective calls      {self.calls}",
+            f"retries               {self.retries}",
+            f"backoff waited        {self.backoff_s * 1e3:.1f} ms",
+            f"straggler delay       {self.straggler_delay_s * 1e3:.1f} ms",
+            f"drops detected        {self.drops_detected}",
+            f"corruptions detected  {self.corruptions_detected}",
+            f"timeouts              {self.timeouts}",
+            f"naive-fallback calls  {self.ring_fallback_calls}",
+            f"degraded calls        {self.degraded_calls}",
+            f"ejected ranks         {self.ejected_ranks or '[]'}",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class _CallOutcome:
+    """Result of the retry negotiation for one collective call."""
+
+    call_index: int
+    excluded: Set[int]  # ranks that do not contribute to this call
+    delay_s: float
+    retries: int
+    timed_out: bool
+
+
+class ResilientProcessGroup(ProcessGroup):
+    """Process group that survives injected communication faults.
+
+    Args:
+        world_size: initial rank count.
+        injector: fault source; ``None`` gives a fault-free group that still
+            exercises the detection path (useful as a like-for-like control
+            in experiments).
+        policy: retry/backoff/fallback budgets.
+
+    ``world_size`` always reflects the *live* world: after a permanent rank
+    loss is committed by :meth:`begin_step`, callers must supply one buffer
+    per surviving rank and averages divide by the survivor count.
+    """
+
+    def __init__(
+        self,
+        world_size: int,
+        injector: Optional[FaultInjector] = None,
+        policy: Optional[BackoffPolicy] = None,
+    ):
+        super().__init__(world_size)
+        self.initial_world_size = world_size
+        self.injector = injector
+        self.policy = policy if policy is not None else BackoffPolicy()
+        self.stats = ResilienceStats()
+        self.live_ranks: List[int] = list(range(world_size))
+        self._dead: Set[int] = set()
+        self._call_index = 0
+        self._consecutive_ring_failures = 0
+        self._ring_disabled = False
+
+    # ------------------------------------------------------------------
+    # World management
+    # ------------------------------------------------------------------
+    def begin_step(self) -> List[int]:
+        """Commit pending rank ejections; returns the live roster.
+
+        Callers driving multi-collective steps (the trainer) call this once
+        per step so the world size never changes *within* a step — detected
+        deaths only shrink the roster at the next step boundary, mirroring
+        how elastic runtimes restart the job between iterations.
+        """
+        newly_dead = [rank for rank in self.live_ranks if rank in self._dead]
+        for rank in newly_dead:
+            self.live_ranks.remove(rank)
+            self.stats.ejected_ranks.append(rank)
+        if newly_dead:
+            self.world_size = len(self.live_ranks)
+            if self.world_size == 0:
+                raise RuntimeError("all ranks have failed permanently")
+        return list(self.live_ranks)
+
+    @property
+    def ring_disabled(self) -> bool:
+        """True once the fallback ladder switched all-reduce to naive."""
+        return self._ring_disabled
+
+    def injected_delay_s(self) -> float:
+        """Total simulated delay recorded on this group's collectives."""
+        return float(sum(stats.delay_s for stats in self.history))
+
+    # ------------------------------------------------------------------
+    # Detection + retry core
+    # ------------------------------------------------------------------
+    def _verify_received(
+        self,
+        buffers: Sequence[np.ndarray],
+        received: Sequence[Optional[np.ndarray]],
+        checksums: Sequence[int],
+        ranks: Sequence[int],
+    ) -> Tuple[Set[int], int, int]:
+        """Checksum/finite-check the received payloads.
+
+        Returns (bad ranks, drops, corruptions). Detection is *evidence
+        based*: a rank is only flagged when its payload is missing, fails
+        the CRC, or carries non-finite values.
+        """
+        bad: Set[int] = set()
+        drops = 0
+        corruptions = 0
+        for position, rank in enumerate(ranks):
+            payload = received[position]
+            if payload is None:
+                bad.add(rank)
+                drops += 1
+            elif (payload_checksum(payload) != checksums[position]
+                  or not is_finite(payload)):
+                bad.add(rank)
+                corruptions += 1
+        return bad, drops, corruptions
+
+    def _negotiate(
+        self, buffers: Sequence[np.ndarray], ranks: Sequence[int]
+    ) -> _CallOutcome:
+        """Run the detect/retry/backoff loop for one collective call."""
+        call = self._call_index
+        self._call_index += 1
+        self.stats.calls += 1
+        policy = self.policy
+
+        # Ranks already known dead contribute nothing and cost no retries.
+        known_dead = {rank for rank in ranks if rank in self._dead}
+        active = [rank for rank in ranks if rank not in known_dead]
+
+        if self.injector is None:
+            return _CallOutcome(call, known_dead, 0.0, 0, False)
+
+        checksums = [
+            payload_checksum(buffers[position])
+            for position, rank in enumerate(ranks)
+        ]
+        delay = 0.0
+        retries = 0
+        timed_out = False
+        excluded: Set[int] = set(known_dead)
+        while True:
+            faults = self.injector.sample(call, retries, active)
+            delay += faults.straggler_delay_s
+            self.stats.straggler_delay_s += faults.straggler_delay_s
+            received = self.injector.apply(buffers, ranks, faults)
+            # Positions of known-dead ranks are ignored by marking them bad.
+            bad, drops, corruptions = self._verify_received(
+                buffers, received, checksums, ranks
+            )
+            bad = {rank for rank in bad if rank in active}
+            self.stats.drops_detected += drops
+            self.stats.corruptions_detected += corruptions
+            if not bad:
+                break
+            if retries >= policy.max_retries:
+                excluded |= bad
+                break
+            backoff = policy.backoff_delay(retries + 1)
+            if delay + backoff > policy.call_timeout_s:
+                timed_out = True
+                self.stats.timeouts += 1
+                excluded |= bad
+                break
+            retries += 1
+            self.stats.retries += 1
+            self.stats.backoff_s += backoff
+            delay += backoff
+
+        # Ranks whose permanent failure has fired are marked for ejection
+        # at the next step boundary; transient stragglers are excluded from
+        # this call only.
+        for rank in excluded & self.injector.plan.permanently_dead(call):
+            self._dead.add(rank)
+        if excluded - known_dead:
+            self.stats.degraded_calls += 1
+        return _CallOutcome(call, excluded, delay, retries, timed_out)
+
+    def _note_ring_health(self, outcome: _CallOutcome) -> None:
+        """Advance the fallback ladder on retry-burning all-reduce calls."""
+        if self._ring_disabled:
+            return
+        if outcome.retries > 0 or outcome.excluded:
+            self._consecutive_ring_failures += 1
+            if self._consecutive_ring_failures >= self.policy.ring_failure_threshold:
+                self._ring_disabled = True
+        else:
+            self._consecutive_ring_failures = 0
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def all_reduce(
+        self, buffers: Sequence[np.ndarray], average: bool = False
+    ) -> List[np.ndarray]:
+        """Resilient all-reduce: ring while healthy, naive after fallback.
+
+        The average (when requested) divides by the number of ranks that
+        actually contributed, so a degraded call still returns an unbiased
+        mean of the surviving gradients.
+        """
+        self._check_world(buffers)
+        ranks = list(self.live_ranks)
+        outcome = self._negotiate(buffers, ranks)
+        self._note_ring_health(outcome)
+        contributing = [
+            position for position, rank in enumerate(ranks)
+            if rank not in outcome.excluded
+        ]
+        if not contributing:
+            raise RuntimeError(
+                f"all-reduce call {outcome.call_index}: no healthy rank left"
+            )
+        subset = [buffers[position] for position in contributing]
+        if self._ring_disabled:
+            reduced, stats = collectives.all_reduce_naive(subset)
+            self.stats.ring_fallback_calls += 1
+        else:
+            reduced, stats = collectives.all_reduce_ring(subset)
+        stats.delay_s = outcome.delay_s
+        self.history.append(stats)
+        result = reduced[0]
+        if average:
+            result = result / len(subset)
+        return [result.copy() for _ in buffers]
+
+    def all_gather(self, buffers: Sequence[np.ndarray]) -> List[List[np.ndarray]]:
+        """Resilient all-gather; degraded calls omit the failed payloads."""
+        self._check_world(buffers)
+        ranks = list(self.live_ranks)
+        outcome = self._negotiate(buffers, ranks)
+        contributing = [
+            position for position, rank in enumerate(ranks)
+            if rank not in outcome.excluded
+        ]
+        if not contributing:
+            raise RuntimeError(
+                f"all-gather call {outcome.call_index}: no healthy rank left"
+            )
+        subset = [buffers[position] for position in contributing]
+        gathered, stats = collectives.all_gather(subset)
+        stats.delay_s = outcome.delay_s
+        self.history.append(stats)
+        payloads = gathered[0]
+        return [[payload.copy() for payload in payloads] for _ in buffers]
+
+    def resilience_report(self) -> str:
+        """Render the recovery stats (and the live world) for humans."""
+        header = (
+            f"world {len(self.live_ranks)}/{self.initial_world_size} live; "
+            f"ring {'disabled (naive fallback)' if self._ring_disabled else 'active'}"
+        )
+        return header + "\n" + self.stats.render()

@@ -67,6 +67,25 @@ class GradientAggregator:
         """Aggregate one step's gradients; returns the shared global gradient."""
         raise NotImplementedError
 
+    def reset(self) -> None:
+        """Drop accumulated compressor state (EF residuals, cached factors).
+
+        The trainer's resilience ladder calls this after a skipped step or a
+        checkpoint rollback — a residual contaminated by a non-finite
+        gradient would otherwise re-poison every subsequent step. Stateless
+        aggregators (uncompressed all-reduce) are a no-op; compressors
+        without a ``reset`` (unbiased quantizers carry no state between
+        steps) are skipped.
+        """
+        for compressor in getattr(self, "_compressors", []):
+            reset = getattr(compressor, "reset", None)
+            if reset is not None:
+                reset()
+        for state in getattr(self, "_states", []):
+            reset = getattr(state, "reset", None)
+            if reset is not None:
+                reset()
+
 
 class AllReduceAggregator(GradientAggregator):
     """S-SGD: fused ring all-reduce of the raw gradients (the baseline)."""
@@ -93,8 +112,14 @@ class SignSGDAggregator(GradientAggregator):
 
     method = "signsgd"
 
-    def __init__(self, group: ProcessGroup, use_error_feedback: bool = True):
+    def __init__(
+        self,
+        group: ProcessGroup,
+        use_error_feedback: bool = True,
+        validate: bool = False,
+    ):
         super().__init__(group)
+        self.validate = validate
         self._compressors = [
             SignCompressor(use_error_feedback) for _ in range(group.world_size)
         ]
@@ -111,7 +136,7 @@ class SignSGDAggregator(GradientAggregator):
         gathered = self.group.all_gather([p.packed_bits for p in payloads])
         del gathered  # numerics below use the payload objects directly
         shape = (payloads[0].num_elements,)
-        aggregated = majority_vote_aggregate(payloads, shape)
+        aggregated = majority_vote_aggregate(payloads, shape, validate=self.validate)
         return _unpack(aggregated, per_worker_grads[0], names)
 
 
@@ -127,8 +152,10 @@ class TopkSGDAggregator(GradientAggregator):
         selection: str = "exact",
         use_error_feedback: bool = True,
         seed: int = 0,
+        validate: bool = False,
     ):
         super().__init__(group)
+        self.validate = validate
         self._compressors = [
             TopkCompressor(
                 ratio=ratio,
@@ -154,7 +181,10 @@ class TopkSGDAggregator(GradientAggregator):
         ]
         self.group.all_gather(wires)
         aggregated = sparse_aggregate(
-            payloads, (payloads[0].num_elements,), average=True
+            payloads,
+            (payloads[0].num_elements,),
+            average=True,
+            validate=self.validate,
         )
         return _unpack(aggregated, per_worker_grads[0], names)
 
@@ -324,10 +354,11 @@ class PowerSGDAggregator(_LowRankBase):
         seed: int = 0,
         use_error_feedback: bool = True,
         reuse_query: bool = True,
+        validate: bool = False,
     ):
         super().__init__(group, rank)
         self._states = [
-            PowerSGDState(rank, seed, use_error_feedback, reuse_query)
+            PowerSGDState(rank, seed, use_error_feedback, reuse_query, validate)
             for _ in range(group.world_size)
         ]
 
@@ -387,10 +418,11 @@ class ACPSGDAggregator(_LowRankBase):
         seed: int = 0,
         use_error_feedback: bool = True,
         reuse_query: bool = True,
+        validate: bool = False,
     ):
         super().__init__(group, rank)
         self._states = [
-            ACPSGDState(rank, seed, use_error_feedback, reuse_query)
+            ACPSGDState(rank, seed, use_error_feedback, reuse_query, validate)
             for _ in range(group.world_size)
         ]
 

@@ -51,6 +51,13 @@ from repro.sim.variance import (
     IterationDistribution,
     simulate_iteration_distribution,
 )
+from repro.sim.faults import (
+    FaultModel,
+    FaultTrace,
+    compare_methods_under_faults,
+    render_fault_comparison,
+    simulate_fault_trace,
+)
 
 __all__ = [
     "GPUSpec",
@@ -82,4 +89,9 @@ __all__ = [
     "write_chrome_trace",
     "IterationDistribution",
     "simulate_iteration_distribution",
+    "FaultModel",
+    "FaultTrace",
+    "compare_methods_under_faults",
+    "render_fault_comparison",
+    "simulate_fault_trace",
 ]

@@ -44,6 +44,10 @@ class Task:
             the ``"priority"`` discipline (higher runs first among ready
             tasks). Models tensor-priority communication schedulers
             (ByteScheduler / the paper's reference [3]).
+        start_after: wall-clock time before which this task may not start,
+            even if its dependencies are done. Models externally imposed
+            delays — a rank that is down until recovery, a retransmit
+            timeout — without inflating the task's own work.
     """
 
     task_id: str
@@ -53,10 +57,15 @@ class Task:
     tag: str = "other"
     contends: bool = True
     priority: int = 0
+    start_after: float = 0.0
 
     def __post_init__(self) -> None:
         if self.work < 0:
             raise ValueError(f"task {self.task_id!r} has negative work {self.work}")
+        if self.start_after < 0:
+            raise ValueError(
+                f"task {self.task_id!r} has negative start_after {self.start_after}"
+            )
 
 
 @dataclass
@@ -132,7 +141,10 @@ class Engine:
         now = 0.0
 
         def ready(task: Task) -> bool:
-            return all(dep in done for dep in task.deps)
+            return (
+                all(dep in done for dep in task.deps)
+                and now >= task.start_after
+            )
 
         def select(stream: str) -> Optional[Task]:
             """The task this stream would run now (non-preemptive)."""
@@ -184,6 +196,18 @@ class Engine:
                     active[stream] = task
                     current[stream] = task
             if not active:
+                # Everything runnable is time-gated: jump the clock to the
+                # earliest start_after among dependency-ready tasks.
+                gate_times = [
+                    t.start_after
+                    for t in tasks
+                    if t.task_id not in done
+                    and all(dep in done for dep in t.deps)
+                    and t.start_after > now
+                ]
+                if gate_times:
+                    now = min(gate_times)
+                    continue
                 pending = [t.task_id for t in tasks if t.task_id not in done]
                 raise ValueError(f"deadlock: no runnable task among {pending}")
 
@@ -198,11 +222,20 @@ class Engine:
                 else:
                     rates[stream] = 1.0
 
-            # Advance to the earliest completion.
+            # Advance to the earliest completion, but never past a pending
+            # task's start_after gate (an idle stream must be able to pick
+            # it up the moment it becomes eligible).
             horizon = min(
                 remaining[task.task_id] / rates[stream]
                 for stream, task in active.items()
             )
+            gates = [
+                task.start_after - now
+                for task in tasks
+                if task.task_id not in done and task.start_after > now
+            ]
+            if gates:
+                horizon = min(horizon, min(gates))
             for stream, task in active.items():
                 started.setdefault(task.task_id, now)
                 remaining[task.task_id] -= rates[stream] * horizon

@@ -1,0 +1,238 @@
+"""Straggler / failure timing model for the performance simulator.
+
+The convergence-side fault machinery (:mod:`repro.faults`) answers "does
+training survive?"; this module answers the paper-adjacent *performance*
+question: what does an imperfect cluster do to each method's iteration
+time? Compression methods differ sharply here — ACP-SGD's single small
+all-reduce retransmits cheaply, while S-SGD's large gradient volume pays
+``drop_rate`` over far more packets, and every synchronous method is gated
+by its slowest rank.
+
+The model perturbs one iteration's task graph (from
+:mod:`repro.sim.strategies`) per sample:
+
+- **stragglers** — each rank independently straggles with probability
+  ``straggler_prob``; a straggler's compute runs ``1 + sigma * |z|`` times
+  slower (``z ~ N(0,1)``). Lockstep synchrony means the iteration is gated
+  by the *slowest* rank, so all compute tasks are scaled by the max factor;
+- **transfer drops** — each communication task suffers a geometric number
+  of retransmissions at rate ``drop_rate``; every retransmission costs a
+  detection timeout plus a resend of the transfer;
+- **rank downtime** — a failed rank back after ``rank_down_s`` delays every
+  collective's start (compute proceeds locally), exercising the engine's
+  ``Task.start_after`` gate.
+
+All draws come from one seeded generator, so a trace is reproducible
+bit-for-bit. Follows the :mod:`repro.sim.variance` idiom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.models.spec import ModelSpec
+from repro.sim.calibration import SimConfig
+from repro.sim.engine import Engine, Task
+from repro.sim.results import breakdown_from_records
+from repro.sim.strategies import ClusterSpec, SystemConfig, build_iteration_tasks
+
+_COMPUTE_TAGS = ("forward", "backward", "compression")
+_MAX_RETRANSMITS = 10
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Stochastic cluster imperfections applied to an iteration's tasks.
+
+    Attributes:
+        straggler_prob: per-rank per-iteration straggling probability.
+        straggler_sigma: straggler severity — slowdown ``1 + sigma * |z|``
+          with ``z ~ N(0,1)`` (3.0 models the "3-sigma straggler" question).
+        drop_rate: per-transfer probability that a communication task needs
+          a retransmission (sampled geometrically, capped at 10).
+        retry_timeout_s: detection timeout paid per retransmission, on top
+          of resending the transfer itself.
+        rank_down_s: seconds from iteration start during which a rank is
+          down; collectives cannot start before it recovers.
+    """
+
+    straggler_prob: float = 0.0
+    straggler_sigma: float = 3.0
+    drop_rate: float = 0.0
+    retry_timeout_s: float = 0.01
+    rank_down_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.straggler_prob <= 1.0:
+            raise ValueError(
+                f"straggler_prob must be in [0, 1], got {self.straggler_prob}"
+            )
+        if self.straggler_sigma < 0:
+            raise ValueError(
+                f"straggler_sigma must be >= 0, got {self.straggler_sigma}"
+            )
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise ValueError(f"drop_rate must be in [0, 1), got {self.drop_rate}")
+        if self.retry_timeout_s < 0:
+            raise ValueError(
+                f"retry_timeout_s must be >= 0, got {self.retry_timeout_s}"
+            )
+        if self.rank_down_s < 0:
+            raise ValueError(f"rank_down_s must be >= 0, got {self.rank_down_s}")
+
+    def sample_compute_slowdown(
+        self, world_size: int, rng: np.random.Generator
+    ) -> float:
+        """The iteration's compute slowdown: the slowest rank gates everyone."""
+        straggling = rng.random(world_size) < self.straggler_prob
+        if not straggling.any():
+            return 1.0
+        severities = 1.0 + self.straggler_sigma * np.abs(
+            rng.normal(size=int(straggling.sum()))
+        )
+        return float(severities.max())
+
+    def sample_retransmits(self, rng: np.random.Generator) -> int:
+        """Geometric retransmission count for one transfer (capped)."""
+        retries = 0
+        while retries < _MAX_RETRANSMITS and rng.random() < self.drop_rate:
+            retries += 1
+        return retries
+
+    def perturb(
+        self, tasks: Sequence[Task], world_size: int, rng: np.random.Generator
+    ) -> List[Task]:
+        """One faulty replay of ``tasks``: scaled compute, retried comm."""
+        slowdown = self.sample_compute_slowdown(world_size, rng)
+        out: List[Task] = []
+        for task in tasks:
+            work = task.work
+            start_after = task.start_after
+            if task.tag in _COMPUTE_TAGS:
+                work *= slowdown
+            elif task.tag == "comm":
+                retries = self.sample_retransmits(rng)
+                if retries:
+                    work += retries * (task.work + self.retry_timeout_s)
+                if self.rank_down_s > 0.0:
+                    start_after = max(start_after, self.rank_down_s)
+            out.append(
+                Task(task.task_id, task.stream, work, task.deps,
+                     tag=task.tag, contends=task.contends,
+                     priority=task.priority, start_after=start_after)
+            )
+        return out
+
+
+@dataclass(frozen=True)
+class FaultTrace:
+    """Iteration times (seconds) of one method under a fault model."""
+
+    method: str
+    clean_time: float
+    samples: Tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.samples))
+
+    @property
+    def p95(self) -> float:
+        return float(np.percentile(self.samples, 95))
+
+    @property
+    def worst(self) -> float:
+        return float(np.max(self.samples))
+
+    @property
+    def slowdown(self) -> float:
+        """Mean faulty iteration time relative to the fault-free iteration."""
+        return self.mean / self.clean_time if self.clean_time > 0 else float("inf")
+
+    def render(self) -> str:
+        return (
+            f"{self.method:>14}  clean {self.clean_time * 1e3:8.1f} ms  "
+            f"mean {self.mean * 1e3:8.1f} ms  p95 {self.p95 * 1e3:8.1f} ms  "
+            f"worst {self.worst * 1e3:8.1f} ms  slowdown {self.slowdown:5.2f}x"
+        )
+
+
+def simulate_fault_trace(
+    method: str,
+    model: ModelSpec,
+    fault_model: FaultModel,
+    cluster: Optional[ClusterSpec] = None,
+    system: Optional[SystemConfig] = None,
+    sim: Optional[SimConfig] = None,
+    batch_size: Optional[int] = None,
+    rank: int = 4,
+    topk_ratio: float = 0.001,
+    iterations: int = 50,
+    seed: int = 0,
+) -> FaultTrace:
+    """Replay one iteration ``iterations`` times under ``fault_model``.
+
+    ACP-SGD alternates P/Q parities across iterations like real training.
+    The clean baseline is the same parity sequence with no faults, so
+    ``slowdown`` isolates the fault cost from parity asymmetry.
+    """
+    if iterations < 1:
+        raise ValueError(f"need >= 1 iteration, got {iterations}")
+    cluster = cluster if cluster is not None else ClusterSpec()
+    sim = sim if sim is not None else SimConfig()
+    rng = np.random.default_rng(seed)
+    engine = Engine(contention_rate=sim.contention_rate)
+    samples: List[float] = []
+    clean_times: List[float] = []
+    for idx in range(iterations):
+        tasks = build_iteration_tasks(
+            method, model, cluster, system, sim, batch_size, rank, topk_ratio,
+            acp_parity_p=(idx % 2 == 0),
+        )
+        if idx < 2:  # both parities cover the clean baseline
+            clean_times.append(
+                breakdown_from_records(engine.run(tasks)).total
+            )
+        perturbed = fault_model.perturb(tasks, cluster.world_size, rng)
+        samples.append(breakdown_from_records(engine.run(perturbed)).total)
+    return FaultTrace(
+        method=method,
+        clean_time=float(np.mean(clean_times)),
+        samples=tuple(samples),
+    )
+
+
+def compare_methods_under_faults(
+    methods: Sequence[str],
+    model: ModelSpec,
+    fault_model: FaultModel,
+    cluster: Optional[ClusterSpec] = None,
+    system: Optional[SystemConfig] = None,
+    sim: Optional[SimConfig] = None,
+    batch_size: Optional[int] = None,
+    rank: int = 4,
+    topk_ratio: float = 0.001,
+    iterations: int = 50,
+    seed: int = 0,
+) -> Dict[str, FaultTrace]:
+    """Fault traces for several methods under identical fault draws.
+
+    Each method gets its own generator seeded identically, so the rank-level
+    fault pattern (who straggles when) is as comparable as the differing
+    task-graph shapes allow.
+    """
+    return {
+        method: simulate_fault_trace(
+            method, model, fault_model, cluster, system, sim, batch_size,
+            rank, topk_ratio, iterations, seed,
+        )
+        for method in methods
+    }
+
+
+def render_fault_comparison(traces: Dict[str, FaultTrace]) -> str:
+    """Aligned text table of per-method fault traces."""
+    return "\n".join(trace.render() for trace in traces.values())

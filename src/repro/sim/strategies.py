@@ -728,6 +728,8 @@ def simulate_iteration(
     batch_size: Optional[int] = None,
     rank: int = 4,
     topk_ratio: float = 0.001,
+    fault_model: Optional["FaultModel"] = None,
+    fault_seed: int = 0,
 ) -> IterationBreakdown:
     """Simulate one training iteration and return its timing breakdown.
 
@@ -740,6 +742,12 @@ def simulate_iteration(
         batch_size: per-GPU batch (default: the spec's paper batch size).
         rank: Power-SGD / ACP-SGD rank.
         topk_ratio: Top-k keep fraction (paper: 0.001).
+        fault_model: optional :class:`~repro.sim.faults.FaultModel`; the
+            iteration's tasks are perturbed (stragglers, retransmits, rank
+            downtime) before simulation, deterministically per
+            ``fault_seed``. Multi-sample fault studies should use
+            :func:`repro.sim.faults.simulate_fault_trace` instead.
+        fault_seed: seed for the fault draws (ignored without a model).
 
     For ACP-SGD the result averages the P-step and Q-step parities (their
     factor sizes differ slightly).
@@ -751,13 +759,25 @@ def simulate_iteration(
     if batch < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch}")
 
+    def maybe_perturb(tasks: List[Task], parity_idx: int) -> List[Task]:
+        if fault_model is None:
+            return tasks
+        import numpy as np
+
+        rng = np.random.default_rng((fault_seed, parity_idx))
+        return fault_model.perturb(tasks, cluster.world_size, rng)
+
     engine = Engine(contention_rate=sim.contention_rate)
     if method == "acpsgd":
         first = breakdown_from_records(
-            engine.run(_acpsgd_tasks(model, batch, cluster, system, sim, rank, True))
+            engine.run(maybe_perturb(
+                _acpsgd_tasks(model, batch, cluster, system, sim, rank, True), 0
+            ))
         )
         second = breakdown_from_records(
-            engine.run(_acpsgd_tasks(model, batch, cluster, system, sim, rank, False))
+            engine.run(maybe_perturb(
+                _acpsgd_tasks(model, batch, cluster, system, sim, rank, False), 1
+            ))
         )
         return IterationBreakdown(
             total=(first.total + second.total) / 2,
@@ -768,4 +788,4 @@ def simulate_iteration(
     tasks = build_iteration_tasks(
         method, model, cluster, system, sim, batch, rank, topk_ratio
     )
-    return breakdown_from_records(engine.run(tasks))
+    return breakdown_from_records(engine.run(maybe_perturb(tasks, 0)))

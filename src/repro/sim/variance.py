@@ -62,7 +62,8 @@ def _jitter_tasks(
     factors = np.exp(rng.normal(0.0, sigma, size=len(tasks)))
     return [
         Task(t.task_id, t.stream, t.work * factor, t.deps,
-             tag=t.tag, contends=t.contends, priority=t.priority)
+             tag=t.tag, contends=t.contends, priority=t.priority,
+             start_after=t.start_after)
         for t, factor in zip(tasks, factors)
     ]
 

@@ -6,6 +6,10 @@
   model replica per simulated worker through any
   :class:`~repro.optim.aggregators.GradientAggregator`.
 - :mod:`repro.train.history` — loss/accuracy curves for Fig. 6 / Fig. 7.
+- :mod:`repro.train.resilience` — the trainer's detect/skip/fallback/
+  rollback ladder (see docs/fault_tolerance.md).
+- :mod:`repro.train.checkpoint` — validated checkpoints and the rotating
+  :class:`CheckpointManager` ring the rollback rung restores from.
 """
 
 from repro.train.datasets import (
@@ -15,9 +19,15 @@ from repro.train.datasets import (
     make_cifar_like,
     make_token_classification,
 )
-from repro.train.checkpoint import load_checkpoint, save_checkpoint
+from repro.train.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.train.metrics import StepRecord, TrainingMetrics
 from repro.train.history import TrainingHistory
+from repro.train.resilience import ResilienceConfig, ResilienceLog
 from repro.train.trainer import DataParallelTrainer
 
 __all__ = [
@@ -28,8 +38,12 @@ __all__ = [
     "make_cifar_like",
     "TrainingHistory",
     "DataParallelTrainer",
+    "CheckpointError",
+    "CheckpointManager",
     "load_checkpoint",
     "save_checkpoint",
+    "ResilienceConfig",
+    "ResilienceLog",
     "StepRecord",
     "TrainingMetrics",
 ]

@@ -1,0 +1,123 @@
+"""Trainer-level resilience policy and accounting.
+
+The comm layer (:mod:`repro.faults.resilient`) heals what it can detect on
+the wire; this module handles what only the *trainer* can see — a loss or
+gradient that went non-finite (numeric blow-up, EF residual divergence) or
+a loss trajectory that is running away. The recovery ladder, mildest first:
+
+1. **Skip-step** — a non-finite loss/gradient step applies no update and
+   resets every compressor's error-feedback residual (a blown-up residual
+   otherwise re-poisons the next step).
+2. **Compression fallback** — after a skip, the next ``fallback_steps``
+   steps aggregate *uncompressed* (plain ring all-reduce) so training makes
+   clean progress while the compressor state re-warms.
+3. **Rollback** — when divergence persists (``divergence_patience``
+   consecutive bad steps), restore the newest loadable checkpoint from the
+   :class:`~repro.train.checkpoint.CheckpointManager` ring and continue;
+   after ``max_rollbacks`` restorations the run aborts loudly.
+
+Everything is deterministic: no wall clocks, no unseeded randomness, so a
+fault-injected run replayed with the same seeds is bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Knobs for the trainer's detect/skip/fallback/rollback ladder.
+
+    Attributes:
+        check_finite: verify per-worker losses/gradients and the aggregated
+            gradient every step.
+        fallback_steps: steps of uncompressed aggregation after a skip or
+            rollback (0 disables the fallback rung).
+        divergence_factor: a finite loss above ``factor * ema`` counts as a
+            divergent step.
+        divergence_patience: consecutive divergent/skipped steps before a
+            rollback fires.
+        checkpoint_interval: steps between good-state checkpoints (0
+            disables checkpointing, and with it the rollback rung).
+        checkpoint_dir: where the checkpoint ring lives; ``None`` uses a
+            fresh temporary directory.
+        checkpoint_keep: ring size (>= 2 lets a corrupt newest file fall
+            back to its predecessor).
+        max_rollbacks: abort the run after this many restorations.
+        loss_ema_beta: smoothing for the divergence baseline.
+    """
+
+    check_finite: bool = True
+    fallback_steps: int = 5
+    divergence_factor: float = 10.0
+    divergence_patience: int = 3
+    checkpoint_interval: int = 10
+    checkpoint_dir: Optional[str] = None
+    checkpoint_keep: int = 2
+    max_rollbacks: int = 3
+    loss_ema_beta: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.fallback_steps < 0:
+            raise ValueError(
+                f"fallback_steps must be >= 0, got {self.fallback_steps}"
+            )
+        if self.divergence_factor <= 1.0:
+            raise ValueError(
+                f"divergence_factor must be > 1, got {self.divergence_factor}"
+            )
+        if self.divergence_patience < 1:
+            raise ValueError(
+                f"divergence_patience must be >= 1, got {self.divergence_patience}"
+            )
+        if self.checkpoint_interval < 0:
+            raise ValueError(
+                f"checkpoint_interval must be >= 0, got {self.checkpoint_interval}"
+            )
+        if self.checkpoint_keep < 1:
+            raise ValueError(
+                f"checkpoint_keep must be >= 1, got {self.checkpoint_keep}"
+            )
+        if self.max_rollbacks < 0:
+            raise ValueError(
+                f"max_rollbacks must be >= 0, got {self.max_rollbacks}"
+            )
+        if not 0.0 <= self.loss_ema_beta < 1.0:
+            raise ValueError(
+                f"loss_ema_beta must be in [0, 1), got {self.loss_ema_beta}"
+            )
+
+
+@dataclass
+class ResilienceLog:
+    """What the trainer's resilience ladder actually did during a run."""
+
+    skipped_steps: int = 0
+    residual_resets: int = 0
+    fallback_activations: int = 0
+    fallback_steps_run: int = 0
+    divergence_alarms: int = 0
+    rollbacks: int = 0
+    checkpoints_saved: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    def note(self, message: str) -> None:
+        """Append a human-readable event line (kept short; for reports)."""
+        self.notes.append(message)
+
+    def render(self) -> str:
+        lines = [
+            f"skipped steps         {self.skipped_steps}",
+            f"residual resets       {self.residual_resets}",
+            f"fallback activations  {self.fallback_activations}",
+            f"fallback steps run    {self.fallback_steps_run}",
+            f"divergence alarms     {self.divergence_alarms}",
+            f"rollbacks             {self.rollbacks}",
+            f"checkpoints saved     {self.checkpoints_saved}",
+        ]
+        if self.notes:
+            lines.append("events:")
+            lines.extend(f"  - {note}" for note in self.notes)
+        return "\n".join(lines)

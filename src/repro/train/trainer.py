@@ -13,22 +13,36 @@ The trainer keeps one physical model and replays it per worker batch; this
 is numerically identical to per-worker replicas under synchronous updates,
 while per-worker *compressor* state (EF residuals) lives inside the
 aggregator, preserving each method's true distributed behaviour.
+
+Resilience (optional): pass a
+:class:`~repro.train.resilience.ResilienceConfig` to arm the trainer-level
+recovery ladder — non-finite skip-step with EF residual reset, temporary
+fallback to uncompressed aggregation, and divergence rollback to the last
+good checkpoint. Pair it with a
+:class:`~repro.faults.resilient.ResilientProcessGroup` to also survive
+injected communication faults; the trainer then follows the group's live
+roster, so a permanent rank loss shrinks the data-parallel world to the
+surviving ranks mid-run.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import tempfile
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.nn.loss import CrossEntropyLoss
 from repro.nn.module import Module
-from repro.optim.aggregators import GradientAggregator
+from repro.optim.aggregators import AllReduceAggregator, GradientAggregator
 from repro.optim.lr_scheduler import WarmupMultiStepSchedule
 from repro.optim.sgd import SGD
+from repro.train.checkpoint import CheckpointError, CheckpointManager
 from repro.train.datasets import ArrayDataset
 from repro.train.history import TrainingHistory
+from repro.train.resilience import ResilienceConfig, ResilienceLog
 from repro.utils.seeding import spawn_rngs
+from repro.utils.validation import is_finite
 
 
 class DataParallelTrainer:
@@ -50,6 +64,7 @@ class DataParallelTrainer:
         schedule: Optional[WarmupMultiStepSchedule] = None,
         seed: int = 0,
         accumulation_steps: int = 1,
+        resilience: Optional[ResilienceConfig] = None,
     ):
         if batch_size_per_worker < 1:
             raise ValueError(
@@ -72,6 +87,15 @@ class DataParallelTrainer:
         self.accumulation_steps = accumulation_steps
         self.loss_fn = CrossEntropyLoss()
         self._rngs = spawn_rngs(seed, self.world_size)
+        # --- resilience state (inert when resilience is None) ---
+        self.resilience = resilience
+        self.resilience_log = ResilienceLog() if resilience is not None else None
+        self._fallback_aggregator: Optional[AllReduceAggregator] = None
+        self._fallback_remaining = 0
+        self._loss_ema: Optional[float] = None
+        self._divergent_streak = 0
+        self._step_count = 0
+        self._checkpoints: Optional[CheckpointManager] = None
 
     def _worker_gradients(self, rank: int) -> tuple:
         """One worker's (loss, named gradients) for a fresh batch.
@@ -97,17 +121,172 @@ class DataParallelTrainer:
             grads[name] = param.grad / self.accumulation_steps
         return float(np.mean(losses)), grads
 
+    def _live_ranks(self) -> List[int]:
+        """The ranks participating in this step.
+
+        A :class:`~repro.faults.resilient.ResilientProcessGroup` commits
+        pending rank ejections at this boundary; plain groups always return
+        the full roster.
+        """
+        group = self.aggregator.group
+        begin_step = getattr(group, "begin_step", None)
+        if begin_step is not None:
+            return begin_step()
+        return list(range(group.world_size))
+
     def train_step(self) -> float:
-        """One synchronous step across all workers; returns mean local loss."""
+        """One synchronous step across the live workers; returns mean loss.
+
+        With resilience armed, a step may be skipped (non-finite numerics),
+        aggregated uncompressed (fallback window), or trigger a rollback —
+        see :mod:`repro.train.resilience` for the ladder.
+        """
+        ranks = self._live_ranks()
         losses: List[float] = []
         per_worker: List[Dict[str, np.ndarray]] = []
-        for rank in range(self.world_size):
+        for rank in ranks:
             loss, grads = self._worker_gradients(rank)
             losses.append(loss)
             per_worker.append(grads)
-        aggregated = self.aggregator.aggregate(per_worker)
-        self.optimizer.step(aggregated)
-        return float(np.mean(losses))
+        mean_loss = float(np.mean(losses))
+        self._step_count += 1
+        if self.resilience is None:
+            aggregated = self.aggregator.aggregate(per_worker)
+            self.optimizer.step(aggregated)
+            return mean_loss
+        return self._resilient_apply(mean_loss, per_worker)
+
+    # ------------------------------------------------------------------
+    # Resilience ladder
+    # ------------------------------------------------------------------
+    def _resilient_apply(
+        self, mean_loss: float, per_worker: List[Dict[str, np.ndarray]]
+    ) -> float:
+        cfg = self.resilience
+        log = self.resilience_log
+        assert cfg is not None and log is not None
+        loss_finite = bool(np.isfinite(mean_loss))
+        grads_finite = loss_finite and all(
+            is_finite(grad) for grads in per_worker for grad in grads.values()
+        )
+        applied = False
+        if not cfg.check_finite or grads_finite:
+            aggregator = self._current_aggregator()
+            aggregated = aggregator.aggregate(per_worker)
+            if cfg.check_finite and not all(
+                is_finite(grad) for grad in aggregated.values()
+            ):
+                self._skip_step("non-finite aggregated gradient")
+            else:
+                self.optimizer.step(aggregated)
+                applied = True
+        else:
+            self._skip_step("non-finite local loss or gradient")
+
+        divergent = not applied
+        if loss_finite:
+            baseline = self._loss_ema
+            if (applied and baseline is not None
+                    and mean_loss > cfg.divergence_factor * max(baseline, 1e-12)):
+                divergent = True
+            if applied:
+                self._loss_ema = (
+                    mean_loss if baseline is None
+                    else cfg.loss_ema_beta * baseline
+                    + (1.0 - cfg.loss_ema_beta) * mean_loss
+                )
+
+        if divergent:
+            self._divergent_streak += 1
+            log.divergence_alarms += 1
+            if self._divergent_streak >= cfg.divergence_patience:
+                self._rollback()
+        else:
+            self._divergent_streak = 0
+            if (cfg.checkpoint_interval
+                    and self._step_count % cfg.checkpoint_interval == 0):
+                self._save_good_checkpoint()
+        if loss_finite:
+            return mean_loss
+        # Keep histories finite: report the running baseline for a skipped
+        # non-finite step (0.0 when the very first step blows up).
+        return float(self._loss_ema) if self._loss_ema is not None else 0.0
+
+    def _current_aggregator(self) -> GradientAggregator:
+        """The aggregator for this step, honouring the fallback window."""
+        cfg = self.resilience
+        log = self.resilience_log
+        assert cfg is not None and log is not None
+        if self._fallback_remaining <= 0:
+            return self.aggregator
+        self._fallback_remaining -= 1
+        log.fallback_steps_run += 1
+        if self._fallback_aggregator is None:
+            self._fallback_aggregator = AllReduceAggregator(self.aggregator.group)
+        return self._fallback_aggregator
+
+    def _skip_step(self, reason: str) -> None:
+        """Apply no update; reset EF residuals; open the fallback window."""
+        cfg = self.resilience
+        log = self.resilience_log
+        assert cfg is not None and log is not None
+        log.skipped_steps += 1
+        log.note(f"step {self._step_count}: skipped ({reason})")
+        self.aggregator.reset()
+        log.residual_resets += 1
+        if cfg.fallback_steps > 0 and not isinstance(
+            self.aggregator, AllReduceAggregator
+        ):
+            if self._fallback_remaining <= 0:
+                log.fallback_activations += 1
+            self._fallback_remaining = cfg.fallback_steps
+
+    def _save_good_checkpoint(self) -> None:
+        cfg = self.resilience
+        log = self.resilience_log
+        assert cfg is not None and log is not None
+        if self._checkpoints is None:
+            directory = cfg.checkpoint_dir or tempfile.mkdtemp(prefix="repro-ckpt-")
+            self._checkpoints = CheckpointManager(directory, keep=cfg.checkpoint_keep)
+        self._checkpoints.save(
+            self.model, self.optimizer, metadata={"step": self._step_count}
+        )
+        log.checkpoints_saved += 1
+
+    def _rollback(self) -> None:
+        """Restore the newest loadable checkpoint and re-warm compression."""
+        cfg = self.resilience
+        log = self.resilience_log
+        assert cfg is not None and log is not None
+        self._divergent_streak = 0
+        if self._checkpoints is None:
+            # Nothing to restore yet: the residual reset + fallback window
+            # opened by the skip path is the best available recovery.
+            log.note(f"step {self._step_count}: rollback requested "
+                     f"before any checkpoint existed")
+            return
+        try:
+            metadata = self._checkpoints.restore(self.model, self.optimizer)
+        except CheckpointError as exc:
+            log.note(f"step {self._step_count}: rollback failed ({exc})")
+            return
+        log.rollbacks += 1
+        log.note(f"step {self._step_count}: rolled back to "
+                 f"step {metadata.get('step', '?')}")
+        self.aggregator.reset()
+        log.residual_resets += 1
+        self._loss_ema = None
+        if cfg.fallback_steps > 0 and not isinstance(
+            self.aggregator, AllReduceAggregator
+        ):
+            if self._fallback_remaining <= 0:
+                log.fallback_activations += 1
+            self._fallback_remaining = cfg.fallback_steps
+        if log.rollbacks > cfg.max_rollbacks:
+            raise RuntimeError(
+                f"training diverged: exceeded max_rollbacks="
+                f"{cfg.max_rollbacks} restorations"
+            )
 
     def evaluate(self, max_batches: int = 0, batch_size: int = 256) -> float:
         """Test-set accuracy (full set unless ``max_batches`` limits it)."""

@@ -7,6 +7,7 @@ from repro.utils.formatting import (
     format_seconds,
     render_table,
 )
+from repro.utils.validation import assert_finite, is_finite, payload_checksum
 
 __all__ = [
     "seeded_rng",
@@ -15,4 +16,7 @@ __all__ = [
     "format_count",
     "format_seconds",
     "render_table",
+    "assert_finite",
+    "is_finite",
+    "payload_checksum",
 ]

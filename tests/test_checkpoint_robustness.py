@@ -1,0 +1,138 @@
+"""Checkpoint robustness: every broken file yields a clear CheckpointError,
+and the manager ring falls back past a corrupt newest checkpoint."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.models.convnets import make_mlp
+from repro.optim.sgd import SGD
+from repro.train.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture
+def model_and_opt():
+    model = make_mlp(6, 12, 3, rng=np.random.default_rng(0))
+    return model, SGD(model, lr=0.05, momentum=0.9)
+
+
+def fresh_target():
+    model = make_mlp(6, 12, 3, rng=np.random.default_rng(99))
+    return model, SGD(model, lr=0.3, momentum=0.9)
+
+
+class TestBrokenFiles:
+    def test_checkpoint_error_is_a_value_error(self):
+        assert issubclass(CheckpointError, ValueError)
+
+    def test_truncated_file_gives_clear_error(self, tmp_path, model_and_opt):
+        model, opt = model_and_opt
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, model, opt)
+        raw = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(raw[: len(raw) // 3])
+        target, topt = fresh_target()
+        with pytest.raises(CheckpointError, match="truncated|unreadable|corrupt"):
+            load_checkpoint(path, target, topt)
+
+    def test_flipped_byte_gives_clear_error(self, tmp_path, model_and_opt):
+        model, opt = model_and_opt
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, model, opt)
+        raw = bytearray(open(path, "rb").read())
+        raw[len(raw) // 2] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(bytes(raw))
+        target, topt = fresh_target()
+        # Whichever layer notices first (zip CRC, header parse, payload CRC),
+        # the caller sees one exception type with the path in the message.
+        with pytest.raises(CheckpointError, match="ckpt.npz"):
+            load_checkpoint(path, target, topt)
+
+    def test_not_a_checkpoint_at_all(self, tmp_path):
+        path = str(tmp_path / "notes.npz")
+        with open(path, "w") as handle:
+            handle.write("these are not the arrays you are looking for")
+        target, topt = fresh_target()
+        with pytest.raises(CheckpointError, match="unreadable"):
+            load_checkpoint(path, target, topt)
+
+    def test_tampered_payload_fails_checksum(self, tmp_path, model_and_opt):
+        model, opt = model_and_opt
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, model, opt)
+        with np.load(path) as archive:
+            data = {key: archive[key].copy() for key in archive.files}
+        data["__params__"] = data["__params__"] + 1.0  # header CRC now stale
+        np.savez(path, **data)
+        target, topt = fresh_target()
+        with pytest.raises(CheckpointError, match="checksum mismatch"):
+            load_checkpoint(path, target, topt)
+
+    def test_wrong_format_version_rejected(self, tmp_path, model_and_opt):
+        model, opt = model_and_opt
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, model, opt)
+        with np.load(path) as archive:
+            data = {key: archive[key].copy() for key in archive.files}
+        header = json.loads(bytes(data["__header__"].tobytes()).decode())
+        header["version"] = 99
+        data["__header__"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8
+        )
+        np.savez(path, **data)
+        target, topt = fresh_target()
+        with pytest.raises(CheckpointError, match="version 99"):
+            load_checkpoint(path, target, topt)
+
+
+class TestManagerFallback:
+    def test_restore_skips_corrupt_newest(self, tmp_path, model_and_opt):
+        model, opt = model_and_opt
+        manager = CheckpointManager(str(tmp_path), keep=2)
+        manager.save(model, opt, metadata={"step": 1})
+        good_weights = model.state_vector().copy()
+
+        # Train-ish drift, then a second checkpoint that we corrupt.
+        model.load_state_vector(good_weights + 0.5)
+        newest = manager.save(model, opt, metadata={"step": 2})
+        raw = open(newest, "rb").read()
+        with open(newest, "wb") as handle:
+            handle.write(raw[: len(raw) // 2])
+
+        metadata = manager.restore(model, opt)
+        assert metadata == {"step": 1}
+        assert np.array_equal(model.state_vector(), good_weights)
+
+    def test_restore_with_nothing_saved(self, tmp_path, model_and_opt):
+        model, opt = model_and_opt
+        manager = CheckpointManager(str(tmp_path))
+        with pytest.raises(CheckpointError, match="no checkpoint saved yet"):
+            manager.restore(model, opt)
+
+    def test_restore_with_every_file_broken(self, tmp_path, model_and_opt):
+        model, opt = model_and_opt
+        manager = CheckpointManager(str(tmp_path), keep=2)
+        for step in (1, 2):
+            path = manager.save(model, opt, metadata={"step": step})
+            with open(path, "wb") as handle:
+                handle.write(b"ruined")
+        with pytest.raises(CheckpointError, match="no restorable checkpoint"):
+            manager.restore(model, opt)
+
+    def test_ring_prunes_old_files(self, tmp_path, model_and_opt):
+        model, opt = model_and_opt
+        manager = CheckpointManager(str(tmp_path), keep=2)
+        paths = [manager.save(model, opt, metadata={"step": s})
+                 for s in range(4)]
+        assert manager.paths == paths[-2:]
+        assert len(list(tmp_path.glob("*.npz"))) == 2

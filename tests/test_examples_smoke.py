@@ -38,3 +38,10 @@ class TestFastExamples:
         out = _run("adaptive_compression.py")
         assert "rank @90% energy" in out
         assert "rank 32" in out  # the paper's BERT choice, recovered
+
+    @pytest.mark.faults
+    def test_fault_tolerance(self):
+        out = _run("fault_tolerance.py", "--epochs", "1", "--steps", "4")
+        assert "MATCH bit-exactly" in out
+        assert "collective calls" in out  # the resilience report printed
+        assert "slowdown" in out  # the sim comparison printed

@@ -1,0 +1,244 @@
+"""ResilientProcessGroup: detect, retry/backoff, fall back, degrade, eject."""
+
+import numpy as np
+import pytest
+
+from repro.faults.plan import (
+    FaultInjector,
+    FaultPlan,
+    PermanentFailure,
+    TransientFailure,
+)
+from repro.faults.resilient import BackoffPolicy, ResilientProcessGroup
+
+pytestmark = pytest.mark.faults
+
+
+def buffers_for(world_size, scale=1.0):
+    return [np.full(8, float(rank + 1) * scale) for rank in range(world_size)]
+
+
+def expected_sum(world_size, scale=1.0):
+    return np.full(8, sum(range(1, world_size + 1)) * scale)
+
+
+class TestBackoffPolicy:
+    def test_exponential_with_cap(self):
+        policy = BackoffPolicy(base_delay_s=0.01, multiplier=2.0, max_delay_s=0.05)
+        assert policy.backoff_delay(1) == pytest.approx(0.01)
+        assert policy.backoff_delay(2) == pytest.approx(0.02)
+        assert policy.backoff_delay(3) == pytest.approx(0.04)
+        assert policy.backoff_delay(4) == pytest.approx(0.05)  # capped
+        assert policy.backoff_delay(9) == pytest.approx(0.05)
+
+    def test_retry_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            BackoffPolicy().backoff_delay(0)
+
+    def test_budgets_validated(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            BackoffPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="multiplier"):
+            BackoffPolicy(multiplier=0.5)
+        with pytest.raises(ValueError, match="call_timeout_s"):
+            BackoffPolicy(call_timeout_s=0.0)
+        with pytest.raises(ValueError, match="ring_failure_threshold"):
+            BackoffPolicy(ring_failure_threshold=0)
+
+
+class TestCleanOperation:
+    def test_no_injector_behaves_like_plain_group(self):
+        group = ResilientProcessGroup(4)
+        result = group.all_reduce(buffers_for(4))
+        assert np.allclose(result[0], expected_sum(4))
+        assert group.stats.calls == 1 and group.stats.retries == 0
+        assert not group.ring_disabled
+        assert group.history[-1].algorithm == "allreduce_ring"
+
+    def test_begin_step_returns_full_roster(self):
+        group = ResilientProcessGroup(3)
+        assert group.begin_step() == [0, 1, 2]
+        assert group.world_size == 3
+
+
+class TestRetryRecovery:
+    def test_transient_failure_recovers_bit_exactly(self):
+        plan = FaultPlan(
+            seed=0, transient=(TransientFailure(rank=1, call_index=0, attempts=2),)
+        )
+        group = ResilientProcessGroup(2, injector=FaultInjector(plan))
+        buffers = buffers_for(2)
+        result = group.all_reduce(buffers)
+        # Two failed attempts burned two retries, then the third attempt ran
+        # on the original buffers: the reduction is exact, not degraded.
+        assert np.array_equal(result[0], expected_sum(2))
+        assert group.stats.retries == 2
+        assert group.stats.drops_detected == 2  # a down rank looks dropped
+        assert group.stats.degraded_calls == 0
+        policy = group.policy
+        assert group.stats.backoff_s == pytest.approx(
+            policy.backoff_delay(1) + policy.backoff_delay(2)
+        )
+        # Backoff is accounted into the collective's delay, never slept.
+        assert group.history[-1].delay_s == pytest.approx(group.stats.backoff_s)
+        assert group.injected_delay_s() == pytest.approx(group.stats.backoff_s)
+
+    def test_straggler_delay_accounted(self):
+        plan = FaultPlan(seed=5, straggler_rate=1.0, straggler_delay_s=0.25)
+        group = ResilientProcessGroup(2, injector=FaultInjector(plan))
+        result = group.all_reduce(buffers_for(2))
+        assert np.array_equal(result[0], expected_sum(2))  # slow, not wrong
+        assert group.stats.straggler_delay_s == pytest.approx(0.25)
+        assert group.stats.retries == 0
+
+
+class TestTimeoutAndDegrade:
+    def test_call_timeout_stops_retrying(self):
+        policy = BackoffPolicy(max_retries=10, base_delay_s=1.0,
+                               multiplier=1.0, max_delay_s=1.0,
+                               call_timeout_s=1.5)
+        plan = FaultPlan(
+            seed=0, transient=(TransientFailure(rank=1, call_index=0, attempts=10),)
+        )
+        group = ResilientProcessGroup(2, injector=FaultInjector(plan),
+                                      policy=policy)
+        result = group.all_reduce(buffers_for(2), average=True)
+        # One retry fit the 1.5s budget; the second would exceed it.
+        assert group.stats.retries == 1
+        assert group.stats.timeouts == 1
+        assert group.stats.degraded_calls == 1
+        # Degraded average rescales to the single contributing rank.
+        assert np.array_equal(result[0], buffers_for(2)[0])
+
+    def test_exhausted_retries_degrade_with_rescaled_average(self):
+        policy = BackoffPolicy(max_retries=1)
+        plan = FaultPlan(
+            seed=0, transient=(TransientFailure(rank=2, call_index=0, attempts=5),)
+        )
+        group = ResilientProcessGroup(3, injector=FaultInjector(plan),
+                                      policy=policy)
+        buffers = buffers_for(3)
+        result = group.all_reduce(buffers, average=True)
+        # Ranks 0 and 1 contributed; the mean divides by 2, not 3.
+        assert np.allclose(result[0], (buffers[0] + buffers[1]) / 2)
+        assert group.stats.degraded_calls == 1
+        assert group.live_ranks == [0, 1, 2]  # transient: no ejection
+
+    def test_degraded_all_gather_omits_failed_payloads(self):
+        policy = BackoffPolicy(max_retries=0)
+        plan = FaultPlan(
+            seed=0, transient=(TransientFailure(rank=1, call_index=0, attempts=5),)
+        )
+        group = ResilientProcessGroup(2, injector=FaultInjector(plan),
+                                      policy=policy)
+        gathered = group.all_gather([np.ones(3), np.full(5, 2.0)])
+        assert len(gathered) == 2  # one view per caller rank
+        assert [p.size for p in gathered[0]] == [3]  # rank 1's payload omitted
+
+    def test_no_healthy_rank_raises(self):
+        policy = BackoffPolicy(max_retries=1)
+        plan = FaultPlan(seed=0, drop_rate=1.0)
+        group = ResilientProcessGroup(2, injector=FaultInjector(plan),
+                                      policy=policy)
+        with pytest.raises(RuntimeError, match="no healthy rank"):
+            group.all_reduce(buffers_for(2))
+
+
+class TestRingFallback:
+    def test_consecutive_failures_switch_to_naive(self):
+        plan = FaultPlan(seed=0, transient=tuple(
+            TransientFailure(rank=1, call_index=call, attempts=1)
+            for call in range(3)
+        ))
+        group = ResilientProcessGroup(
+            2, injector=FaultInjector(plan),
+            policy=BackoffPolicy(ring_failure_threshold=3),
+        )
+        buffers = buffers_for(2)
+        for _ in range(3):
+            assert np.array_equal(group.all_reduce(buffers)[0], expected_sum(2))
+            # Each call recovered via retry, so numerics never degraded...
+        # ...but three consecutive retry-burning calls disable the ring.
+        assert group.ring_disabled
+        result = group.all_reduce(buffers)
+        assert np.array_equal(result[0], expected_sum(2))
+        assert group.history[-1].algorithm == "allreduce_naive"
+        # The third failing call already dispatched naive (health is noted
+        # before dispatch), so two naive calls have run by now.
+        assert group.stats.ring_fallback_calls == 2
+        assert "naive fallback" in group.resilience_report()
+
+    def test_clean_call_resets_the_failure_streak(self):
+        plan = FaultPlan(seed=0, transient=(
+            TransientFailure(rank=1, call_index=0, attempts=1),
+            TransientFailure(rank=1, call_index=1, attempts=1),
+            # call 2 is clean; the streak restarts.
+            TransientFailure(rank=1, call_index=3, attempts=1),
+        ))
+        group = ResilientProcessGroup(
+            2, injector=FaultInjector(plan),
+            policy=BackoffPolicy(ring_failure_threshold=3),
+        )
+        for _ in range(4):
+            group.all_reduce(buffers_for(2))
+        assert not group.ring_disabled
+
+
+class TestPermanentLoss:
+    def test_dead_rank_ejected_at_step_boundary(self):
+        policy = BackoffPolicy(max_retries=1)
+        plan = FaultPlan(seed=0, permanent=(PermanentFailure(rank=2, call_index=1),))
+        group = ResilientProcessGroup(3, injector=FaultInjector(plan),
+                                      policy=policy)
+        buffers = buffers_for(3)
+        assert np.array_equal(group.all_reduce(buffers)[0], expected_sum(3))
+
+        # Call 1: rank 2 dies; the call degrades but the world is unchanged
+        # until the next step boundary (no mid-step size changes).
+        result = group.all_reduce(buffers, average=True)
+        assert np.allclose(result[0], (buffers[0] + buffers[1]) / 2)
+        assert group.world_size == 3 and group.live_ranks == [0, 1, 2]
+
+        # Call 2, still pre-boundary: the known-dead rank costs no retries.
+        retries_before = group.stats.retries
+        group.all_reduce(buffers, average=True)
+        assert group.stats.retries == retries_before
+
+        assert group.begin_step() == [0, 1]
+        assert group.world_size == 2
+        assert group.stats.ejected_ranks == [2]
+        assert "world 2/3 live" in group.resilience_report()
+
+        # Post-ejection the caller supplies one buffer per survivor and the
+        # ring re-chunks to the shrunken world.
+        survivors = buffers_for(2)
+        result = group.all_reduce(survivors, average=True)
+        assert np.allclose(result[0], (survivors[0] + survivors[1]) / 2)
+        assert group.history[-1].world_size == 2
+
+    def test_all_ranks_dead_raises(self):
+        policy = BackoffPolicy(max_retries=0)
+        plan = FaultPlan(seed=0, permanent=(
+            PermanentFailure(rank=0, call_index=0),
+            PermanentFailure(rank=1, call_index=0),
+        ))
+        group = ResilientProcessGroup(2, injector=FaultInjector(plan),
+                                      policy=policy)
+        with pytest.raises(RuntimeError, match="no healthy rank"):
+            group.all_reduce(buffers_for(2))
+        with pytest.raises(RuntimeError, match="all ranks have failed"):
+            group.begin_step()
+
+
+class TestCorruptionDetection:
+    def test_bitflip_caught_by_checksum_and_retried(self):
+        # A bit flip may stay finite; the CRC must still catch every one.
+        plan = FaultPlan(seed=6, corrupt_rate=0.25, corrupt_mode="bitflip")
+        group = ResilientProcessGroup(2, injector=FaultInjector(plan))
+        buffers = buffers_for(2)
+        for _ in range(30):
+            result = group.all_reduce(buffers)
+            if group.stats.degraded_calls == 0:
+                assert np.array_equal(result[0], expected_sum(2))
+        assert group.stats.corruptions_detected > 0
+        assert group.stats.retries > 0

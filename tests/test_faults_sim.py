@@ -1,0 +1,206 @@
+"""Simulator-side fault model: start_after gating, FaultModel, CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.models import get_model_spec
+from repro.sim.engine import Engine, Task
+from repro.sim.faults import (
+    FaultModel,
+    compare_methods_under_faults,
+    simulate_fault_trace,
+)
+from repro.sim.strategies import ClusterSpec, build_iteration_tasks
+
+pytestmark = pytest.mark.faults
+
+
+class TestStartAfterGate:
+    def test_gated_task_starts_exactly_at_gate(self):
+        engine = Engine()
+        records = engine.run([
+            Task("a", "gpu_main", 1.0),
+            Task("b", "nic", 2.0, start_after=5.0),
+        ])
+        assert records["a"].start == 0.0
+        assert records["b"].start == pytest.approx(5.0)
+        assert records["b"].end == pytest.approx(7.0)
+
+    def test_clock_jumps_when_everything_is_gated(self):
+        # No task is runnable at t=0: the engine must jump the clock to the
+        # earliest gate instead of declaring a deadlock.
+        engine = Engine()
+        records = engine.run([
+            Task("only", "nic", 1.0, start_after=2.0),
+            Task("after", "nic", 1.0, deps=("only",)),
+        ])
+        assert records["only"].start == pytest.approx(2.0)
+        assert records["after"].end == pytest.approx(4.0)
+
+    def test_running_task_does_not_overshoot_a_gate(self):
+        # A long task on one stream must not advance time past the moment a
+        # gated task on an idle stream becomes eligible.
+        engine = Engine()
+        records = engine.run([
+            Task("long", "gpu_main", 10.0, contends=False),
+            Task("gated", "nic", 1.0, start_after=3.0),
+        ])
+        assert records["gated"].start == pytest.approx(3.0)
+
+    def test_negative_start_after_rejected(self):
+        with pytest.raises(ValueError, match="negative start_after"):
+            Task("x", "nic", 1.0, start_after=-0.5)
+
+    def test_true_deadlock_still_detected(self):
+        engine = Engine()
+        with pytest.raises(ValueError, match="deadlock"):
+            engine.run([
+                Task("a", "nic", 1.0, deps=("b",)),
+                Task("b", "nic", 1.0, deps=("a",)),
+            ])
+
+
+class TestFaultModel:
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError, match="straggler_prob"):
+            FaultModel(straggler_prob=1.2)
+        with pytest.raises(ValueError, match="drop_rate"):
+            FaultModel(drop_rate=1.0)  # geometric needs < 1
+        with pytest.raises(ValueError, match="rank_down_s"):
+            FaultModel(rank_down_s=-1.0)
+
+    def test_no_faults_is_identity(self):
+        tasks = [Task("c", "gpu_main", 1.0, tag="forward"),
+                 Task("n", "nic", 2.0, tag="comm")]
+        out = FaultModel().perturb(tasks, 8, np.random.default_rng(0))
+        assert [t.work for t in out] == [1.0, 2.0]
+        assert all(t.start_after == 0.0 for t in out)
+
+    def test_straggler_scales_compute_not_comm(self):
+        tasks = [Task("fwd", "gpu_main", 1.0, tag="forward"),
+                 Task("bwd", "gpu_main", 2.0, tag="backward"),
+                 Task("cmp", "gpu_main", 0.5, tag="compression"),
+                 Task("net", "nic", 3.0, tag="comm")]
+        model = FaultModel(straggler_prob=1.0, straggler_sigma=3.0)
+        out = {t.task_id: t for t in
+               model.perturb(tasks, 4, np.random.default_rng(1))}
+        slowdown = out["fwd"].work / 1.0
+        assert slowdown > 1.0
+        # One slowdown for the whole iteration: the slowest rank gates all.
+        assert out["bwd"].work == pytest.approx(2.0 * slowdown)
+        assert out["cmp"].work == pytest.approx(0.5 * slowdown)
+        assert out["net"].work == pytest.approx(3.0)
+
+    def test_drops_inflate_comm_work(self):
+        tasks = [Task("net", "nic", 1.0, tag="comm")]
+        model = FaultModel(drop_rate=0.9, retry_timeout_s=0.25)
+        out = model.perturb(tasks, 4, np.random.default_rng(0))[0]
+        # Each retransmission costs a full resend plus the timeout.
+        retries = round((out.work - 1.0) / (1.0 + 0.25))
+        assert 1 <= retries <= 10
+        assert out.work == pytest.approx(1.0 + retries * 1.25)
+
+    def test_rank_down_gates_comm_start(self):
+        tasks = [Task("net", "nic", 1.0, tag="comm"),
+                 Task("fwd", "gpu_main", 1.0, tag="forward")]
+        model = FaultModel(rank_down_s=0.5)
+        out = {t.task_id: t for t in
+               model.perturb(tasks, 4, np.random.default_rng(0))}
+        assert out["net"].start_after == pytest.approx(0.5)
+        assert out["fwd"].start_after == 0.0  # compute proceeds locally
+
+    def test_perturb_is_deterministic(self):
+        tasks = [Task(f"t{i}", "nic", 1.0, tag="comm") for i in range(20)]
+        model = FaultModel(straggler_prob=0.3, drop_rate=0.3)
+        a = model.perturb(tasks, 8, np.random.default_rng(7))
+        b = model.perturb(tasks, 8, np.random.default_rng(7))
+        assert [t.work for t in a] == [t.work for t in b]
+
+
+class TestFaultTraces:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return get_model_spec("ResNet-50")
+
+    def test_trace_is_reproducible(self, spec):
+        model = FaultModel(straggler_prob=0.2, drop_rate=0.05)
+        kwargs = dict(cluster=ClusterSpec(world_size=4), iterations=6, seed=3)
+        first = simulate_fault_trace("acpsgd", spec, model, **kwargs)
+        second = simulate_fault_trace("acpsgd", spec, model, **kwargs)
+        assert first.samples == second.samples
+        assert first.clean_time == second.clean_time
+
+    def test_faults_never_speed_things_up(self, spec):
+        model = FaultModel(straggler_prob=0.3, straggler_sigma=2.0,
+                           drop_rate=0.05)
+        trace = simulate_fault_trace(
+            "ssgd", spec, model, cluster=ClusterSpec(world_size=4),
+            iterations=8, seed=0,
+        )
+        assert trace.mean >= trace.clean_time
+        assert trace.worst >= trace.p95 >= 0
+        assert trace.slowdown >= 1.0
+        assert "slowdown" in trace.render()
+
+    def test_compression_pays_fewer_retransmits(self, spec):
+        # Drops only: S-SGD's full-gradient volume suffers more than
+        # ACP-SGD's two small factors.
+        model = FaultModel(drop_rate=0.2, retry_timeout_s=0.01)
+        traces = compare_methods_under_faults(
+            ("acpsgd", "ssgd"), spec, model,
+            cluster=ClusterSpec(world_size=4), iterations=10, seed=1,
+        )
+        assert set(traces) == {"acpsgd", "ssgd"}
+        assert traces["acpsgd"].mean < traces["ssgd"].mean
+
+    def test_fault_free_model_reproduces_clean_time(self, spec):
+        trace = simulate_fault_trace(
+            "ssgd", spec, FaultModel(), cluster=ClusterSpec(world_size=4),
+            iterations=4, seed=0,
+        )
+        assert trace.slowdown == pytest.approx(1.0)
+
+    def test_strategies_accept_fault_model(self, spec):
+        from repro.sim.strategies import simulate_iteration
+
+        clean = simulate_iteration(
+            "acpsgd", spec, cluster=ClusterSpec(world_size=4), rank=4
+        )
+        faulty = simulate_iteration(
+            "acpsgd", spec, cluster=ClusterSpec(world_size=4), rank=4,
+            fault_model=FaultModel(drop_rate=0.5, retry_timeout_s=0.05),
+            fault_seed=9,
+        )
+        assert faulty.total >= clean.total
+
+
+class TestFaultsCli:
+    def test_faults_command_renders_comparison(self, capsys):
+        code = main([
+            "faults", "--model", "ResNet-50", "--methods", "acpsgd,ssgd",
+            "--gpus", "4", "--rank", "4", "--batch-size", "16",
+            "--straggler-prob", "0.1", "--drop-rate", "0.02",
+            "--iterations", "4", "--seed", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "acpsgd" in out and "ssgd" in out
+        assert "slowdown" in out and "clean" in out
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit, match="unknown method"):
+            main(["faults", "--methods", "magic", "--iterations", "2"])
+
+    def test_resilient_training_cli(self, capsys):
+        code = main([
+            "train", "--method", "ssgd", "--workers", "2",
+            "--epochs", "1", "--steps-per-epoch", "2",
+            "--samples", "120", "--batch-size", "8",
+            "--resilient", "--drop-rate", "0.05", "--fault-seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "communication resilience" in out
+        assert "collective calls" in out
+        assert "trainer resilience" in out
