@@ -1,0 +1,26 @@
+#!/usr/bin/env python
+"""Track the training hot path: aggregation-step time, legacy vs arena.
+
+Thin wrapper over ``python -m repro bench`` (see
+:mod:`repro.perf.bench`): times S-SGD and every compressed aggregator's
+step at world_size 4 on a VGG-style model, once with legacy copying
+gradients (the pre-arena code path, reconstructed in the same run) and
+once with zero-copy arena slabs, and writes the comparison — including
+the fused-allocation counters and an end-to-end sequential-vs-parallel
+``train_step`` row — to ``BENCH_hotpath.json``.
+
+Usage:
+    python scripts/bench_hot_path.py [--workers 4] [--base-width 32]
+                                     [--output BENCH_hotpath.json]
+Exit code 0 on success.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(["bench"] + sys.argv[1:]))

@@ -1,14 +1,20 @@
 #!/usr/bin/env python
-"""Verify fault-injected training is bit-deterministic.
+"""Verify fault-injected and parallel-worker training are bit-deterministic.
 
-Runs the same fault-injected resilient training job twice — identical
-FaultPlan, identical seeds — and diffs the final weights bit-exactly.
-Any hidden wall-clock or unseeded randomness in the fault/recovery path
-shows up here as a weight mismatch.
+Two checks, both diffing final weights bit-exactly:
+
+1. the same fault-injected resilient training job run twice — identical
+   FaultPlan, identical seeds — must produce identical weights (hidden
+   wall-clock or unseeded randomness in the fault/recovery path shows up
+   here);
+2. the same clean training job run with sequential workers and with
+   thread-parallel workers (``parallel_workers=True``) must produce
+   identical weights (scheduling-order leakage in the parallel backprop
+   path shows up here).
 
 Usage:
     python scripts/check_determinism.py [--steps 6]
-Exit code 0 on PASS, 1 on FAIL.
+Exit code 0 when both PASS, 1 otherwise.
 """
 
 import argparse
@@ -52,20 +58,50 @@ def run_once(steps: int) -> np.ndarray:
     return model.state_vector()
 
 
+def run_clean(steps: int, parallel_workers: bool) -> np.ndarray:
+    """A clean (no-fault) run, sequential or thread-parallel workers."""
+    from repro.comm import ProcessGroup
+
+    train_data, test_data = make_cifar_like(num_train=256, num_test=64, seed=3)
+    model = make_small_vgg(base_width=4, rng=np.random.default_rng(5))
+    aggregator = make_aggregator("powersgd", ProcessGroup(4), rank=2)
+    trainer = DataParallelTrainer(
+        model, SGD(model, lr=0.05, momentum=0.9), aggregator,
+        train_data, test_data, batch_size_per_worker=8, seed=13,
+        parallel_workers=parallel_workers,
+    )
+    trainer.run(epochs=1, steps_per_epoch=steps, method_label="powersgd")
+    return model.state_vector()
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--steps", type=int, default=6)
     args = parser.parse_args()
 
+    failures = 0
     first = run_once(args.steps)
     second = run_once(args.steps)
     if np.array_equal(first, second):
         print(f"PASS: two fault-injected runs of {args.steps} steps produced "
               "bit-identical weights")
-        return 0
-    diff = float(np.abs(first - second).max())
-    print(f"FAIL: weight mismatch between identical runs (max |diff| = {diff:g})")
-    return 1
+    else:
+        diff = float(np.abs(first - second).max())
+        print(f"FAIL: weight mismatch between identical runs "
+              f"(max |diff| = {diff:g})")
+        failures += 1
+
+    sequential = run_clean(args.steps, parallel_workers=False)
+    parallel = run_clean(args.steps, parallel_workers=True)
+    if np.array_equal(sequential, parallel):
+        print(f"PASS: sequential and parallel-worker runs of {args.steps} "
+              "steps produced bit-identical weights")
+    else:
+        diff = float(np.abs(sequential - parallel).max())
+        print(f"FAIL: parallel-worker weights diverge from sequential "
+              f"(max |diff| = {diff:g})")
+        failures += 1
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

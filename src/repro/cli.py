@@ -11,7 +11,9 @@ Subcommands:
 - ``faults`` — straggler/drop sensitivity of each method's iteration time
   (the "what does a 3-sigma straggler do to ACP-SGD vs S-SGD" question);
 - ``evaluate`` — regenerate the paper's tables/figures (wraps the
-  experiment drivers; ``--fast`` skips the convergence figures).
+  experiment drivers; ``--fast`` skips the convergence figures);
+- ``bench`` — hot-path micro-benchmark: per-aggregator step time with
+  legacy copying gradients vs the zero-copy arena, written to JSON.
 """
 
 from __future__ import annotations
@@ -198,6 +200,47 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    # Imported lazily: bench pulls in the aggregators, which import the
+    # perf counters — keeping this out of module scope avoids the cycle.
+    from repro.perf.bench import run_hot_path_bench
+
+    methods = None
+    if args.methods:
+        methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    report = run_hot_path_bench(
+        world_size=args.workers,
+        base_width=args.base_width,
+        iters=args.iters,
+        warmup=args.warmup,
+        seed=args.seed,
+        methods=methods,
+        include_train_step=not args.no_train_step,
+    )
+    config = report["config"]
+    print(f"hot-path bench: {config['model_parameters']} params, "
+          f"{config['world_size']} workers, best of {config['iters']}")
+    print(f"{'method':>10}  {'legacy ms':>10}  {'arena ms':>10}  {'speedup':>8}")
+    for method, row in report["aggregate_step"].items():
+        print(f"{method:>10}  {row['legacy']['best_s'] * 1e3:>10.2f}  "
+              f"{row['arena']['best_s'] * 1e3:>10.2f}  "
+              f"{row['arena_speedup']:>7.2f}x")
+    if "criteria" in report:
+        crit = report["criteria"]
+        print(f"ssgd arena speedup {crit['ssgd_arena_speedup']:.2f}x "
+              f"(target {crit['ssgd_speedup_target']}x); "
+              f"fused allocs/step on arena path: "
+              f"{crit['arena_fused_allocs_per_step']:.0f}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote report to {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -277,6 +320,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write structured results to this JSON file "
                              "instead of printing tables")
     p_eval.set_defaults(func=cmd_evaluate)
+
+    p_bench = sub.add_parser(
+        "bench", help="hot-path benchmark: legacy vs zero-copy arena"
+    )
+    p_bench.add_argument("--workers", type=int, default=4)
+    p_bench.add_argument("--base-width", type=int, default=32,
+                         help="VGG width multiplier (model size knob)")
+    p_bench.add_argument("--iters", type=int, default=7,
+                         help="timed iterations per method/mode (best-of)")
+    p_bench.add_argument("--warmup", type=int, default=2)
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--methods", default="",
+                         help="comma-separated subset (default: all)")
+    p_bench.add_argument("--no-train-step", action="store_true",
+                         help="skip the end-to-end train_step comparison")
+    p_bench.add_argument("--output", default="BENCH_hotpath.json",
+                         help="JSON report path ('' to skip writing)")
+    p_bench.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -19,7 +19,7 @@ reduce-scatter/all-gather phases, ``(p-1) * N`` aggregate for all-gather).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -198,6 +198,118 @@ def all_reduce_ring(
         steps=2 * (world_size - 1),
     )
     return results, stats
+
+
+class RingScratch:
+    """Preallocated snapshot storage for the in-place ring collectives.
+
+    The copying ring allocates one chunk copy per rank per step (the
+    "simultaneous send" snapshot). The in-place variant snapshots into this
+    reusable block instead, so a steady-state training loop performs zero
+    per-step allocations on the collective path. The block grows
+    monotonically to the largest ``(world_size, chunk)`` ever requested and
+    is then reused for every later call.
+    """
+
+    def __init__(self) -> None:
+        self._block: np.ndarray = np.zeros((0, 0), dtype=np.float64)
+
+    def get(self, world_size: int, chunk: int) -> np.ndarray:
+        """A ``(world_size, chunk)`` float64 view, reallocating only to grow."""
+        rows, cols = self._block.shape
+        if rows < world_size or cols < chunk:
+            self._block = np.zeros(
+                (max(rows, world_size), max(cols, chunk)), dtype=np.float64
+            )
+        return self._block[:world_size, :chunk]
+
+
+def all_reduce_ring_inplace(
+    buffers: Sequence[np.ndarray],
+    scratch: Optional[RingScratch] = None,
+) -> CollectiveStats:
+    """Ring all-reduce (sum) that aggregates **in place** in ``buffers``.
+
+    Runs the exact same chunk schedule as :func:`all_reduce_ring` — same
+    accumulation order, hence bit-identical results — but with the arena's
+    cost profile: per-rank buffers are reduced where they live (no input
+    cast-copy, no output cast-copy) and the reduce-scatter snapshot reuses
+    a preallocated :class:`RingScratch` block instead of allocating one
+    chunk copy per rank per step.
+
+    Requirements: 1-D float64 C-contiguous writable buffers of equal
+    length, no two of which alias the same array. The fused arena slabs
+    satisfy this by construction. On return every buffer holds the summed
+    result (like an NCCL in-place all-reduce); the original per-rank
+    payloads are destroyed, which is why groups that may need to
+    retransmit originals (CRC-checked resilient groups) must not use it.
+    """
+    world_size = len(buffers)
+    if world_size == 0:
+        raise ValueError("collective requires at least one rank buffer")
+    length = buffers[0].shape[0]
+    for rank, buf in enumerate(buffers):
+        if buf.ndim != 1 or buf.shape[0] != length:
+            raise ValueError(
+                f"rank {rank} buffer shape {buf.shape} != 1-D length {length}"
+            )
+        if buf.dtype != np.float64:
+            raise ValueError(
+                f"in-place all-reduce requires float64 buffers, "
+                f"rank {rank} has {buf.dtype}"
+            )
+        if not buf.flags.writeable or not buf.flags.c_contiguous:
+            raise ValueError(
+                f"rank {rank} buffer must be writable and C-contiguous"
+            )
+    if world_size == 1:
+        return CollectiveStats("allreduce_ring_inplace", 1, [0], 0)
+
+    bounds = _chunk_bounds(length, world_size)
+    max_chunk = max(hi - lo for lo, hi in bounds)
+    scratch = scratch if scratch is not None else RingScratch()
+    snapshot = scratch.get(world_size, max_chunk)
+    elem_bytes = buffers[0].dtype.itemsize
+    sent = [0] * world_size
+
+    # Reduce-scatter phase. All sends in a step happen "simultaneously":
+    # snapshot the outgoing chunks into the scratch block, then accumulate.
+    for step in range(world_size - 1):
+        sizes = []
+        for rank in range(world_size):
+            chunk_idx = (rank - step) % world_size
+            lo, hi = bounds[chunk_idx]
+            snapshot[rank, : hi - lo] = buffers[rank][lo:hi]
+            sizes.append((chunk_idx, hi - lo))
+            sent[rank] += (hi - lo) * elem_bytes
+        for rank in range(world_size):
+            dst = (rank + 1) % world_size
+            chunk_idx, size = sizes[rank]
+            lo, hi = bounds[chunk_idx]
+            buffers[dst][lo:hi] += snapshot[rank, :size]
+
+    # All-gather phase: pure chunk copies. Within a step, the chunk rank r
+    # reads ((r + 1 - s) mod p) and the chunk written into rank r
+    # ((r - s) mod p) are always distinct, so direct writes are equivalent
+    # to the snapshot-then-write schedule — no scratch needed.
+    for step in range(world_size - 1):
+        writes = []
+        for rank in range(world_size):
+            chunk_idx = (rank + 1 - step) % world_size
+            lo, hi = bounds[chunk_idx]
+            writes.append((rank, chunk_idx))
+            sent[rank] += (hi - lo) * elem_bytes
+        for rank, chunk_idx in writes:
+            dst = (rank + 1) % world_size
+            lo, hi = bounds[chunk_idx]
+            buffers[dst][lo:hi] = buffers[rank][lo:hi]
+
+    return CollectiveStats(
+        algorithm="allreduce_ring_inplace",
+        world_size=world_size,
+        bytes_sent_per_rank=sent,
+        steps=2 * (world_size - 1),
+    )
 
 
 def reduce_scatter(

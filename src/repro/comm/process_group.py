@@ -29,11 +29,20 @@ class ProcessGroup:
             for every collective executed through this group.
     """
 
+    #: Whether callers may use :meth:`all_reduce_` with buffers they want
+    #: aggregated where they live. Subclasses that must retransmit the
+    #: *original* payloads on failure (CRC-checked resilient groups) set
+    #: this False, forcing the aggregators back onto the copying path.
+    supports_inplace = True
+
     def __init__(self, world_size: int):
         if world_size < 1:
             raise ValueError(f"world_size must be >= 1, got {world_size}")
         self.world_size = world_size
         self.history: List[collectives.CollectiveStats] = []
+        # Reusable snapshot block for the in-place ring; grows to the
+        # largest call ever made and is then allocation-free per step.
+        self._ring_scratch = collectives.RingScratch()
 
     def _check_world(self, buffers: Sequence[np.ndarray]) -> None:
         if len(buffers) != self.world_size:
@@ -51,6 +60,30 @@ class ProcessGroup:
         if average:
             results = [res / self.world_size for res in results]
         return results
+
+    def all_reduce_(
+        self, buffers: Sequence[np.ndarray], average: bool = False
+    ) -> Sequence[np.ndarray]:
+        """In-place ring all-reduce: aggregates **into** ``buffers``.
+
+        Bit-identical to :meth:`all_reduce` (same chunk schedule, same
+        accumulation order) but allocation-free: the per-rank buffers are
+        reduced where they live and the per-step snapshot reuses the
+        group's preallocated scratch block. On return every buffer holds
+        the reduced result; the original payloads are destroyed.
+
+        Buffers must be distinct 1-D float64 contiguous arrays — the fused
+        arena slabs of :class:`repro.perf.arena.GradientArena`.
+        """
+        self._check_world(buffers)
+        stats = collectives.all_reduce_ring_inplace(
+            buffers, scratch=self._ring_scratch
+        )
+        self.history.append(stats)
+        if average:
+            for buf in buffers:
+                buf /= self.world_size
+        return buffers
 
     def all_gather(self, buffers: Sequence[np.ndarray]) -> List[List[np.ndarray]]:
         """Ring all-gather; per-rank payloads may differ in shape."""

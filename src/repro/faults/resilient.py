@@ -149,6 +149,13 @@ class ResilientProcessGroup(ProcessGroup):
     per surviving rank and averages divide by the survivor count.
     """
 
+    #: In-place aggregation is forbidden here: retries retransmit the
+    #: *original* per-rank buffers after a CRC/finite failure, and degraded
+    #: averaging rescales to the contributing subset — both need the
+    #: payloads intact after the first attempt. Aggregators therefore keep
+    #: zero-copy packing but route the collective through the copying path.
+    supports_inplace = False
+
     def __init__(
         self,
         world_size: int,
@@ -334,6 +341,21 @@ class ResilientProcessGroup(ProcessGroup):
         if average:
             result = result / len(subset)
         return [result.copy() for _ in buffers]
+
+    def all_reduce_(
+        self, buffers: Sequence[np.ndarray], average: bool = False
+    ) -> Sequence[np.ndarray]:
+        """Semantic-compatible fallback: fault-checked reduce, copy back.
+
+        A caller that reaches for the in-place API on a resilient group
+        still gets the full detect/retry/degrade ladder — the reduction
+        runs on copies (so retransmissions see pristine payloads) and the
+        result is copied back into ``buffers``.
+        """
+        results = self.all_reduce(list(buffers), average=average)
+        for buf, res in zip(buffers, results):
+            np.copyto(buf, res)
+        return buffers
 
     def all_gather(self, buffers: Sequence[np.ndarray]) -> List[List[np.ndarray]]:
         """Resilient all-gather; degraded calls omit the failed payloads."""

@@ -69,9 +69,9 @@ class MultiHeadSelfAttention(Module):
         k = self._split_heads(self.key(x))
         v = self._split_heads(self.value(x))
         scale = 1.0 / math.sqrt(self.head_dim)
-        scores = np.einsum("bhid,bhjd->bhij", q, k, optimize=True) * scale
+        scores = F.cached_einsum("bhid,bhjd->bhij", q, k) * scale
         attn = F.softmax(scores, axis=-1)
-        context = np.einsum("bhij,bhjd->bhid", attn, v, optimize=True)
+        context = F.cached_einsum("bhij,bhjd->bhid", attn, v)
         self._cache = (q, k, v, attn, scale)
         return self.output(self._merge_heads(context))
 
@@ -81,13 +81,13 @@ class MultiHeadSelfAttention(Module):
         q, k, v, attn, scale = self._cache
         grad_context = self._split_heads(self.output.backward(grad_output))
 
-        grad_attn = np.einsum("bhid,bhjd->bhij", grad_context, v, optimize=True)
-        grad_v = np.einsum("bhij,bhid->bhjd", attn, grad_context, optimize=True)
+        grad_attn = F.cached_einsum("bhid,bhjd->bhij", grad_context, v)
+        grad_v = F.cached_einsum("bhij,bhid->bhjd", attn, grad_context)
         # Softmax backward: dS = A * (dA - sum(dA * A, axis=-1, keepdims)).
         inner = (grad_attn * attn).sum(axis=-1, keepdims=True)
         grad_scores = attn * (grad_attn - inner)
-        grad_q = np.einsum("bhij,bhjd->bhid", grad_scores, k, optimize=True) * scale
-        grad_k = np.einsum("bhij,bhid->bhjd", grad_scores, q, optimize=True) * scale
+        grad_q = F.cached_einsum("bhij,bhjd->bhid", grad_scores, k) * scale
+        grad_k = F.cached_einsum("bhij,bhid->bhjd", grad_scores, q) * scale
 
         grad_x = self.query.backward(self._merge_heads(grad_q))
         grad_x = grad_x + self.key.backward(self._merge_heads(grad_k))

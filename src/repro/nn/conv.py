@@ -60,9 +60,10 @@ class Conv2d(Module):
         out_h = F.conv_output_size(x.shape[2], kh, self.stride, self.padding)
         out_w = F.conv_output_size(x.shape[3], kw, self.stride, self.padding)
         w_mat = self.weight.data.reshape(self.weight.data.shape[0], -1)
-        out = np.einsum("of,nfl->nol", w_mat, cols, optimize=True)
+        out = F.cached_einsum("of,nfl->nol", w_mat, cols)
         if self.bias is not None:
-            out = out + self.bias.data[None, :, None]
+            # In place: ``out`` is einsum's private output buffer.
+            out += self.bias.data[None, :, None]
         self._cache = (cols, x.shape)
         return out.reshape(n, -1, out_h, out_w)
 
@@ -76,8 +77,8 @@ class Conv2d(Module):
 
         if self.bias is not None:
             self.bias.accumulate_grad(grad_mat.sum(axis=(0, 2)))
-        grad_w = np.einsum("nol,nfl->of", grad_mat, cols, optimize=True)
-        grad_cols = np.einsum("of,nol->nfl", w_mat, grad_mat, optimize=True)
+        grad_w = F.cached_einsum("nol,nfl->of", grad_mat, cols)
+        grad_cols = F.cached_einsum("of,nol->nfl", w_mat, grad_mat)
         grad_input = F.col2im(
             grad_cols,
             input_shape,

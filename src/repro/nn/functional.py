@@ -2,9 +2,27 @@
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Tuple
 
 import numpy as np
+
+# Contraction paths memoized by (subscripts, operand shapes). With
+# ``optimize=True`` numpy re-runs the greedy path search on every call,
+# which shows up in the hot-path profile for the per-step conv/attention
+# einsums; the operand shapes repeat every step, so the path is computed
+# once. The path only fixes the contraction ORDER — the arithmetic per
+# contraction is unchanged, so results are bit-identical to optimize=True.
+_EINSUM_PATHS: Dict[tuple, list] = {}
+
+
+def cached_einsum(subscripts: str, *operands: np.ndarray) -> np.ndarray:
+    """``np.einsum(..., optimize=True)`` with a memoized contraction path."""
+    key = (subscripts, tuple(op.shape for op in operands))
+    path = _EINSUM_PATHS.get(key)
+    if path is None:
+        path = np.einsum_path(subscripts, *operands, optimize="greedy")[0]
+        _EINSUM_PATHS[key] = path
+    return np.einsum(subscripts, *operands, optimize=path)
 
 
 def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:

@@ -29,6 +29,13 @@ class BatchNorm2d(Module):
         self.running_var = np.ones(num_features)
         self.eps = eps
         self.momentum = momentum
+        # When set (a list), training forwards append their (mean, var)
+        # batch statistics here INSTEAD of updating the running buffers.
+        # Parallel worker replicas record per-batch stats this way and the
+        # trainer replays them onto the master model in rank order, so the
+        # running buffers end up bit-identical to a sequential pass (the
+        # batch statistics depend only on the batch, not on the buffers).
+        self.stat_recorder: Optional[list] = None
         self._cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -37,12 +44,10 @@ class BatchNorm2d(Module):
         if self.training:
             mean = x.mean(axis=(0, 2, 3))
             var = x.var(axis=(0, 2, 3))
-            self.running_mean = (
-                (1 - self.momentum) * self.running_mean + self.momentum * mean
-            )
-            self.running_var = (
-                (1 - self.momentum) * self.running_var + self.momentum * var
-            )
+            if self.stat_recorder is not None:
+                self.stat_recorder.append((mean, var))
+            else:
+                self.apply_batch_stats(mean, var)
         else:
             mean = self.running_mean
             var = self.running_var
@@ -55,6 +60,20 @@ class BatchNorm2d(Module):
         if self.training:
             self._cache = (x_hat, inv_std, x)
         return out
+
+    def apply_batch_stats(self, mean: np.ndarray, var: np.ndarray) -> None:
+        """Fold one batch's statistics into the running buffers.
+
+        The single update rule shared by the direct (sequential) path and
+        the recorded-replay (parallel) path — keeping them one expression
+        is what makes the two training modes bit-identical.
+        """
+        self.running_mean = (
+            (1 - self.momentum) * self.running_mean + self.momentum * mean
+        )
+        self.running_var = (
+            (1 - self.momentum) * self.running_var + self.momentum * var
+        )
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:

@@ -19,13 +19,43 @@ class Parameter:
             the first backward touches it.
         name: dotted path assigned by the owning model (e.g.
             ``features.3.weight``); set by ``Module.named_parameters``.
+
+    Gradient storage comes in two modes:
+
+    - **legacy**: ``accumulate_grad`` allocates a fresh array per step (the
+      first call copies, later calls add);
+    - **arena**: a preallocated zero-copy view into a fused per-worker
+      buffer is attached with :meth:`attach_grad_slot`
+      (see :class:`repro.perf.arena.GradientArena`); accumulation then
+      writes into the fused buffer in place and ``zero_grad`` merely marks
+      the slot stale — no per-step allocation at all. Both modes produce
+      bit-identical gradient values.
     """
 
     def __init__(self, data: np.ndarray, name: str = ""):
         self.data = np.asarray(data, dtype=np.float64)
-        self.grad: Optional[np.ndarray] = None
         self.name = name
+        self._grad: Optional[np.ndarray] = None
+        self._grad_slot: Optional[np.ndarray] = None
+        self._slot_written = False
         self._hooks: List[GradHook] = []
+
+    @property
+    def grad(self) -> Optional[np.ndarray]:
+        if self._grad_slot is not None:
+            return self._grad_slot if self._slot_written else None
+        return self._grad
+
+    @grad.setter
+    def grad(self, value: Optional[np.ndarray]) -> None:
+        if self._grad_slot is not None:
+            if value is None:
+                self._slot_written = False
+            else:
+                np.copyto(self._grad_slot, value)
+                self._slot_written = True
+        else:
+            self._grad = value
 
     @property
     def shape(self) -> tuple:
@@ -50,6 +80,28 @@ class Parameter:
         """Remove all registered hooks."""
         self._hooks.clear()
 
+    def attach_grad_slot(self, slot: np.ndarray) -> None:
+        """Route gradient accumulation into a preallocated buffer view.
+
+        ``slot`` must match the parameter's shape; it is typically a view
+        into a worker's fused arena slab. Attaching marks the slot stale
+        (as after ``zero_grad``); any legacy gradient is dropped.
+        """
+        if slot.shape != self.data.shape:
+            raise ValueError(
+                f"grad slot shape {slot.shape} != parameter shape "
+                f"{self.data.shape}"
+                + (f" for {self.name!r}" if self.name else "")
+            )
+        self._grad_slot = slot
+        self._slot_written = False
+        self._grad = None
+
+    def detach_grad_slot(self) -> None:
+        """Return to legacy per-step gradient allocation."""
+        self._grad_slot = None
+        self._slot_written = False
+
     def accumulate_grad(self, grad: np.ndarray) -> None:
         """Add ``grad`` into ``self.grad`` and fire ready-hooks.
 
@@ -62,16 +114,35 @@ class Parameter:
                 f"grad shape {grad.shape} != parameter shape {self.data.shape}"
                 + (f" for {self.name!r}" if self.name else "")
             )
-        if self.grad is None:
-            self.grad = grad.astype(np.float64, copy=True)
+        if self._grad_slot is not None:
+            # Arena mode: first write overwrites whatever stale data the
+            # slot held (np.copyto casts like astype), later writes add in
+            # place — bit-identical to the legacy copy-then-add.
+            if self._slot_written:
+                self._grad_slot += grad
+            else:
+                np.copyto(self._grad_slot, grad)
+                self._slot_written = True
+        elif self._grad is None:
+            # order="C": layer backwards may hand over F-ordered arrays
+            # (einsum/tensordot outputs); gradient storage must have one
+            # canonical layout so BLAS-backed consumers (Power-SGD/ACP-SGD
+            # matmuls) round identically whether the gradient lives here
+            # or in a C-contiguous arena slot.
+            self._grad = grad.astype(np.float64, order="C", copy=True)
         else:
-            self.grad = self.grad + grad
+            self._grad = self._grad + grad
         for hook in self._hooks:
             hook(self)
 
     def zero_grad(self) -> None:
-        """Reset the gradient before the next backward pass."""
-        self.grad = None
+        """Reset the gradient before the next backward pass.
+
+        In arena mode this is allocation-free: the slot is marked stale and
+        the next ``accumulate_grad`` overwrites it.
+        """
+        self._grad = None
+        self._slot_written = False
 
     def __repr__(self) -> str:
         label = self.name or "unnamed"

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.comm.process_group import ProcessGroup
+from repro.perf.counters import ALLOC_STATS
 from repro.compression.acpsgd import ACPSGDState
 from repro.compression.powersgd import PowerSGDState
 from repro.compression.qsgd import QSGDCompressor
@@ -39,17 +40,57 @@ def _check_worker_grads(per_worker: List[NamedGrads], world_size: int) -> None:
             raise ValueError(f"worker {rank} gradient names differ from worker 0")
 
 
+def _pack_fused(
+    grads: NamedGrads, names: List[str]
+) -> Tuple[np.ndarray, bool]:
+    """Fused buffer for ``names`` plus whether it is a zero-copy view.
+
+    Arena-backed gradients (:class:`repro.perf.arena.ArenaGrads`) whose
+    ``names`` match a contiguous run of the arena layout return the slab
+    view directly — tensor fusion as a no-op. Everything else pays the
+    legacy concatenation copy (counted in
+    :data:`repro.perf.counters.ALLOC_STATS`).
+    """
+    fused_view = getattr(grads, "fused_view", None)
+    if fused_view is not None:
+        view = fused_view(names)
+        if view is not None:
+            return view, True
+    ALLOC_STATS.pack_copies += 1
+    return np.concatenate([grads[name].reshape(-1) for name in names]), False
+
+
 def _pack(grads: NamedGrads, names: List[str]) -> np.ndarray:
     """Flatten named gradients into one fused buffer (tensor fusion)."""
-    return np.concatenate([grads[name].reshape(-1) for name in names])
+    return _pack_fused(grads, names)[0]
 
 
-def _unpack(buffer: np.ndarray, template: NamedGrads, names: List[str]) -> NamedGrads:
+def _unpack(
+    buffer: np.ndarray,
+    template: NamedGrads,
+    names: List[str],
+    copy: bool = False,
+) -> NamedGrads:
+    """Split a fused buffer back into named tensors.
+
+    Ownership contract: by default the returned arrays are **read-only
+    views** into ``buffer`` — they are valid until the buffer's owner
+    reuses it (for arena slabs: the next backward pass) and attempting to
+    write through them raises. Callers that need private, mutable tensors
+    must pass ``copy=True`` (one allocation per tensor, counted in
+    :data:`repro.perf.counters.ALLOC_STATS`).
+    """
     out: NamedGrads = {}
     offset = 0
     for name in names:
         size = template[name].size
-        out[name] = buffer[offset : offset + size].reshape(template[name].shape)
+        view = buffer[offset : offset + size].reshape(template[name].shape)
+        if copy:
+            ALLOC_STATS.unpack_copies += 1
+            out[name] = view.copy()
+        else:
+            view.flags.writeable = False
+            out[name] = view
         offset += size
     return out
 
@@ -88,7 +129,15 @@ class GradientAggregator:
 
 
 class AllReduceAggregator(GradientAggregator):
-    """S-SGD: fused ring all-reduce of the raw gradients (the baseline)."""
+    """S-SGD: fused ring all-reduce of the raw gradients (the baseline).
+
+    With arena-backed gradients on a group that supports it, the all-reduce
+    runs **in place** on the per-worker slabs: zero packing copies, zero
+    per-step fused allocations, and the returned tensors are read-only
+    views into the reduced slab. The per-worker gradients are consumed by
+    the call (every slab ends up holding the reduced average), matching
+    NCCL in-place all-reduce semantics.
+    """
 
     method = "ssgd"
 
@@ -96,7 +145,15 @@ class AllReduceAggregator(GradientAggregator):
         _check_worker_grads(per_worker_grads, self.group.world_size)
         self.step += 1
         names = list(per_worker_grads[0])
-        buffers = [_pack(grads, names) for grads in per_worker_grads]
+        packed = [_pack_fused(grads, names) for grads in per_worker_grads]
+        buffers = [buffer for buffer, _ in packed]
+        if (
+            getattr(self.group, "supports_inplace", False)
+            and all(is_view for _, is_view in packed)
+            and len({id(buffer) for buffer in buffers}) == len(buffers)
+        ):
+            self.group.all_reduce_(buffers, average=True)
+            return _unpack(buffers[0], per_worker_grads[0], names)
         reduced = self.group.all_reduce(buffers, average=True)
         return _unpack(reduced[0], per_worker_grads[0], names)
 

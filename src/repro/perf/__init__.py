@@ -1,0 +1,33 @@
+"""Hot-path performance subsystem: gradient arena + parallel backprop.
+
+Three pieces make the measured training hot path allocation-free and
+worker-parallel (see ``docs/performance.md``):
+
+- :class:`~repro.perf.arena.GradientArena` — preallocated per-worker fused
+  gradient buffers; every ``Parameter.grad`` is a zero-copy view, so
+  tensor fusion (``_pack``/``_unpack``) stops copying and the collectives
+  can aggregate in place;
+- :class:`~repro.perf.replicas.ReplicaSet` — per-worker model replicas
+  sharing weight storage, enabling thread-parallel backprop with
+  bit-identical trajectories;
+- :data:`~repro.perf.counters.ALLOC_STATS` — fused-allocation counters
+  backing the "zero per-step fused allocations" regression check.
+
+The benchmark harness lives in :mod:`repro.perf.bench` (imported lazily by
+the CLI; it depends on the aggregators, which in turn import the counters
+from here).
+"""
+
+from repro.perf.arena import ArenaGrads, ArenaLayout, GradientArena
+from repro.perf.counters import ALLOC_STATS, AllocStats
+from repro.perf.replicas import ReplicaSet, iter_modules
+
+__all__ = [
+    "ALLOC_STATS",
+    "AllocStats",
+    "ArenaGrads",
+    "ArenaLayout",
+    "GradientArena",
+    "ReplicaSet",
+    "iter_modules",
+]

@@ -1,0 +1,266 @@
+"""Zero-copy gradient arena: preallocated per-worker fused buffers.
+
+The paper's tensor-fusion optimization exists in this repo twice: as a
+simulator cost model and as a per-step ``np.concatenate`` in the
+aggregators. The arena replaces the second with real fusion: at trainer
+construction one contiguous float64 slab is allocated **per worker**, laid
+out in parameter order, and every ``Parameter.grad`` becomes a zero-copy
+view into it. From then on:
+
+- back-propagation writes gradients straight into the fused buffer
+  (:meth:`~repro.nn.parameter.Parameter.accumulate_grad` accumulates into
+  the attached slot in place);
+- ``_pack`` in :mod:`repro.optim.aggregators` returns the slab itself —
+  tensor fusion becomes a no-op instead of a full-model copy per worker
+  per step;
+- the in-place ring all-reduce
+  (:func:`repro.comm.collectives.all_reduce_ring_inplace`) aggregates the
+  slabs where they live, reusing a preallocated scratch block instead of
+  allocating per ring step;
+- ``_unpack`` hands back read-only views into the reduced slab.
+
+Ownership contract (see ``docs/performance.md``):
+
+- A worker's slab is valid gradient data from the end of its backward pass
+  until the aggregator consumes it. **In-place aggregation destroys the
+  per-worker gradients** — after ``aggregate`` returns, every slab holds
+  the reduced result, exactly like an NCCL in-place all-reduce.
+- Views returned by the arena or by ``_unpack`` are invalidated by the
+  next backward pass. Callers that need to retain a gradient across steps
+  must copy it explicitly.
+- Groups that must retransmit original payloads on failure
+  (:class:`~repro.faults.resilient.ResilientProcessGroup` re-sends buffers
+  after a CRC mismatch) advertise ``supports_inplace = False``; the
+  aggregators then keep the copying path for the collective while still
+  using zero-copy packing.
+
+Buckets: the slab is optionally partitioned into contiguous buckets of at
+most ``bucket_bytes`` (parameter order, like DDP's gradient buckets). Each
+bucket is itself contiguous, so a bucketed collective schedule can reduce
+bucket views without any re-packing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+
+class ArenaLayout:
+    """Element layout of one fused slab: parameter order, offsets, buckets.
+
+    Attributes:
+        names: parameter names in model (definition) order.
+        shapes: per-name tensor shapes.
+        offsets: per-name start offset into the slab, in elements.
+        total_elements: slab length.
+        buckets: ``(start, end)`` element ranges partitioning the slab.
+    """
+
+    def __init__(
+        self,
+        named_shapes: Sequence[Tuple[str, Tuple[int, ...]]],
+        bucket_bytes: Optional[int] = None,
+        itemsize: int = 8,
+    ):
+        if not named_shapes:
+            raise ValueError("arena layout requires at least one parameter")
+        if bucket_bytes is not None and bucket_bytes < itemsize:
+            raise ValueError(
+                f"bucket_bytes must be >= one element ({itemsize}), "
+                f"got {bucket_bytes}"
+            )
+        self.names: List[str] = []
+        self.shapes: Dict[str, Tuple[int, ...]] = {}
+        self.offsets: Dict[str, int] = {}
+        self._index: Dict[str, int] = {}
+        offset = 0
+        for name, shape in named_shapes:
+            if name in self.shapes:
+                raise ValueError(f"duplicate parameter name {name!r}")
+            size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            self._index[name] = len(self.names)
+            self.names.append(name)
+            self.shapes[name] = tuple(shape)
+            self.offsets[name] = offset
+            offset += size
+        self.total_elements = offset
+        self.buckets = self._build_buckets(bucket_bytes, itemsize)
+
+    def _build_buckets(
+        self, bucket_bytes: Optional[int], itemsize: int
+    ) -> List[Tuple[int, int]]:
+        if bucket_bytes is None:
+            return [(0, self.total_elements)]
+        cap = max(1, bucket_bytes // itemsize)
+        buckets: List[Tuple[int, int]] = []
+        start = 0
+        for name in self.names:
+            end = self.offsets[name] + self.size_of(name)
+            if end - start >= cap:
+                buckets.append((start, end))
+                start = end
+        if start < self.total_elements:
+            buckets.append((start, self.total_elements))
+        return buckets
+
+    def size_of(self, name: str) -> int:
+        shape = self.shapes[name]
+        return int(np.prod(shape, dtype=np.int64)) if shape else 1
+
+    def span(self, names: Sequence[str]) -> Optional[Tuple[int, int]]:
+        """Element range covered by ``names`` iff they form a contiguous run.
+
+        Returns ``(start, end)`` when ``names`` equals a consecutive slice of
+        the layout order (so a single view can stand in for their fused
+        concatenation), else ``None``.
+        """
+        if not names:
+            return None
+        first = self._index.get(names[0])
+        if first is None:
+            return None
+        for step, name in enumerate(names):
+            if self._index.get(name) != first + step:
+                return None
+        last = names[-1]
+        return self.offsets[names[0]], self.offsets[last] + self.size_of(last)
+
+
+class ArenaGrads(Dict[str, np.ndarray]):
+    """Named gradient views backed by one fused slab.
+
+    Behaves as a plain ``{name: ndarray}`` dict (what every aggregator
+    consumes) while also exposing the backing slab, so ``_pack`` can skip
+    the concatenation entirely.
+    """
+
+    def __init__(
+        self,
+        views: Dict[str, np.ndarray],
+        slab: np.ndarray,
+        layout: ArenaLayout,
+    ):
+        super().__init__(views)
+        self.slab = slab
+        self.layout = layout
+
+    def fused_view(self, names: Sequence[str]) -> Optional[np.ndarray]:
+        """Zero-copy fused buffer for ``names``, or ``None`` if impossible.
+
+        The full parameter list (the common case) returns the whole slab;
+        any contiguous sub-run of the layout returns a slice view. Orders
+        that do not match the layout force the caller back to a copy.
+        """
+        if list(names) == self.layout.names:
+            return self.slab
+        span = self.layout.span(list(names))
+        if span is None:
+            return None
+        return self.slab[span[0] : span[1]]
+
+
+class GradientArena:
+    """Per-worker fused gradient buffers with zero-copy parameter views.
+
+    Args:
+        model: the model whose parameters define the layout (names, shapes,
+            order). Replicas created by
+            :class:`~repro.perf.replicas.ReplicaSet` share the same layout.
+        world_size: number of worker slabs to allocate.
+        bucket_bytes: optional bucket cap (parameter-order contiguous
+            buckets, DDP-style). ``None`` fuses the whole model into one
+            bucket.
+    """
+
+    dtype = np.float64
+
+    def __init__(
+        self,
+        model: Module,
+        world_size: int,
+        bucket_bytes: Optional[int] = None,
+    ):
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        named = [(name, param.shape) for name, param in model.named_parameters()]
+        self.layout = ArenaLayout(
+            named, bucket_bytes=bucket_bytes, itemsize=np.dtype(self.dtype).itemsize
+        )
+        self.world_size = world_size
+        # One contiguous slab per worker; slabs are distinct allocations so
+        # the ring collective's per-rank buffers never alias each other.
+        self._slabs: List[np.ndarray] = [
+            np.zeros(self.layout.total_elements, dtype=self.dtype)
+            for _ in range(world_size)
+        ]
+        self._views: List[Dict[str, np.ndarray]] = [
+            self._carve(slab) for slab in self._slabs
+        ]
+
+    def _carve(self, slab: np.ndarray) -> Dict[str, np.ndarray]:
+        views: Dict[str, np.ndarray] = {}
+        for name in self.layout.names:
+            lo = self.layout.offsets[name]
+            hi = lo + self.layout.size_of(name)
+            views[name] = slab[lo:hi].reshape(self.layout.shapes[name])
+        return views
+
+    # ------------------------------------------------------------------
+    # Worker-facing API
+    # ------------------------------------------------------------------
+    def slab(self, slot: int) -> np.ndarray:
+        """Worker ``slot``'s whole fused buffer (1-D, writable)."""
+        return self._slabs[slot]
+
+    def bucket_views(self, slot: int) -> List[np.ndarray]:
+        """Worker ``slot``'s slab as per-bucket contiguous views."""
+        return [self._slabs[slot][lo:hi] for lo, hi in self.layout.buckets]
+
+    def grads(self, slot: int) -> ArenaGrads:
+        """Worker ``slot``'s named gradients as zero-copy slab views."""
+        return ArenaGrads(self._views[slot], self._slabs[slot], self.layout)
+
+    def bind(self, model: Module, slot: int) -> None:
+        """Point every ``Parameter.grad`` of ``model`` into slab ``slot``.
+
+        After binding, ``zero_grad``/backward on the model reads and writes
+        the arena storage directly. The model must match the arena layout
+        (same names, shapes, order).
+        """
+        views = self._views[slot]
+        for name, param in model.named_parameters():
+            view = views.get(name)
+            if view is None or view.shape != param.shape:
+                raise ValueError(
+                    f"model does not match arena layout at parameter {name!r}"
+                )
+            param.attach_grad_slot(view)
+
+    def unbind(self, model: Module) -> None:
+        """Detach every parameter from the arena (back to legacy grads)."""
+        for _, param in model.named_parameters():
+            param.detach_grad_slot()
+
+    def divide_(self, slot: int, divisor: float) -> None:
+        """In-place divide of worker ``slot``'s slab.
+
+        Used for micro-batch averaging. True division (not multiplication
+        by a reciprocal) so the values stay bit-identical to the legacy
+        ``param.grad / accumulation_steps`` path.
+        """
+        self._slabs[slot] /= divisor
+
+    @property
+    def nbytes(self) -> int:
+        """Total arena footprint in bytes."""
+        return sum(slab.nbytes for slab in self._slabs)
+
+    def owns(self, buffers: Iterable[np.ndarray]) -> bool:
+        """True when every buffer is one of this arena's slabs (by identity)."""
+        slabs = {id(slab) for slab in self._slabs}
+        return all(id(buf) in slabs for buf in buffers)

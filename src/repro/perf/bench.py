@@ -1,0 +1,234 @@
+"""Hot-path benchmark: aggregation-step timing, legacy vs arena.
+
+Measures the per-step cost of every aggregation method on a VGG-style
+model at ``world_size`` workers, twice each:
+
+- **legacy** — per-worker gradients are plain ``{name: array}`` dicts, so
+  ``_pack`` concatenates (a full-model copy per worker per step) and the
+  S-SGD collective runs the copying ring all-reduce: the pre-arena code
+  path, reconstructed in the same run so the speedup is an
+  apples-to-apples measurement on the same machine;
+- **arena** — gradients are :class:`~repro.perf.arena.ArenaGrads` slab
+  views, so packing is a no-op and S-SGD aggregates in place on the slabs
+  with preallocated ring scratch.
+
+Gradient *values* are identical between modes (both are refilled from the
+same reference arrays), so any timing difference is pure data movement.
+The JSON report also records the :data:`~repro.perf.counters.ALLOC_STATS`
+deltas — the arena S-SGD row must show zero fused-buffer allocations —
+and an optional end-to-end ``train_step`` comparison (sequential vs
+parallel workers).
+
+Run it via ``python -m repro bench`` or ``scripts/bench_hot_path.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.comm.process_group import ProcessGroup
+from repro.models.convnets import make_small_vgg
+from repro.optim import aggregators as agg
+from repro.optim.sgd import SGD
+from repro.perf.arena import ArenaGrads, GradientArena
+from repro.perf.counters import ALLOC_STATS
+from repro.train.datasets import ArrayDataset
+from repro.train.trainer import DataParallelTrainer
+
+NamedGrads = Dict[str, np.ndarray]
+
+#: method name -> aggregator factory, in report order. S-SGD first: it is
+#: the row the >= 1.5x arena-speedup acceptance criterion reads.
+AGGREGATOR_FACTORIES: Dict[str, Callable[[ProcessGroup], agg.GradientAggregator]] = {
+    "ssgd": agg.AllReduceAggregator,
+    "signsgd": agg.SignSGDAggregator,
+    "topk": lambda g: agg.TopkSGDAggregator(g, ratio=0.01),
+    "randomk": lambda g: agg.RandomKAggregator(g, ratio=0.01),
+    "qsgd": agg.QSGDAggregator,
+    "terngrad": agg.TernGradAggregator,
+    "powersgd": lambda g: agg.PowerSGDAggregator(g, rank=4),
+    "acpsgd": lambda g: agg.ACPSGDAggregator(g, rank=4),
+}
+
+
+def _reference_gradients(
+    arena: GradientArena, seed: int
+) -> List[np.ndarray]:
+    """One fixed random fused gradient per worker (the refill source)."""
+    rng = np.random.default_rng(seed)
+    return [
+        rng.standard_normal(arena.layout.total_elements)
+        for _ in range(arena.world_size)
+    ]
+
+
+def _legacy_gradients(
+    arena: GradientArena, reference: List[np.ndarray]
+) -> List[NamedGrads]:
+    """Plain-dict gradients carrying the same values as the arena slabs."""
+    layout = arena.layout
+    out: List[NamedGrads] = []
+    for ref in reference:
+        grads: NamedGrads = {}
+        for name in layout.names:
+            lo = layout.offsets[name]
+            grads[name] = (
+                ref[lo : lo + layout.size_of(name)]
+                .reshape(layout.shapes[name])
+                .copy()
+            )
+        out.append(grads)
+    return out
+
+
+def _time_aggregation(
+    aggregator: agg.GradientAggregator,
+    provider: Callable[[], List[NamedGrads]],
+    iters: int,
+    warmup: int,
+) -> Dict[str, float]:
+    """Best-of-``iters`` wall time of ``aggregate`` (provider untimed).
+
+    The provider refills the gradient buffers before every call because
+    in-place aggregation consumes them; the refill is excluded from the
+    timed region. Alloc counters cover only the timed iterations.
+    """
+    for _ in range(warmup):
+        aggregator.aggregate(provider())
+    times = []
+    ALLOC_STATS.reset()
+    for _ in range(iters):
+        per_worker = provider()
+        start = time.perf_counter()
+        aggregator.aggregate(per_worker)
+        times.append(time.perf_counter() - start)
+    return {
+        "best_s": min(times),
+        "mean_s": float(np.mean(times)),
+        "pack_copies_per_step": ALLOC_STATS.pack_copies / iters,
+        "unpack_copies_per_step": ALLOC_STATS.unpack_copies / iters,
+        "fused_allocs_per_step": ALLOC_STATS.fused_allocs / iters,
+    }
+
+
+def _bench_train_step(
+    world_size: int,
+    base_width: int,
+    iters: int,
+    warmup: int,
+    seed: int,
+) -> Dict[str, object]:
+    """End-to-end S-SGD ``train_step``: sequential vs parallel workers.
+
+    On a single-core host the parallel mode mostly measures threading
+    overhead; the row is recorded for tracking, not gated.
+    """
+    results: Dict[str, object] = {}
+    for mode in ("sequential", "parallel"):
+        rng = np.random.default_rng(seed)
+        inputs = rng.standard_normal((world_size * 32, 3, 16, 16))
+        labels = rng.integers(0, 10, size=world_size * 32)
+        data = ArrayDataset(inputs, labels)
+        model = make_small_vgg(base_width=base_width, rng=np.random.default_rng(seed))
+        trainer = DataParallelTrainer(
+            model,
+            SGD(model, lr=0.01),
+            agg.AllReduceAggregator(ProcessGroup(world_size)),
+            data,
+            data,
+            batch_size_per_worker=8,
+            seed=seed,
+            parallel_workers=(mode == "parallel"),
+        )
+        for _ in range(warmup):
+            trainer.train_step()
+        times = []
+        for _ in range(iters):
+            start = time.perf_counter()
+            trainer.train_step()
+            times.append(time.perf_counter() - start)
+        results[mode] = {"best_s": min(times), "mean_s": float(np.mean(times))}
+    results["parallel_speedup"] = (
+        results["sequential"]["best_s"] / results["parallel"]["best_s"]
+    )
+    return results
+
+
+def run_hot_path_bench(
+    world_size: int = 4,
+    base_width: int = 32,
+    iters: int = 7,
+    warmup: int = 2,
+    seed: int = 0,
+    methods: Optional[List[str]] = None,
+    include_train_step: bool = True,
+) -> Dict[str, object]:
+    """Run the full benchmark and return the JSON-serializable report."""
+    model = make_small_vgg(base_width=base_width, rng=np.random.default_rng(seed))
+    arena = GradientArena(model, world_size)
+    layout = arena.layout
+    reference = _reference_gradients(arena, seed + 1)
+    legacy = _legacy_gradients(arena, reference)
+
+    def legacy_provider() -> List[NamedGrads]:
+        # Refill so in-place-consumed values cannot leak between modes.
+        for grads, ref in zip(legacy, reference):
+            for name in layout.names:
+                lo = layout.offsets[name]
+                np.copyto(
+                    grads[name],
+                    ref[lo : lo + layout.size_of(name)].reshape(
+                        layout.shapes[name]
+                    ),
+                )
+        return legacy
+
+    def arena_provider() -> List[ArenaGrads]:
+        for slot, ref in enumerate(reference):
+            np.copyto(arena.slab(slot), ref)
+        return [arena.grads(slot) for slot in range(world_size)]
+
+    selected = methods or list(AGGREGATOR_FACTORIES)
+    aggregate_step: Dict[str, object] = {}
+    for method in selected:
+        factory = AGGREGATOR_FACTORIES[method]
+        row: Dict[str, object] = {}
+        for mode, provider in (
+            ("legacy", legacy_provider),
+            ("arena", arena_provider),
+        ):
+            row[mode] = _time_aggregation(
+                factory(ProcessGroup(world_size)), provider, iters, warmup
+            )
+        row["arena_speedup"] = row["legacy"]["best_s"] / row["arena"]["best_s"]
+        aggregate_step[method] = row
+
+    report: Dict[str, object] = {
+        "config": {
+            "world_size": world_size,
+            "base_width": base_width,
+            "iters": iters,
+            "warmup": warmup,
+            "seed": seed,
+            "model_parameters": layout.total_elements,
+            "slab_mbytes": arena.nbytes / arena.world_size / 2**20,
+        },
+        "aggregate_step": aggregate_step,
+    }
+    if include_train_step:
+        report["train_step_ssgd"] = _bench_train_step(
+            world_size, base_width, max(3, iters // 2), 1, seed
+        )
+    if "ssgd" in aggregate_step:
+        ssgd = aggregate_step["ssgd"]
+        report["criteria"] = {
+            "ssgd_arena_speedup": ssgd["arena_speedup"],
+            "ssgd_speedup_target": 1.5,
+            "ssgd_speedup_ok": ssgd["arena_speedup"] >= 1.5,
+            "arena_fused_allocs_per_step": ssgd["arena"]["fused_allocs_per_step"],
+            "arena_zero_fused_allocs": ssgd["arena"]["fused_allocs_per_step"] == 0,
+        }
+    return report

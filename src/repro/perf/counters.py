@@ -1,0 +1,44 @@
+"""Hot-path allocation accounting.
+
+The arena's whole point is that the per-step fused gradient buffers are
+allocated once, at trainer construction, and never again. That invariant is
+cheap to state and easy to regress silently — one stray ``np.concatenate``
+in an aggregator and every step quietly pays a full-model copy per worker.
+
+:data:`ALLOC_STATS` counts, per process, every time the fused pack/unpack
+helpers fall back to an allocating copy. The ``perf``-marked smoke test and
+the benchmark harness reset the counters, drive the hot path, and assert
+the arena path performed **zero** fused-buffer allocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class AllocStats:
+    """Counters of allocating fallbacks on the fused gradient path.
+
+    Attributes:
+        pack_copies: fused buffers materialized by copying (``_pack`` could
+            not return a zero-copy arena view).
+        unpack_copies: per-tensor copies made on unpack (``copy=True``).
+    """
+
+    pack_copies: int = 0
+    unpack_copies: int = 0
+
+    @property
+    def fused_allocs(self) -> int:
+        """Total allocating events on the fused path since the last reset."""
+        return self.pack_copies + self.unpack_copies
+
+    def reset(self) -> None:
+        """Zero all counters (call before a measured region)."""
+        self.pack_copies = 0
+        self.unpack_copies = 0
+
+
+#: Process-global counters; reset before a measured region.
+ALLOC_STATS = AllocStats()

@@ -28,7 +28,8 @@ surviving ranks mid-run.
 from __future__ import annotations
 
 import tempfile
-from typing import Dict, List, Optional, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,6 +38,8 @@ from repro.nn.module import Module
 from repro.optim.aggregators import AllReduceAggregator, GradientAggregator
 from repro.optim.lr_scheduler import WarmupMultiStepSchedule
 from repro.optim.sgd import SGD
+from repro.perf.arena import GradientArena
+from repro.perf.replicas import ReplicaSet
 from repro.train.checkpoint import CheckpointError, CheckpointManager
 from repro.train.datasets import ArrayDataset
 from repro.train.history import TrainingHistory
@@ -65,6 +68,8 @@ class DataParallelTrainer:
         seed: int = 0,
         accumulation_steps: int = 1,
         resilience: Optional[ResilienceConfig] = None,
+        use_arena: bool = True,
+        parallel_workers: bool = False,
     ):
         if batch_size_per_worker < 1:
             raise ValueError(
@@ -87,6 +92,24 @@ class DataParallelTrainer:
         self.accumulation_steps = accumulation_steps
         self.loss_fn = CrossEntropyLoss()
         self._rngs = spawn_rngs(seed, self.world_size)
+        # --- hot-path state: gradient arena + optional parallel workers ---
+        self.use_arena = use_arena
+        self.parallel_workers = parallel_workers
+        self._arena: Optional[GradientArena] = (
+            GradientArena(model, self.world_size) if use_arena else None
+        )
+        self._replicas: Optional[ReplicaSet] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._worker_loss_fns: List[CrossEntropyLoss] = [self.loss_fn]
+        if parallel_workers and self.world_size > 1:
+            self._replicas = ReplicaSet(model, self.world_size)
+            self._worker_loss_fns = [
+                CrossEntropyLoss() for _ in range(self.world_size)
+            ]
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.world_size,
+                thread_name_prefix="repro-worker",
+            )
         # --- resilience state (inert when resilience is None) ---
         self.resilience = resilience
         self.resilience_log = ResilienceLog() if resilience is not None else None
@@ -97,29 +120,89 @@ class DataParallelTrainer:
         self._step_count = 0
         self._checkpoints: Optional[CheckpointManager] = None
 
-    def _worker_gradients(self, rank: int) -> tuple:
+    def _worker_gradients(
+        self,
+        rank: int,
+        slot: Optional[int] = None,
+        model: Optional[Module] = None,
+        loss_fn: Optional[CrossEntropyLoss] = None,
+    ) -> tuple:
         """One worker's (loss, named gradients) for a fresh batch.
+
+        ``slot`` is the worker's position in this step's live roster (its
+        arena slab index); it defaults to ``rank`` for full-roster steps.
+        ``model``/``loss_fn`` default to the trainer's own; the parallel
+        path passes per-worker replicas so the passes are independent.
 
         With ``accumulation_steps > 1`` the worker runs several micro-batch
         passes and averages their gradients locally before communication —
         the standard trick for fitting large effective batches, which also
         amortizes each communication round over more computation.
         """
-        self.model.zero_grad()
+        if slot is None:
+            slot = rank
+        if model is None:
+            model = self.model
+        if loss_fn is None:
+            loss_fn = self.loss_fn
+        if self._arena is not None:
+            self._arena.bind(model, slot)
+        model.zero_grad()
         losses = []
         for _ in range(self.accumulation_steps):
             inputs, labels = self.train_shards[rank].batch(
                 self._rngs[rank], self.batch_size
             )
-            logits = self.model(inputs)
-            losses.append(self.loss_fn(logits, labels))
-            self.model.backward(self.loss_fn.backward())
+            logits = model(inputs)
+            losses.append(loss_fn(logits, labels))
+            model.backward(loss_fn.backward())
+        if self._arena is not None:
+            for name, param in model.named_parameters():
+                if param.grad is None:
+                    raise RuntimeError(
+                        f"parameter {name!r} received no gradient"
+                    )
+            if self.accumulation_steps > 1:
+                # True division in place: bit-identical to the legacy
+                # ``param.grad / accumulation_steps`` below, minus the copy.
+                self._arena.divide_(slot, self.accumulation_steps)
+            return float(np.mean(losses)), self._arena.grads(slot)
         grads: Dict[str, np.ndarray] = {}
-        for name, param in self.model.named_parameters():
+        for name, param in model.named_parameters():
             if param.grad is None:
                 raise RuntimeError(f"parameter {name!r} received no gradient")
             grads[name] = param.grad / self.accumulation_steps
         return float(np.mean(losses)), grads
+
+    def _parallel_worker_gradients(
+        self, ranks: List[int]
+    ) -> Tuple[List[float], List[Dict[str, np.ndarray]]]:
+        """Run the live workers' passes concurrently on the thread pool.
+
+        Each live rank gets its own replica (shared weights, private
+        activations and arena slab) and its own loss head, so the passes
+        never touch shared state. Results are collected in rank order and
+        BatchNorm statistics are replayed in rank order afterwards, so the
+        aggregation input — and therefore the whole trajectory — is
+        bit-identical to the sequential loop.
+        """
+        assert self._replicas is not None and self._pool is not None
+        self._replicas.begin_round()
+        futures = [
+            self._pool.submit(
+                self._worker_gradients,
+                rank,
+                slot,
+                self._replicas.replicas[slot],
+                self._worker_loss_fns[slot],
+            )
+            for slot, rank in enumerate(ranks)
+        ]
+        results = [future.result() for future in futures]
+        self._replicas.end_round(len(ranks))
+        losses = [loss for loss, _ in results]
+        per_worker = [grads for _, grads in results]
+        return losses, per_worker
 
     def _live_ranks(self) -> List[int]:
         """The ranks participating in this step.
@@ -142,12 +225,15 @@ class DataParallelTrainer:
         see :mod:`repro.train.resilience` for the ladder.
         """
         ranks = self._live_ranks()
-        losses: List[float] = []
-        per_worker: List[Dict[str, np.ndarray]] = []
-        for rank in ranks:
-            loss, grads = self._worker_gradients(rank)
-            losses.append(loss)
-            per_worker.append(grads)
+        if self._pool is not None and len(ranks) > 1:
+            losses, per_worker = self._parallel_worker_gradients(ranks)
+        else:
+            losses = []
+            per_worker = []
+            for slot, rank in enumerate(ranks):
+                loss, grads = self._worker_gradients(rank, slot)
+                losses.append(loss)
+                per_worker.append(grads)
         mean_loss = float(np.mean(losses))
         self._step_count += 1
         if self.resilience is None:

@@ -48,6 +48,23 @@ class TestAutotune:
         assert "best buffer" in out and "<-- best" in out
 
 
+class TestBench:
+    def test_hot_path_bench_smoke(self, tmp_path, capsys):
+        report_path = tmp_path / "bench.json"
+        code = main(["bench", "--workers", "2", "--base-width", "2",
+                     "--iters", "2", "--warmup", "1",
+                     "--methods", "ssgd,randomk", "--no-train-step",
+                     "--output", str(report_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ssgd" in out and "speedup" in out
+        with open(report_path) as handle:
+            report = json.load(handle)
+        assert set(report["aggregate_step"]) == {"ssgd", "randomk"}
+        crit = report["criteria"]
+        assert crit["arena_fused_allocs_per_step"] == 0
+
+
 class TestTrain:
     def test_tiny_training_run(self, capsys):
         code = main(["train", "--method", "ssgd", "--workers", "2",

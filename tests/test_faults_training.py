@@ -121,8 +121,8 @@ class TestTrainerLadder:
         """Make every subsequent worker gradient carry a NaN."""
         original = trainer._worker_gradients
 
-        def poisoned(rank):
-            loss, grads = original(rank)
+        def poisoned(rank, *args, **kwargs):
+            loss, grads = original(rank, *args, **kwargs)
             name = next(iter(grads))
             grads[name] = grads[name].copy()
             grads[name].reshape(-1)[0] = np.nan
@@ -135,8 +135,8 @@ class TestTrainerLadder:
         """Keep gradients sane but report an exploding loss."""
         original = trainer._worker_gradients
 
-        def inflated(rank):
-            loss, grads = original(rank)
+        def inflated(rank, *args, **kwargs):
+            loss, grads = original(rank, *args, **kwargs)
             return loss * factor, grads
 
         trainer._worker_gradients = inflated

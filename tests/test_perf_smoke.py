@@ -1,0 +1,109 @@
+"""Hot-path regression checks: the arena path must stay allocation-free.
+
+Marked ``perf`` (and run in the default suite): these assertions are what
+keeps the zero-copy property from silently regressing — a stray
+``concatenate`` or per-step scratch allocation in the fused path fails
+here before it shows up in the tracked benchmark.
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.comm.process_group import ProcessGroup
+from repro.models.convnets import make_mlp, make_small_vgg
+from repro.optim.aggregators import AllReduceAggregator
+from repro.optim.sgd import SGD
+from repro.perf.arena import GradientArena
+from repro.perf.counters import ALLOC_STATS
+from repro.train.datasets import make_cifar_like
+from repro.train.trainer import DataParallelTrainer
+
+pytestmark = pytest.mark.perf
+
+
+def mlp_arena(world_size=4, seed=0):
+    model = make_mlp(64, 96, 10, rng=np.random.default_rng(seed))
+    arena = GradientArena(model, world_size)
+    rng = np.random.default_rng(seed + 1)
+    reference = [
+        rng.standard_normal(arena.layout.total_elements)
+        for _ in range(world_size)
+    ]
+
+    def refill():
+        for slot, ref in enumerate(reference):
+            np.copyto(arena.slab(slot), ref)
+        return [arena.grads(slot) for slot in range(world_size)]
+
+    return arena, refill
+
+
+class TestZeroFusedAllocations:
+    def test_arena_ssgd_aggregate_makes_no_fused_copies(self):
+        world_size = 4
+        arena, refill = mlp_arena(world_size)
+        aggregator = AllReduceAggregator(ProcessGroup(world_size))
+        aggregator.aggregate(refill())  # warmup: ring scratch allocates here
+        ALLOC_STATS.reset()
+        for _ in range(5):
+            aggregator.aggregate(refill())
+        assert ALLOC_STATS.pack_copies == 0
+        assert ALLOC_STATS.unpack_copies == 0
+        assert ALLOC_STATS.fused_allocs == 0
+
+    def test_train_step_makes_no_fused_copies(self):
+        train_data, test_data = make_cifar_like(num_train=32, num_test=8, seed=0)
+        model = make_small_vgg(base_width=2, rng=np.random.default_rng(0))
+        trainer = DataParallelTrainer(
+            model,
+            SGD(model, lr=0.05),
+            AllReduceAggregator(ProcessGroup(4)),
+            train_data,
+            test_data,
+            batch_size_per_worker=4,
+            seed=0,
+        )
+        trainer.train_step()  # warmup
+        ALLOC_STATS.reset()
+        for _ in range(3):
+            trainer.train_step()
+        assert ALLOC_STATS.pack_copies == 0
+        assert ALLOC_STATS.unpack_copies == 0
+        assert ALLOC_STATS.fused_allocs == 0
+
+    def test_legacy_path_still_counts_copies(self):
+        """The counters themselves must not rot: legacy packing registers."""
+        world_size = 2
+        arena, refill = mlp_arena(world_size)
+        grads = refill()
+        plain = [{name: np.asarray(g[name]) for name in g} for g in grads]
+        aggregator = AllReduceAggregator(ProcessGroup(world_size))
+        ALLOC_STATS.reset()
+        aggregator.aggregate(plain)
+        assert ALLOC_STATS.pack_copies == world_size
+
+
+class TestSteadyStateMemory:
+    def test_aggregate_peak_allocation_below_slab_size(self):
+        """After warmup, one aggregation step allocates far less than one
+        fused buffer — i.e. no hidden per-step slab-sized temporaries."""
+        world_size = 4
+        arena, refill = mlp_arena(world_size)
+        aggregator = AllReduceAggregator(ProcessGroup(world_size))
+        aggregator.aggregate(refill())  # warmup: scratch + history settle
+        per_worker = refill()
+        slab_bytes = arena.slab(0).nbytes
+        tracemalloc.start()
+        try:
+            baseline = tracemalloc.get_traced_memory()[0]
+            tracemalloc.reset_peak()
+            aggregator.aggregate(per_worker)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert peak - baseline < slab_bytes // 2, (
+            f"aggregation allocated {peak - baseline} bytes at peak; "
+            f"slab is {slab_bytes} — the zero-copy path has regressed"
+        )
