@@ -1,7 +1,8 @@
 #!/usr/bin/env python
-"""Verify fault-injected and parallel-worker training are bit-deterministic.
+"""Verify fault-injected, parallel-worker, and elastic-churn training are
+bit-deterministic.
 
-Two checks, both diffing final weights bit-exactly:
+Three checks, all diffing final weights bit-exactly:
 
 1. the same fault-injected resilient training job run twice — identical
    FaultPlan, identical seeds — must produce identical weights (hidden
@@ -10,11 +11,15 @@ Two checks, both diffing final weights bit-exactly:
 2. the same clean training job run with sequential workers and with
    thread-parallel workers (``parallel_workers=True``) must produce
    identical weights (scheduling-order leakage in the parallel backprop
-   path shows up here).
+   path shows up here);
+3. the same elastic-churn job — a rank ejected, readmitted, then a
+   brand-new rank joined mid-run — replayed twice must produce identical
+   weights (unseeded state in the admission protocol: warm-start, rng
+   allocation, re-sharding, ring re-chunk, shows up here).
 
 Usage:
     python scripts/check_determinism.py [--steps 6]
-Exit code 0 when both PASS, 1 otherwise.
+Exit code 0 when all three PASS, 1 otherwise.
 """
 
 import argparse
@@ -74,6 +79,36 @@ def run_clean(steps: int, parallel_workers: bool) -> np.ndarray:
     return model.state_vector()
 
 
+def run_churn(steps: int) -> np.ndarray:
+    """An elastic run: eject -> rejoin -> scale-up, all within ``steps``."""
+    from repro.elastic import MembershipController
+    from repro.faults import Join, PermanentFailure, Recovery
+
+    plan = FaultPlan(
+        seed=7,
+        permanent=(PermanentFailure(rank=2, call_index=2),),
+        recoveries=(Recovery(rank=2, call_index=5),),
+        joins=(Join(call_index=8),),
+    )
+    train_data, test_data = make_cifar_like(num_train=256, num_test=64, seed=3)
+    model = make_small_vgg(base_width=4, rng=np.random.default_rng(5))
+    group = ResilientProcessGroup(3, injector=FaultInjector(plan))
+    membership = MembershipController(group)
+    aggregator = make_aggregator("acpsgd", group, rank=2)
+    trainer = DataParallelTrainer(
+        model, SGD(model, lr=0.05, momentum=0.9), aggregator,
+        train_data, test_data, batch_size_per_worker=8, seed=13,
+        resilience=ResilienceConfig(), membership=membership,
+    )
+    trainer.run(epochs=1, steps_per_epoch=steps, method_label="acpsgd")
+    changes = [change.kind for change in membership.log.changes]
+    if changes != ["eject", "rejoin", "join"]:
+        raise RuntimeError(
+            f"churn schedule did not play out as planned: {changes}"
+        )
+    return model.state_vector()
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--steps", type=int, default=6)
@@ -99,6 +134,18 @@ def main() -> int:
     else:
         diff = float(np.abs(sequential - parallel).max())
         print(f"FAIL: parallel-worker weights diverge from sequential "
+              f"(max |diff| = {diff:g})")
+        failures += 1
+
+    churn_steps = max(args.steps, 6)  # the schedule needs room to play out
+    churn_first = run_churn(churn_steps)
+    churn_second = run_churn(churn_steps)
+    if np.array_equal(churn_first, churn_second):
+        print(f"PASS: two elastic-churn runs (eject -> rejoin -> scale-up, "
+              f"{churn_steps} steps) produced bit-identical weights")
+    else:
+        diff = float(np.abs(churn_first - churn_second).max())
+        print(f"FAIL: elastic-churn replay diverged "
               f"(max |diff| = {diff:g})")
         failures += 1
     return 1 if failures else 0

@@ -8,6 +8,9 @@ Subcommands:
 - ``train`` — a small data-parallel convergence run on synthetic data;
   ``--resilient`` arms the fault-tolerance stack (injected communication
   faults + self-healing collectives + trainer recovery ladder);
+- ``elastic`` — elastic-membership demo: a rank dies mid-run, later
+  rejoins, and a brand-new rank joins, all committed at step boundaries
+  with state warm-start and dataset re-sharding;
 - ``faults`` — straggler/drop sensitivity of each method's iteration time
   (the "what does a 3-sigma straggler do to ACP-SGD vs S-SGD" question);
 - ``evaluate`` — regenerate the paper's tables/figures (wraps the
@@ -138,6 +141,56 @@ def cmd_train(args: argparse.Namespace) -> int:
         if trainer.resilience_log is not None:
             print("--- trainer resilience ---")
             print(trainer.resilience_log.render())
+    return 0
+
+
+def cmd_elastic(args: argparse.Namespace) -> int:
+    """Elastic-membership demo: a rank dies, rejoins, and a new one joins."""
+    import numpy as np
+
+    from repro.elastic import MembershipController
+    from repro.faults import (
+        FaultInjector, FaultPlan, Join, PermanentFailure, Recovery,
+        ResilientProcessGroup,
+    )
+    from repro.models import make_small_resnet
+    from repro.optim import SGD, make_aggregator
+    from repro.train import DataParallelTrainer, ResilienceConfig, make_cifar_like
+
+    train_data, test_data = make_cifar_like(
+        num_train=args.samples, num_test=max(100, args.samples // 4),
+        seed=args.seed,
+    )
+    model = make_small_resnet(rng=np.random.default_rng(args.seed + 1))
+    plan = FaultPlan(
+        seed=args.fault_seed,
+        permanent=(PermanentFailure(rank=args.workers - 1,
+                                    call_index=args.fail_call),),
+        recoveries=(Recovery(rank=args.workers - 1,
+                             call_index=args.rejoin_call),),
+        joins=(Join(call_index=args.join_call),),
+    )
+    group = ResilientProcessGroup(args.workers, injector=FaultInjector(plan))
+    membership = MembershipController(group)
+    kwargs = {}
+    if args.method in ("powersgd", "acpsgd"):
+        kwargs["rank"] = args.rank
+    aggregator = make_aggregator(args.method, group, **kwargs)
+    trainer = DataParallelTrainer(
+        model, SGD(model, lr=args.lr, momentum=0.9), aggregator,
+        train_data, test_data, batch_size_per_worker=args.batch_size or 32,
+        seed=args.seed + 2, resilience=ResilienceConfig(),
+        membership=membership,
+    )
+    history = trainer.run(args.epochs, args.steps_per_epoch,
+                          method_label=args.method)
+    print(history.render())
+    print(f"final accuracy {history.final_accuracy:.1%}; "
+          f"wire traffic {group.total_bytes() / MB:.1f}MB")
+    print("--- membership ---")
+    print(membership.log.render())
+    print("--- communication resilience ---")
+    print(group.resilience_report())
     return 0
 
 
@@ -286,6 +339,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--fault-seed", type=int, default=0,
                          help="seed for the deterministic fault plan")
     p_train.set_defaults(func=cmd_train)
+
+    p_elastic = sub.add_parser(
+        "elastic", help="elastic-membership demo: eject, rejoin, scale up"
+    )
+    p_elastic.add_argument("--method", default="acpsgd")
+    p_elastic.add_argument("--workers", type=int, default=3)
+    p_elastic.add_argument("--epochs", type=int, default=4)
+    p_elastic.add_argument("--steps-per-epoch", type=int, default=10)
+    p_elastic.add_argument("--batch-size", type=int, default=32)
+    p_elastic.add_argument("--samples", type=int, default=1200)
+    p_elastic.add_argument("--lr", type=float, default=0.08)
+    p_elastic.add_argument("--rank", type=int, default=4)
+    p_elastic.add_argument("--seed", type=int, default=0)
+    p_elastic.add_argument("--fault-seed", type=int, default=0)
+    p_elastic.add_argument("--fail-call", type=int, default=6,
+                           help="collective call at which the last rank dies")
+    p_elastic.add_argument("--rejoin-call", type=int, default=14,
+                           help="collective call at which it recovers")
+    p_elastic.add_argument("--join-call", type=int, default=22,
+                           help="collective call at which a new rank joins")
+    p_elastic.set_defaults(func=cmd_elastic)
 
     p_faults = sub.add_parser(
         "faults", help="iteration-time sensitivity to stragglers/drops"

@@ -178,6 +178,29 @@ class ACPSGDState:
         self._p[name] = carried
         return carried @ factor_aggregated.T  # P_t Q_t^T
 
+    def warm_start_from(self, donor: "ACPSGDState") -> None:
+        """Adopt a survivor's shared carried state (elastic admission).
+
+        After every ``finalize`` both stored factors are functions of
+        *aggregated* data — one is the all-reduced factor itself, the other
+        the orthogonalized carried factor every worker computed identically
+        — so copying the donor's ``P``/``Q`` puts the joiner in the same
+        alternation phase as the survivors: at the next step all ranks
+        orthogonalize the same carried factor and compress the same side of
+        the factorization. The EF residual is per-worker and starts at
+        zero; the no-reuse fresh streams are cloned at the donor's position
+        so the shared random carried factors stay in lockstep.
+        """
+        from repro.compression.powersgd import clone_rng
+
+        self._p = {name: p.copy() for name, p in donor._p.items()}
+        self._q = {name: q.copy() for name, q in donor._q.items()}
+        self._error.clear()
+        self._carried.clear()
+        self._fresh_rng = {
+            name: clone_rng(rng) for name, rng in donor._fresh_rng.items()
+        }
+
     def reset(self) -> None:
         """Drop all per-tensor state."""
         self._p.clear()

@@ -156,9 +156,33 @@ class PowerSGDState:
             self._query[name] = q_aggregated.copy()
         return p_hat @ q_aggregated.T
 
+    def warm_start_from(self, donor: "PowerSGDState") -> None:
+        """Adopt a survivor's shared carried state (elastic admission).
+
+        The reused query ``Q`` is an *aggregated* factor, identical on every
+        survivor, so copying the donor's queries is exactly the broadcast a
+        real elastic runtime would perform. The error-feedback residual is
+        per-worker and starts at zero for a joiner (its unsent history is
+        empty). The no-reuse fresh-query streams are cloned at the donor's
+        position so every worker keeps drawing the same query sequence.
+        """
+        self._query = {name: q.copy() for name, q in donor._query.items()}
+        self._error.clear()
+        self._pending.clear()
+        self._fresh_rng = {
+            name: clone_rng(rng) for name, rng in donor._fresh_rng.items()
+        }
+
     def reset(self) -> None:
         """Drop all per-tensor state."""
         self._query.clear()
         self._error.clear()
         self._pending.clear()
         self._fresh_rng.clear()
+
+
+def clone_rng(rng: np.random.Generator) -> np.random.Generator:
+    """An independent generator positioned exactly where ``rng`` is."""
+    clone = np.random.default_rng()
+    clone.bit_generator.state = rng.bit_generator.state
+    return clone

@@ -1,0 +1,25 @@
+"""Elastic membership: ranks leave, rejoin, and join mid-run.
+
+The fault stack (:mod:`repro.faults`) handles the *fail-down* half of
+elasticity — detected permanent failures shrink the world at step
+boundaries. This package adds the *fail-up* half: a
+:class:`MembershipController` that commits scheduled
+:class:`~repro.faults.plan.Recovery` and :class:`~repro.faults.plan.Join`
+events at the same step boundaries, running a deterministic admission
+protocol (state broadcast from a survivor, compressor warm-start, dataset
+re-shard) so training continues seamlessly at the new world size.
+"""
+
+from repro.elastic.membership import (
+    MembershipChange,
+    MembershipController,
+    MembershipLog,
+    joiner_rng,
+)
+
+__all__ = [
+    "MembershipChange",
+    "MembershipController",
+    "MembershipLog",
+    "joiner_rng",
+]

@@ -25,7 +25,9 @@ from repro.faults.plan import (
     FaultEvent,
     FaultInjector,
     FaultPlan,
+    Join,
     PermanentFailure,
+    Recovery,
     TransientFailure,
     corrupt_payload,
 )
@@ -40,7 +42,9 @@ __all__ = [
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
+    "Join",
     "PermanentFailure",
+    "Recovery",
     "TransientFailure",
     "corrupt_payload",
     "BackoffPolicy",

@@ -63,7 +63,11 @@ class TransientFailure:
 
 @dataclass(frozen=True)
 class PermanentFailure:
-    """Rank ``rank`` dies at call ``call_index`` and never returns."""
+    """Rank ``rank`` dies at call ``call_index`` and never returns.
+
+    "Never" can be revised by a matching :class:`Recovery` event later in
+    the plan — the fail-up half of the membership story.
+    """
 
     rank: int
     call_index: int
@@ -71,6 +75,44 @@ class PermanentFailure:
     def __post_init__(self) -> None:
         if self.rank < 0:
             raise ValueError(f"rank must be >= 0, got {self.rank}")
+        if self.call_index < 0:
+            raise ValueError(f"call_index must be >= 0, got {self.call_index}")
+
+
+@dataclass(frozen=True)
+class Recovery:
+    """Rank ``rank`` becomes reachable again at call ``call_index``.
+
+    A recovery revises the most recent :class:`PermanentFailure` of the
+    same rank: from ``call_index`` on the rank answers the wire again, and
+    the elastic membership controller readmits it (state warm-start, ring
+    rebuild, re-shard) at the next step boundary. Failure and recovery
+    events interleave by call index, so a rank can fail, rejoin, and fail
+    again within one plan.
+    """
+
+    rank: int
+    call_index: int
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+        if self.call_index < 0:
+            raise ValueError(f"call_index must be >= 0, got {self.call_index}")
+
+
+@dataclass(frozen=True)
+class Join:
+    """A brand-new rank asks to join the group at call ``call_index``.
+
+    The joiner has no history and no rank id yet — the membership
+    controller allocates the next never-used id and admits it at the first
+    step boundary after ``call_index``.
+    """
+
+    call_index: int
+
+    def __post_init__(self) -> None:
         if self.call_index < 0:
             raise ValueError(f"call_index must be >= 0, got {self.call_index}")
 
@@ -93,6 +135,9 @@ class FaultPlan:
         straggler_delay_s: simulated extra seconds a straggling rank adds.
         transient: scheduled recoverable outages.
         permanent: scheduled unrecoverable rank deaths.
+        recoveries: scheduled rank rejoins (each revises the most recent
+            permanent failure of its rank).
+        joins: scheduled admissions of brand-new ranks.
     """
 
     seed: int = 0
@@ -103,6 +148,8 @@ class FaultPlan:
     straggler_delay_s: float = 0.05
     transient: Tuple[TransientFailure, ...] = ()
     permanent: Tuple[PermanentFailure, ...] = ()
+    recoveries: Tuple[Recovery, ...] = ()
+    joins: Tuple[Join, ...] = ()
 
     def __post_init__(self) -> None:
         for rate_name in ("drop_rate", "corrupt_rate", "straggler_rate"):
@@ -121,6 +168,8 @@ class FaultPlan:
         # Coerce lists (convenient at call sites) to tuples for hashability.
         object.__setattr__(self, "transient", tuple(self.transient))
         object.__setattr__(self, "permanent", tuple(self.permanent))
+        object.__setattr__(self, "recoveries", tuple(self.recoveries))
+        object.__setattr__(self, "joins", tuple(self.joins))
 
     def rank_rng(self, call_index: int, attempt: int, rank: int) -> np.random.Generator:
         """Deterministic generator for one (call, attempt, rank) cell."""
@@ -128,21 +177,52 @@ class FaultPlan:
 
     def rank_down(self, call_index: int, attempt: int, rank: int) -> bool:
         """Whether a scheduled (non-random) outage silences this rank now."""
-        for failure in self.permanent:
-            if failure.rank == rank and call_index >= failure.call_index:
-                return True
+        if self.permanently_down(rank, call_index):
+            return True
         for failure in self.transient:
             if (failure.rank == rank and failure.call_index == call_index
                     and attempt < failure.attempts):
                 return True
         return False
 
+    def permanently_down(self, rank: int, call_index: int) -> bool:
+        """Whether ``rank`` is in a (possibly recoverable) permanent outage.
+
+        Failure and :class:`Recovery` events interleave by call index and
+        the latest one wins: a rank is down iff its most recent permanent
+        failure at or before ``call_index`` has no later recovery.
+        """
+        last_failure = max(
+            (f.call_index for f in self.permanent
+             if f.rank == rank and f.call_index <= call_index),
+            default=None,
+        )
+        if last_failure is None:
+            return False
+        last_recovery = max(
+            (r.call_index for r in self.recoveries
+             if r.rank == rank and r.call_index <= call_index),
+            default=None,
+        )
+        return last_recovery is None or last_recovery < last_failure
+
     def permanently_dead(self, call_index: int) -> Set[int]:
-        """Ranks whose permanent failure has fired by ``call_index``."""
+        """Ranks in a permanent outage (not yet recovered) at ``call_index``."""
         return {
             failure.rank for failure in self.permanent
-            if call_index >= failure.call_index
+            if self.permanently_down(failure.rank, call_index)
         }
+
+    def membership_events(self) -> Tuple:
+        """Recovery/join events in deterministic commit order.
+
+        Sorted by (call_index, kind, rank) — recoveries before joins at the
+        same call index, so a rejoining rank reclaims its old id before a
+        fresh joiner is allocated a new one.
+        """
+        keyed = [(r.call_index, 0, r.rank, r) for r in self.recoveries]
+        keyed += [(j.call_index, 1, -1, j) for j in self.joins]
+        return tuple(event for *_, event in sorted(keyed, key=lambda k: k[:3]))
 
 
 @dataclass

@@ -105,6 +105,26 @@ class ResilienceStats:
     ring_fallback_calls: int = 0
     degraded_calls: int = 0
     ejected_ranks: List[int] = field(default_factory=list)
+    rejoined_ranks: List[int] = field(default_factory=list)
+    joined_ranks: List[int] = field(default_factory=list)
+    #: (call_index, world_size) at construction and after every membership
+    #: change — the world-size timeline of the run.
+    world_size_timeline: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def ejections(self) -> int:
+        """Ranks removed from the roster (permanent-failure commits)."""
+        return len(self.ejected_ranks)
+
+    @property
+    def rejoins(self) -> int:
+        """Previously ejected ranks readmitted by a Recovery event."""
+        return len(self.rejoined_ranks)
+
+    @property
+    def joins(self) -> int:
+        """Brand-new ranks admitted by a Join event."""
+        return len(self.joined_ranks)
 
     def render(self) -> str:
         """Human-readable one-call-per-line summary."""
@@ -118,8 +138,15 @@ class ResilienceStats:
             f"timeouts              {self.timeouts}",
             f"naive-fallback calls  {self.ring_fallback_calls}",
             f"degraded calls        {self.degraded_calls}",
-            f"ejected ranks         {self.ejected_ranks or '[]'}",
+            f"ejections             {self.ejections} {self.ejected_ranks or '[]'}",
+            f"rejoins               {self.rejoins} {self.rejoined_ranks or '[]'}",
+            f"joins                 {self.joins} {self.joined_ranks or '[]'}",
         ]
+        if self.world_size_timeline:
+            timeline = " -> ".join(
+                f"{size}@call{call}" for call, size in self.world_size_timeline
+            )
+            lines.append(f"world-size timeline   {timeline}")
         return "\n".join(lines)
 
 
@@ -172,6 +199,10 @@ class ResilientProcessGroup(ProcessGroup):
         self._call_index = 0
         self._consecutive_ring_failures = 0
         self._ring_disabled = False
+        # Highest rank id ever used: Join admissions allocate past it so a
+        # new rank can never collide with a live or ejected one.
+        self._max_rank = world_size - 1
+        self.stats.world_size_timeline.append((0, world_size))
 
     # ------------------------------------------------------------------
     # World management
@@ -192,7 +223,45 @@ class ResilientProcessGroup(ProcessGroup):
             self.world_size = len(self.live_ranks)
             if self.world_size == 0:
                 raise RuntimeError("all ranks have failed permanently")
+            self.stats.world_size_timeline.append(
+                (self._call_index, self.world_size)
+            )
         return list(self.live_ranks)
+
+    def admit(self, rank: int, rejoin: bool) -> None:
+        """Add ``rank`` to the live roster (a step-boundary operation).
+
+        Called by the elastic :class:`~repro.elastic.MembershipController`
+        after the admission protocol's state synchronization; the ring
+        re-chunks automatically on the next collective because chunking is
+        derived from the roster length. ``rejoin`` distinguishes a
+        previously ejected rank returning from a brand-new rank for the
+        stats.
+        """
+        if rank in self.live_ranks:
+            raise ValueError(f"rank {rank} is already live")
+        if rank < 0:
+            raise ValueError(f"rank must be >= 0, got {rank}")
+        self._dead.discard(rank)
+        self.live_ranks.append(rank)
+        self.live_ranks.sort()
+        self.world_size = len(self.live_ranks)
+        self._max_rank = max(self._max_rank, rank)
+        if rejoin:
+            self.stats.rejoined_ranks.append(rank)
+        else:
+            self.stats.joined_ranks.append(rank)
+        self.stats.world_size_timeline.append((self._call_index, self.world_size))
+
+    def allocate_rank(self) -> int:
+        """Next never-used rank id for a :class:`~repro.faults.plan.Join`."""
+        self._max_rank += 1
+        return self._max_rank
+
+    @property
+    def call_index(self) -> int:
+        """Index the next collective call will carry (monotonic)."""
+        return self._call_index
 
     @property
     def ring_disabled(self) -> bool:

@@ -12,7 +12,7 @@ convention the paper's convergence experiments use).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,10 +29,11 @@ from repro.compression.topk import TopkCompressor, sparse_aggregate
 NamedGrads = Dict[str, np.ndarray]
 
 
-def _check_worker_grads(per_worker: List[NamedGrads], world_size: int) -> None:
-    if len(per_worker) != world_size:
+def _check_worker_grads(per_worker: List[NamedGrads], expected: int) -> None:
+    if len(per_worker) != expected:
         raise ValueError(
-            f"expected gradients from {world_size} workers, got {len(per_worker)}"
+            f"expected gradients from {expected} workers, got {len(per_worker)}"
+            f" (stale roster? call set_roster with the live ranks)"
         )
     names = list(per_worker[0])
     for rank, grads in enumerate(per_worker[1:], start=1):
@@ -96,13 +97,73 @@ def _unpack(
 
 
 class GradientAggregator:
-    """Base class: holds the process group and a 1-based step counter."""
+    """Base class: process group, live roster, and per-rank compressor state.
+
+    Per-worker state (EF residuals, carried low-rank factors, momentum
+    accumulators) is keyed by *rank id*, not by slot position, so a rank
+    keeps its own state across roster changes — ejecting rank 0 must not
+    silently hand its residual to rank 1, and a rank that rejoins later is
+    readmitted with fresh (warm-started) state via :meth:`admit_rank`.
+    """
 
     method = "base"
 
     def __init__(self, group: ProcessGroup):
         self.group = group
         self.step = 0
+        #: Ranks whose gradients ``aggregate`` receives, in slot order. The
+        #: trainer re-syncs it from the group's live roster every step; it
+        #: only ever changes under a resilient group (ejection) or an
+        #: elastic membership controller (rejoin / scale-up).
+        self.roster: List[int] = list(range(group.world_size))
+        self._per_rank: Dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    # Per-rank state lifecycle (elastic membership hooks)
+    # ------------------------------------------------------------------
+    def _make_state(self, rank: int):
+        """Fresh compressor state for one rank (None: stateless method)."""
+        return None
+
+    def _init_states(self) -> None:
+        """Populate per-rank state for the initial roster (subclass init)."""
+        for rank in self.roster:
+            state = self._make_state(rank)
+            if state is not None:
+                self._per_rank[rank] = state
+
+    def state_for(self, rank: int):
+        """The per-rank compressor state (None for stateless methods)."""
+        return self._per_rank.get(rank)
+
+    def set_roster(self, ranks: Sequence[int]) -> None:
+        """Follow the group's live roster; create missing state lazily."""
+        for rank in ranks:
+            if rank not in self._per_rank:
+                state = self._make_state(rank)
+                if state is not None:
+                    self._per_rank[rank] = state
+        self.roster = list(ranks)
+
+    def admit_rank(self, rank: int, donor_rank: Optional[int] = None) -> None:
+        """Fresh per-rank state for an admission, warm-started from a donor.
+
+        The elastic admission protocol's compressor half: the joiner's
+        error-feedback residual starts at zero (its unsent history is
+        empty), while state that is *shared* across workers — Power-SGD's
+        reused query, ACP-SGD's alternating factors — is copied from the
+        donor survivor, the in-process equivalent of broadcasting it. A
+        rejoining rank's stale pre-ejection state is replaced, not resumed:
+        its residual describes gradients that no longer exist.
+        """
+        state = self._make_state(rank)
+        if state is None:
+            return
+        donor = self._per_rank.get(donor_rank) if donor_rank is not None else None
+        warm_start = getattr(state, "warm_start_from", None)
+        if donor is not None and warm_start is not None:
+            warm_start(donor)
+        self._per_rank[rank] = state
 
     def aggregate(self, per_worker_grads: List[NamedGrads]) -> NamedGrads:
         """Aggregate one step's gradients; returns the shared global gradient."""
@@ -118,11 +179,7 @@ class GradientAggregator:
         without a ``reset`` (unbiased quantizers carry no state between
         steps) are skipped.
         """
-        for compressor in getattr(self, "_compressors", []):
-            reset = getattr(compressor, "reset", None)
-            if reset is not None:
-                reset()
-        for state in getattr(self, "_states", []):
+        for state in self._per_rank.values():
             reset = getattr(state, "reset", None)
             if reset is not None:
                 reset()
@@ -142,7 +199,7 @@ class AllReduceAggregator(GradientAggregator):
     method = "ssgd"
 
     def aggregate(self, per_worker_grads: List[NamedGrads]) -> NamedGrads:
-        _check_worker_grads(per_worker_grads, self.group.world_size)
+        _check_worker_grads(per_worker_grads, len(self.roster))
         self.step += 1
         names = list(per_worker_grads[0])
         packed = [_pack_fused(grads, names) for grads in per_worker_grads]
@@ -177,18 +234,20 @@ class SignSGDAggregator(GradientAggregator):
     ):
         super().__init__(group)
         self.validate = validate
-        self._compressors = [
-            SignCompressor(use_error_feedback) for _ in range(group.world_size)
-        ]
+        self.use_error_feedback = use_error_feedback
+        self._init_states()
+
+    def _make_state(self, rank: int) -> SignCompressor:
+        return SignCompressor(self.use_error_feedback)
 
     def aggregate(self, per_worker_grads: List[NamedGrads]) -> NamedGrads:
-        _check_worker_grads(per_worker_grads, self.group.world_size)
+        _check_worker_grads(per_worker_grads, len(self.roster))
         self.step += 1
         names = list(per_worker_grads[0])
         payloads = []
-        for rank, grads in enumerate(per_worker_grads):
+        for rank, grads in zip(self.roster, per_worker_grads):
             flat = _pack(grads, names)
-            payloads.append(self._compressors[rank].compress("fused", flat))
+            payloads.append(self._per_rank[rank].compress("fused", flat))
         # All-gather the packed bits (scales ride along; they are 4 bytes).
         gathered = self.group.all_gather([p.packed_bits for p in payloads])
         del gathered  # numerics below use the payload objects directly
@@ -213,24 +272,28 @@ class TopkSGDAggregator(GradientAggregator):
     ):
         super().__init__(group)
         self.validate = validate
-        self._compressors = [
-            TopkCompressor(
-                ratio=ratio,
-                selection=selection,
-                use_error_feedback=use_error_feedback,
-                rng=np.random.default_rng(seed + rank),
-            )
-            for rank in range(group.world_size)
-        ]
+        self.ratio = ratio
+        self.selection = selection
+        self.use_error_feedback = use_error_feedback
+        self.seed = seed
+        self._init_states()
+
+    def _make_state(self, rank: int) -> TopkCompressor:
+        return TopkCompressor(
+            ratio=self.ratio,
+            selection=self.selection,
+            use_error_feedback=self.use_error_feedback,
+            rng=np.random.default_rng(self.seed + rank),
+        )
 
     def aggregate(self, per_worker_grads: List[NamedGrads]) -> NamedGrads:
-        _check_worker_grads(per_worker_grads, self.group.world_size)
+        _check_worker_grads(per_worker_grads, len(self.roster))
         self.step += 1
         names = list(per_worker_grads[0])
         payloads = []
-        for rank, grads in enumerate(per_worker_grads):
+        for rank, grads in zip(self.roster, per_worker_grads):
             flat = _pack(grads, names)
-            payloads.append(self._compressors[rank].compress("fused", flat))
+            payloads.append(self._per_rank[rank].compress("fused", flat))
         # Wire format: interleaved (index, value) pairs per worker.
         wires = [
             np.concatenate([p.indices.astype(np.float64), p.values])
@@ -259,20 +322,28 @@ class RandomKAggregator(GradientAggregator):
         use_error_feedback: bool = True,
     ):
         super().__init__(group)
-        # Same seed across workers: coordinates agree, payloads align.
-        self._compressors = [
-            RandomKCompressor(ratio=ratio, seed=seed, use_error_feedback=use_error_feedback)
-            for _ in range(group.world_size)
-        ]
+        self.ratio = ratio
+        self.seed = seed
+        self.use_error_feedback = use_error_feedback
+        self._init_states()
+
+    def _make_state(self, rank: int) -> RandomKCompressor:
+        # Same seed across workers: coordinates agree, payloads align —
+        # which also means a joiner derives the shared coordinate set from
+        # (seed, step) with no state to synchronize.
+        return RandomKCompressor(
+            ratio=self.ratio, seed=self.seed,
+            use_error_feedback=self.use_error_feedback,
+        )
 
     def aggregate(self, per_worker_grads: List[NamedGrads]) -> NamedGrads:
-        _check_worker_grads(per_worker_grads, self.group.world_size)
+        _check_worker_grads(per_worker_grads, len(self.roster))
         self.step += 1
         names = list(per_worker_grads[0])
         payloads = []
-        for rank, grads in enumerate(per_worker_grads):
+        for rank, grads in zip(self.roster, per_worker_grads):
             flat = _pack(grads, names)
-            payloads.append(self._compressors[rank].compress("fused", flat, self.step))
+            payloads.append(self._per_rank[rank].compress("fused", flat, self.step))
         reduced = self.group.all_reduce([p.values for p in payloads], average=True)
         dense = np.zeros(payloads[0].num_elements)
         dense[payloads[0].indices] = reduced[0]
@@ -286,19 +357,23 @@ class QSGDAggregator(GradientAggregator):
 
     def __init__(self, group: ProcessGroup, num_levels: int = 255, seed: int = 0):
         super().__init__(group)
-        self._compressors = [
-            QSGDCompressor(num_levels, rng=np.random.default_rng(seed + rank))
-            for rank in range(group.world_size)
-        ]
+        self.num_levels = num_levels
+        self.seed = seed
+        self._init_states()
+
+    def _make_state(self, rank: int) -> QSGDCompressor:
+        return QSGDCompressor(
+            self.num_levels, rng=np.random.default_rng(self.seed + rank)
+        )
 
     def aggregate(self, per_worker_grads: List[NamedGrads]) -> NamedGrads:
-        _check_worker_grads(per_worker_grads, self.group.world_size)
+        _check_worker_grads(per_worker_grads, len(self.roster))
         self.step += 1
         names = list(per_worker_grads[0])
         payloads = []
-        for rank, grads in enumerate(per_worker_grads):
+        for rank, grads in zip(self.roster, per_worker_grads):
             flat = _pack(grads, names)
-            payloads.append(self._compressors[rank].compress(flat))
+            payloads.append(self._per_rank[rank].compress(flat))
         # Wire format: uint8 levels (for s <= 255) + 1 packed sign bit per
         # element, so the measured traffic reflects QSGD's ~9 bits/element.
         wires = []
@@ -328,23 +403,27 @@ class TernGradAggregator(GradientAggregator):
     def __init__(self, group: ProcessGroup, seed: int = 0,
                  clip_sigma: float = 2.5):
         super().__init__(group)
+        self.seed = seed
+        self.clip_sigma = clip_sigma
+        self._init_states()
+
+    def _make_state(self, rank: int):
         from repro.compression.terngrad import TernGradCompressor
 
-        self._compressors = [
-            TernGradCompressor(np.random.default_rng(seed + rank), clip_sigma)
-            for rank in range(group.world_size)
-        ]
+        return TernGradCompressor(
+            np.random.default_rng(self.seed + rank), self.clip_sigma
+        )
 
     def aggregate(self, per_worker_grads: List[NamedGrads]) -> NamedGrads:
         from repro.compression.terngrad import TernGradCompressor
 
-        _check_worker_grads(per_worker_grads, self.group.world_size)
+        _check_worker_grads(per_worker_grads, len(self.roster))
         self.step += 1
         names = list(per_worker_grads[0])
         payloads = []
-        for rank, grads in enumerate(per_worker_grads):
+        for rank, grads in zip(self.roster, per_worker_grads):
             flat = _pack(grads, names)
-            payloads.append(self._compressors[rank].compress(flat))
+            payloads.append(self._per_rank[rank].compress(flat))
         self.group.all_gather([p.packed for p in payloads])
         size = payloads[0].num_elements
         dense = np.zeros(size)
@@ -414,13 +493,21 @@ class PowerSGDAggregator(_LowRankBase):
         validate: bool = False,
     ):
         super().__init__(group, rank)
-        self._states = [
-            PowerSGDState(rank, seed, use_error_feedback, reuse_query, validate)
-            for _ in range(group.world_size)
-        ]
+        self.seed = seed
+        self.use_error_feedback = use_error_feedback
+        self.reuse_query = reuse_query
+        self.validate = validate
+        self._init_states()
+
+    def _make_state(self, rank: int) -> PowerSGDState:
+        # Same seed everywhere: the initial query matrices must agree.
+        return PowerSGDState(
+            self.rank, self.seed, self.use_error_feedback,
+            self.reuse_query, self.validate,
+        )
 
     def aggregate(self, per_worker_grads: List[NamedGrads]) -> NamedGrads:
-        _check_worker_grads(per_worker_grads, self.group.world_size)
+        _check_worker_grads(per_worker_grads, len(self.roster))
         self.step += 1
         compressible, plain = self._split_names(per_worker_grads[0])
         result = self._allreduce_plain(per_worker_grads, plain)
@@ -428,8 +515,8 @@ class PowerSGDAggregator(_LowRankBase):
         if compressible:
             # Stage 1: local P factors, fused all-reduce.
             local_ps: List[NamedGrads] = []
-            for rank_idx, grads in enumerate(per_worker_grads):
-                state = self._states[rank_idx]
+            for rank_idx, grads in zip(self.roster, per_worker_grads):
+                state = self._per_rank[rank_idx]
                 ps = {
                     name: state.compute_p(name, grad_to_matrix(grads[name]))
                     for name in compressible
@@ -441,8 +528,8 @@ class PowerSGDAggregator(_LowRankBase):
 
             # Stage 2: local Q factors, fused all-reduce.
             local_qs: List[NamedGrads] = []
-            for rank_idx in range(self.group.world_size):
-                state = self._states[rank_idx]
+            for rank_idx in self.roster:
+                state = self._per_rank[rank_idx]
                 qs = {
                     name: state.compute_q(name, p_agg[name]) for name in compressible
                 }
@@ -452,11 +539,11 @@ class PowerSGDAggregator(_LowRankBase):
             q_agg = _unpack(q_reduced[0], local_qs[0], compressible)
 
             # Stage 3: reconstruct on every worker (results identical).
-            for rank_idx in range(self.group.world_size):
-                state = self._states[rank_idx]
+            for slot, rank_idx in enumerate(self.roster):
+                state = self._per_rank[rank_idx]
                 for name in compressible:
                     m_hat = state.reconstruct(name, q_agg[name])
-                    if rank_idx == 0:
+                    if slot == 0:
                         result[name] = matrix_to_grad(
                             m_hat, per_worker_grads[0][name].shape
                         )
@@ -478,21 +565,29 @@ class ACPSGDAggregator(_LowRankBase):
         validate: bool = False,
     ):
         super().__init__(group, rank)
-        self._states = [
-            ACPSGDState(rank, seed, use_error_feedback, reuse_query, validate)
-            for _ in range(group.world_size)
-        ]
+        self.seed = seed
+        self.use_error_feedback = use_error_feedback
+        self.reuse_query = reuse_query
+        self.validate = validate
+        self._init_states()
+
+    def _make_state(self, rank: int) -> ACPSGDState:
+        # Same seed everywhere: the initial P0/Q0 factors must agree.
+        return ACPSGDState(
+            self.rank, self.seed, self.use_error_feedback,
+            self.reuse_query, self.validate,
+        )
 
     def aggregate(self, per_worker_grads: List[NamedGrads]) -> NamedGrads:
-        _check_worker_grads(per_worker_grads, self.group.world_size)
+        _check_worker_grads(per_worker_grads, len(self.roster))
         self.step += 1
         compressible, plain = self._split_names(per_worker_grads[0])
         result = self._allreduce_plain(per_worker_grads, plain)
 
         if compressible:
             local_factors: List[NamedGrads] = []
-            for rank_idx, grads in enumerate(per_worker_grads):
-                state = self._states[rank_idx]
+            for rank_idx, grads in zip(self.roster, per_worker_grads):
+                state = self._per_rank[rank_idx]
                 factors = {
                     name: state.compress(name, grad_to_matrix(grads[name]), self.step)
                     for name in compressible
@@ -501,11 +596,11 @@ class ACPSGDAggregator(_LowRankBase):
             buffers = [_pack(factors, compressible) for factors in local_factors]
             reduced = self.group.all_reduce(buffers, average=True)
             agg = _unpack(reduced[0], local_factors[0], compressible)
-            for rank_idx in range(self.group.world_size):
-                state = self._states[rank_idx]
+            for slot, rank_idx in enumerate(self.roster):
+                state = self._per_rank[rank_idx]
                 for name in compressible:
                     m_hat = state.finalize(name, agg[name], self.step)
-                    if rank_idx == 0:
+                    if slot == 0:
                         result[name] = matrix_to_grad(
                             m_hat, per_worker_grads[0][name].shape
                         )

@@ -45,6 +45,11 @@ class _WorkerDGCState:
         self.u[name][indices] = 0.0
         self.v[name][indices] = 0.0
 
+    def reset(self) -> None:
+        """Drop the accumulators (rollback / contaminated-state recovery)."""
+        self.u.clear()
+        self.v.clear()
+
 
 class DGCTopkAggregator(GradientAggregator):
     """Top-k with DGC momentum correction.
@@ -71,22 +76,25 @@ class DGCTopkAggregator(GradientAggregator):
         if not 0.0 <= momentum < 1.0:
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
         self.ratio = ratio
+        self.momentum = momentum
         self.min_k = min_k
-        self._states = [
-            _WorkerDGCState(momentum) for _ in range(group.world_size)
-        ]
+        self._init_states()
+
+    def _make_state(self, rank: int) -> _WorkerDGCState:
+        return _WorkerDGCState(self.momentum)
 
     def aggregate(self, per_worker_grads: List[NamedGrads]) -> NamedGrads:
-        if len(per_worker_grads) != self.group.world_size:
+        if len(per_worker_grads) != len(self.roster):
             raise ValueError(
-                f"expected gradients from {self.group.world_size} workers, "
+                f"expected gradients from {len(self.roster)} workers, "
                 f"got {len(per_worker_grads)}"
+                f" (stale roster? call set_roster with the live ranks)"
             )
         self.step += 1
         names = list(per_worker_grads[0])
         payloads = []
-        for rank, grads in enumerate(per_worker_grads):
-            state = self._states[rank]
+        for rank, grads in zip(self.roster, per_worker_grads):
+            state = self._per_rank[rank]
             flat = _pack(grads, names)
             velocity = state.accumulate("fused", flat)
             k = max(self.min_k, int(round(self.ratio * velocity.size)))

@@ -210,6 +210,21 @@ class GradientArena:
             views[name] = slab[lo:hi].reshape(self.layout.shapes[name])
         return views
 
+    def ensure_slots(self, count: int) -> None:
+        """Grow the arena to at least ``count`` worker slabs.
+
+        Elastic scale-up admits ranks past the initial world size; the new
+        slabs are allocated once at the admission boundary (never on the
+        hot path) and zeroed like the originals. Shrinking never frees
+        slabs — an ejected slot's slab is simply left idle so a later
+        rejoin reuses it without reallocating.
+        """
+        while len(self._slabs) < count:
+            slab = np.zeros(self.layout.total_elements, dtype=self.dtype)
+            self._slabs.append(slab)
+            self._views.append(self._carve(slab))
+        self.world_size = max(self.world_size, count)
+
     # ------------------------------------------------------------------
     # Worker-facing API
     # ------------------------------------------------------------------

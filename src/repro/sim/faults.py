@@ -236,3 +236,144 @@ def compare_methods_under_faults(
 def render_fault_comparison(traces: Dict[str, FaultTrace]) -> str:
     """Aligned text table of per-method fault traces."""
     return "\n".join(trace.render() for trace in traces.values())
+
+
+# ----------------------------------------------------------------------
+# Elastic churn timeline (world size changes mid-run)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChurnEvent:
+    """The world size changes to ``world_size`` at ``iteration``."""
+
+    iteration: int
+    world_size: int
+
+    def __post_init__(self) -> None:
+        if self.iteration < 1:
+            raise ValueError(
+                f"churn iterations are 1-based, got {self.iteration}"
+            )
+        if self.world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {self.world_size}")
+
+
+@dataclass(frozen=True)
+class ElasticPhase:
+    """A run of iterations at one world size within a churn timeline."""
+
+    start_iteration: int
+    iterations: int
+    world_size: int
+    iteration_time_s: float
+    admission_cost_s: float  # one-time sync paid entering this phase
+
+    @property
+    def total_time_s(self) -> float:
+        return self.admission_cost_s + self.iterations * self.iteration_time_s
+
+
+@dataclass(frozen=True)
+class ElasticTrace:
+    """One method's iteration-time timeline under membership churn."""
+
+    method: str
+    phases: Tuple[ElasticPhase, ...]
+
+    @property
+    def total_time_s(self) -> float:
+        return sum(phase.total_time_s for phase in self.phases)
+
+    @property
+    def admission_overhead_s(self) -> float:
+        return sum(phase.admission_cost_s for phase in self.phases)
+
+    def render(self) -> str:
+        lines = [f"{self.method}: {self.total_time_s:.3f} s total "
+                 f"({self.admission_overhead_s * 1e3:.1f} ms admissions)"]
+        for phase in self.phases:
+            admit = (f"  +{phase.admission_cost_s * 1e3:.1f} ms admission"
+                     if phase.admission_cost_s else "")
+            lines.append(
+                f"  iter {phase.start_iteration:>4}..."
+                f"{phase.start_iteration + phase.iterations - 1:<4} "
+                f"p={phase.world_size:<3} "
+                f"{phase.iteration_time_s * 1e3:8.1f} ms/iter{admit}"
+            )
+        return "\n".join(lines)
+
+
+def admission_sync_cost(model: ModelSpec, cluster: ClusterSpec) -> float:
+    """Simulated cost of one elastic admission's state synchronization.
+
+    The joiner receives the full model plus the optimizer's momentum state
+    (another full-model-sized buffer) from the donor survivor — two
+    point-to-point model transfers over the bottleneck link, matching what
+    :class:`~repro.elastic.MembershipController` broadcasts on admission.
+    """
+    from repro.comm.cost_model import point_to_point_time
+
+    return point_to_point_time(2 * model.parameter_bytes, cluster.link)
+
+
+def simulate_elastic_trace(
+    method: str,
+    model: ModelSpec,
+    schedule: Sequence[ChurnEvent],
+    iterations: int,
+    cluster: Optional[ClusterSpec] = None,
+    system: Optional[SystemConfig] = None,
+    sim: Optional[SimConfig] = None,
+    batch_size: Optional[int] = None,
+    rank: int = 4,
+    topk_ratio: float = 0.001,
+) -> ElasticTrace:
+    """Timeline of per-iteration times across a churn ``schedule``.
+
+    The run starts at ``cluster.world_size``; each :class:`ChurnEvent`
+    re-sizes the world from its iteration on. Phases at a larger world
+    size than their predecessor pay :func:`admission_sync_cost` once per
+    added rank. ACP-SGD's parity asymmetry is averaged out by costing both
+    the P- and Q-step graphs per phase.
+    """
+    import dataclasses
+
+    if iterations < 1:
+        raise ValueError(f"need >= 1 iteration, got {iterations}")
+    cluster = cluster if cluster is not None else ClusterSpec()
+    sim = sim if sim is not None else SimConfig()
+    events = sorted(schedule, key=lambda event: event.iteration)
+    for event in events:
+        if event.iteration > iterations:
+            raise ValueError(
+                f"churn at iteration {event.iteration} is beyond the "
+                f"{iterations}-iteration run"
+            )
+    engine = Engine(contention_rate=sim.contention_rate)
+    boundaries = [1] + [event.iteration for event in events] + [iterations + 1]
+    sizes = [cluster.world_size] + [event.world_size for event in events]
+    phases: List[ElasticPhase] = []
+    previous_size = None
+    for start, end, size in zip(boundaries, boundaries[1:], sizes):
+        if end <= start:
+            previous_size = size
+            continue  # zero-length phase: superseded at the same iteration
+        sized = dataclasses.replace(cluster, world_size=size)
+        times = []
+        for parity in (True, False):
+            tasks = build_iteration_tasks(
+                method, model, sized, system, sim, batch_size, rank,
+                topk_ratio, acp_parity_p=parity,
+            )
+            times.append(breakdown_from_records(engine.run(tasks)).total)
+        added = max(0, size - previous_size) if previous_size is not None else 0
+        phases.append(
+            ElasticPhase(
+                start_iteration=start,
+                iterations=end - start,
+                world_size=size,
+                iteration_time_s=float(np.mean(times)),
+                admission_cost_s=added * admission_sync_cost(model, sized),
+            )
+        )
+        previous_size = size
+    return ElasticTrace(method=method, phases=tuple(phases))

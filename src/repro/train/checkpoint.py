@@ -157,14 +157,21 @@ class CheckpointManager:
     def restore(self, model: Module, optimizer: SGD) -> Dict:
         """Load the newest restorable checkpoint; returns its metadata.
 
+        A checkpoint that fails validation (CRC mismatch, truncation,
+        mangled header) is evicted from the ring on the spot: a corrupt
+        file can never become readable again, and keeping it would make a
+        later rollback re-pay the failed load — or worse, count it toward
+        ``keep`` and age out a checkpoint that still works.
+
         Raises:
             CheckpointError: when no retained checkpoint loads.
         """
         failures = []
-        for path in reversed(self._saved):
+        for path in reversed(list(self._saved)):
             try:
                 return load_checkpoint(path, model, optimizer)
             except CheckpointError as exc:
                 failures.append(f"{path}: {exc}")
+                self._saved.remove(path)
         detail = "; ".join(failures) if failures else "no checkpoint saved yet"
         raise CheckpointError(f"no restorable checkpoint ({detail})")

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.elastic.membership import MembershipController, joiner_rng
 from repro.nn.loss import CrossEntropyLoss
 from repro.nn.module import Module
 from repro.optim.aggregators import AllReduceAggregator, GradientAggregator
@@ -70,6 +71,7 @@ class DataParallelTrainer:
         resilience: Optional[ResilienceConfig] = None,
         use_arena: bool = True,
         parallel_workers: bool = False,
+        membership: Optional["MembershipController"] = None,
     ):
         if batch_size_per_worker < 1:
             raise ValueError(
@@ -79,19 +81,39 @@ class DataParallelTrainer:
             raise ValueError(
                 f"accumulation_steps must be >= 1, got {accumulation_steps}"
             )
+        if membership is not None and parallel_workers:
+            raise ValueError(
+                "membership and parallel_workers are mutually exclusive: the "
+                "replica set is sized at construction and cannot follow an "
+                "elastic roster"
+            )
         self.model = model
         self.optimizer = optimizer
         self.aggregator = aggregator
         self.world_size = aggregator.group.world_size
-        self.train_shards = [
-            train_data.shard(rank, self.world_size) for rank in range(self.world_size)
-        ]
+        self.seed = seed
+        self.train_data = train_data
+        self.membership = membership
+        if membership is not None:
+            membership.bind(self)
+        # Shards and sampling streams are keyed by *rank id*. Without a
+        # membership controller the assignment is fixed at construction
+        # (an ejected rank's shard is simply dropped); with one, the data
+        # is re-sharded disjointly over the live roster at every
+        # membership change (see ``_sync_roster``).
+        self._shard_roster: Tuple[int, ...] = tuple(range(self.world_size))
+        self.train_shards: Dict[int, ArrayDataset] = {
+            rank: train_data.shard(rank, self.world_size)
+            for rank in range(self.world_size)
+        }
         self.test_data = test_data
         self.batch_size = batch_size_per_worker
         self.schedule = schedule
         self.accumulation_steps = accumulation_steps
         self.loss_fn = CrossEntropyLoss()
-        self._rngs = spawn_rngs(seed, self.world_size)
+        self._rngs: Dict[int, np.random.Generator] = dict(
+            enumerate(spawn_rngs(seed, self.world_size))
+        )
         # --- hot-path state: gradient arena + optional parallel workers ---
         self.use_arena = use_arena
         self.parallel_workers = parallel_workers
@@ -208,14 +230,44 @@ class DataParallelTrainer:
         """The ranks participating in this step.
 
         A :class:`~repro.faults.resilient.ResilientProcessGroup` commits
-        pending rank ejections at this boundary; plain groups always return
-        the full roster.
+        pending rank ejections at this boundary — and, when a
+        :class:`~repro.elastic.MembershipController` is attached, pending
+        rejoins and scale-up joins too. Plain groups always return the
+        full roster. The aggregator's roster is re-synced every step so
+        per-rank compressor state follows rank ids, never slot positions.
         """
-        group = self.aggregator.group
-        begin_step = getattr(group, "begin_step", None)
-        if begin_step is not None:
-            return begin_step()
-        return list(range(group.world_size))
+        if self.membership is not None:
+            ranks = self.membership.begin_step()
+            if tuple(ranks) != self._shard_roster:
+                self._sync_roster(ranks)
+        else:
+            group = self.aggregator.group
+            begin_step = getattr(group, "begin_step", None)
+            ranks = begin_step() if begin_step is not None else list(
+                range(group.world_size)
+            )
+        self.aggregator.set_roster(ranks)
+        return ranks
+
+    def _sync_roster(self, ranks: List[int]) -> None:
+        """Follow a membership change: re-shard data, extend rngs/arena.
+
+        Shards are assigned by *roster position* over the live world, so
+        they stay pairwise disjoint and jointly exhaustive at every world
+        size — no sample is ever dropped or double-owned after churn. A
+        new rank's sampling stream depends only on ``(seed, rank)``; a
+        rejoining rank resumes the stream it already owned.
+        """
+        self._shard_roster = tuple(ranks)
+        self.train_shards = {
+            rank: self.train_data.shard(slot, len(ranks))
+            for slot, rank in enumerate(ranks)
+        }
+        for rank in ranks:
+            if rank not in self._rngs:
+                self._rngs[rank] = joiner_rng(self.seed, rank)
+        if self._arena is not None:
+            self._arena.ensure_slots(len(ranks))
 
     def train_step(self) -> float:
         """One synchronous step across the live workers; returns mean loss.
@@ -309,6 +361,7 @@ class DataParallelTrainer:
         log.fallback_steps_run += 1
         if self._fallback_aggregator is None:
             self._fallback_aggregator = AllReduceAggregator(self.aggregator.group)
+        self._fallback_aggregator.set_roster(self.aggregator.roster)
         return self._fallback_aggregator
 
     def _skip_step(self, reason: str) -> None:

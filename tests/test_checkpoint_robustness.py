@@ -113,6 +113,39 @@ class TestManagerFallback:
         assert metadata == {"step": 1}
         assert np.array_equal(model.state_vector(), good_weights)
 
+    def test_restore_falls_back_past_crc_mismatch(self, tmp_path, model_and_opt):
+        """A newest checkpoint that reads fine but fails its payload CRC
+        (silent bit rot, not truncation) must fall back, not error."""
+        model, opt = model_and_opt
+        manager = CheckpointManager(str(tmp_path), keep=2)
+        manager.save(model, opt, metadata={"step": 1})
+        good_weights = model.state_vector().copy()
+
+        model.load_state_vector(good_weights + 0.5)
+        newest = manager.save(model, opt, metadata={"step": 2})
+        with np.load(newest) as archive:
+            data = {key: archive[key].copy() for key in archive.files}
+        data["__params__"] = data["__params__"] + 1.0  # valid npz, stale CRC
+        np.savez(newest, **data)
+
+        metadata = manager.restore(model, opt)
+        assert metadata == {"step": 1}
+        assert np.array_equal(model.state_vector(), good_weights)
+
+    def test_corrupt_entries_are_evicted_from_ring(self, tmp_path, model_and_opt):
+        model, opt = model_and_opt
+        manager = CheckpointManager(str(tmp_path), keep=3)
+        oldest = manager.save(model, opt, metadata={"step": 1})
+        newest = manager.save(model, opt, metadata={"step": 2})
+        with open(newest, "wb") as handle:
+            handle.write(b"ruined")
+
+        assert manager.restore(model, opt) == {"step": 1}
+        # The broken file no longer occupies a ring slot.
+        assert manager.paths == [oldest]
+        # A second rollback restores directly without re-trying the corpse.
+        assert manager.restore(model, opt) == {"step": 1}
+
     def test_restore_with_nothing_saved(self, tmp_path, model_and_opt):
         model, opt = model_and_opt
         manager = CheckpointManager(str(tmp_path))

@@ -53,7 +53,7 @@ class TestDGC:
     def test_transmitted_coordinates_cleared(self, rng):
         agg = DGCTopkAggregator(ProcessGroup(1), ratio=0.25)
         agg.aggregate([{"w": rng.normal(size=(4, 4))}])
-        state = agg._states[0]
+        state = agg.state_for(0)
         v = state.v["fused"]
         # At least k coordinates were zeroed.
         assert (v == 0.0).sum() >= 4

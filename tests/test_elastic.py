@@ -1,0 +1,387 @@
+"""Elastic membership: eject, rejoin, scale up — deterministically.
+
+The ISSUE acceptance scenarios:
+
+- a churn schedule (permanent failure -> recovery -> brand-new join)
+  trains to convergence within tolerance of the fault-free run, for both
+  S-SGD and ACP-SGD;
+- data shards stay pairwise disjoint and jointly exhaustive at every
+  world size the run visits;
+- the same churn schedule replayed twice is bit-identical, including the
+  p -> p-1 -> p round trip;
+- admissions warm-start compressor state (shared factors copied from the
+  donor, error-feedback residuals zeroed) so a joiner never desyncs the
+  aggregated trajectory.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression.acpsgd import ACPSGDState
+from repro.compression.powersgd import PowerSGDState
+from repro.elastic import MembershipController
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    Join,
+    PermanentFailure,
+    Recovery,
+    ResilientProcessGroup,
+)
+from repro.faults.resilient import BackoffPolicy
+from repro.models.convnets import make_mlp
+from repro.optim import SGD, make_aggregator
+from repro.train import DataParallelTrainer, ResilienceConfig
+from repro.train.datasets import ArrayDataset
+
+pytestmark = pytest.mark.faults
+
+
+def make_data(seed=0, samples=96, features=6, classes=3):
+    rng = np.random.default_rng(seed)
+    inputs = rng.normal(size=(samples, features))
+    labels = rng.integers(0, classes, size=samples)
+    return ArrayDataset(inputs, labels), ArrayDataset(
+        inputs[:16].copy(), labels[:16].copy()
+    )
+
+
+CHURN_PLAN = FaultPlan(
+    seed=3,
+    permanent=(PermanentFailure(rank=2, call_index=4),),
+    recoveries=(Recovery(rank=2, call_index=10),),
+    joins=(Join(call_index=16),),
+)
+
+ROUND_TRIP_PLAN = FaultPlan(
+    seed=5,
+    permanent=(PermanentFailure(rank=1, call_index=3),),
+    recoveries=(Recovery(rank=1, call_index=9),),
+)
+
+
+def make_elastic_trainer(world_size=3, method="acpsgd", plan=CHURN_PLAN,
+                         lr=0.05, rescale_lr=False, resilience=None):
+    train_data, test_data = make_data()
+    model = make_mlp(6, 10, 3, rng=np.random.default_rng(5))
+    group = ResilientProcessGroup(
+        world_size, injector=FaultInjector(plan),
+        policy=BackoffPolicy(max_retries=1),
+    )
+    membership = MembershipController(group, rescale_lr=rescale_lr)
+    kwargs = {"rank": 2} if method in ("acpsgd", "powersgd") else {}
+    aggregator = make_aggregator(method, group, **kwargs)
+    trainer = DataParallelTrainer(
+        model, SGD(model, lr=lr, momentum=0.9), aggregator,
+        train_data, test_data, batch_size_per_worker=8, seed=11,
+        resilience=resilience, membership=membership,
+    )
+    return trainer, group, membership, model
+
+
+def shard_ids(trainer):
+    """The sample ids (first feature, int-cast) each rank currently owns."""
+    return {
+        rank: shard.inputs[:, 0].tolist()
+        for rank, shard in trainer.train_shards.items()
+    }
+
+
+class TestChurnTraining:
+    """The tentpole end-to-end scenario, for a plain and a stateful method."""
+
+    @pytest.mark.parametrize("method", ["ssgd", "acpsgd"])
+    def test_churn_run_converges_close_to_fault_free(self, method):
+        elastic, group, membership, elastic_model = make_elastic_trainer(
+            method=method
+        )
+        history = elastic.run(3, 12, method_label=method)
+
+        # The schedule really played out: eject, rejoin, then scale-up.
+        kinds = [change.kind for change in membership.log.changes]
+        assert kinds == ["eject", "rejoin", "join"]
+        assert group.live_ranks == [0, 1, 2, 3]
+        assert group.stats.ejections == 1
+        assert group.stats.rejoins == 1
+        assert group.stats.joins == 1
+
+        # Fault-free control: same model/data/seed, no churn.
+        clean, _, _, clean_model = make_elastic_trainer(
+            method=method, plan=FaultPlan(seed=3)
+        )
+        clean_history = clean.run(3, 12, method_label=method)
+
+        assert np.isfinite(history.train_loss).all()
+        final = history.train_loss[-1]
+        clean_final = clean_history.train_loss[-1]
+        # Churn perturbs the trajectory (different shards, world sizes)
+        # but must not break optimization: the run keeps descending and
+        # lands in the clean run's neighbourhood.
+        assert history.train_loss[-1] < history.train_loss[0]
+        assert final < clean_final + 0.5
+
+    @pytest.mark.parametrize("method", ["ssgd", "acpsgd"])
+    def test_shards_partition_data_at_every_world_size(self, method):
+        trainer, group, membership, _ = make_elastic_trainer(method=method)
+        all_ids = sorted(trainer.train_data.inputs[:, 0].tolist())
+        seen_worlds = set()
+        for _ in range(30):
+            trainer.train_step()
+            seen_worlds.add(len(group.live_ranks))
+            owned = shard_ids(trainer)
+            live = set(trainer.aggregator.roster)
+            assert set(owned) == live
+            flat = [s for ids in owned.values() for s in ids]
+            assert len(flat) == len(set(flat)), "shards overlap"
+            assert sorted(flat) == all_ids, "samples lost after re-shard"
+        # The run actually visited shrink, recovery, and scale-up.
+        assert {2, 3, 4} <= seen_worlds
+
+    def test_churn_replay_is_bit_identical(self):
+        first, _, _, first_model = make_elastic_trainer()
+        first.run(2, 12, method_label="acpsgd")
+
+        second, _, _, second_model = make_elastic_trainer()
+        second.run(2, 12, method_label="acpsgd")
+
+        assert np.array_equal(
+            first_model.state_vector(), second_model.state_vector()
+        )
+
+    def test_round_trip_p_to_p_minus_1_to_p_is_deterministic(self):
+        """p -> p-1 -> p: the rejoin restores the original world size and
+        the whole trajectory replays step-for-step."""
+        runs = []
+        for _ in range(2):
+            trainer, group, membership, model = make_elastic_trainer(
+                world_size=3, plan=ROUND_TRIP_PLAN
+            )
+            per_step_weights = []
+            for _ in range(15):
+                trainer.train_step()
+                per_step_weights.append(model.state_vector().copy())
+            runs.append(per_step_weights)
+            assert group.live_ranks == [0, 1, 2]
+            sizes = [size for _, size in group.stats.world_size_timeline]
+            assert sizes == [3, 2, 3]
+        for step, (a, b) in enumerate(zip(*runs)):
+            assert np.array_equal(a, b), f"step {step} diverged between replays"
+
+    def test_rescale_lr_follows_world_size(self):
+        trainer, group, _, _ = make_elastic_trainer(
+            method="ssgd", plan=ROUND_TRIP_PLAN, lr=0.06, rescale_lr=True
+        )
+        for _ in range(15):
+            trainer.train_step()
+        # 3 -> 2 is an ejection (no rescale), 2 -> 3 a rejoin (x 3/2).
+        assert trainer.optimizer.lr == pytest.approx(0.06 * 1.5)
+
+    def test_elastic_works_with_resilience_ladder(self):
+        trainer, group, membership, _ = make_elastic_trainer(
+            resilience=ResilienceConfig(checkpoint_interval=0)
+        )
+        history = trainer.run(2, 12, method_label="acpsgd")
+        assert np.isfinite(history.train_loss).all()
+        assert membership.log.of_kind("rejoin")
+
+    def test_membership_rejects_parallel_workers(self):
+        train_data, test_data = make_data()
+        model = make_mlp(6, 10, 3, rng=np.random.default_rng(5))
+        group = ResilientProcessGroup(
+            2, injector=FaultInjector(FaultPlan(seed=0))
+        )
+        membership = MembershipController(group)
+        aggregator = make_aggregator("ssgd", group)
+        with pytest.raises(ValueError, match="parallel_workers"):
+            DataParallelTrainer(
+                model, SGD(model, lr=0.05), aggregator, train_data,
+                test_data, membership=membership, parallel_workers=True,
+            )
+
+
+class TestMembershipController:
+    def test_needs_a_plan_or_an_injector(self):
+        group = ResilientProcessGroup(2)
+        with pytest.raises(ValueError, match="no plan"):
+            MembershipController(group)
+        MembershipController(group, plan=FaultPlan(seed=0))  # explicit plan OK
+
+    def test_events_commit_only_once_their_call_index_passes(self):
+        plan = FaultPlan(seed=0, joins=(Join(call_index=2),))
+        group = ResilientProcessGroup(2, injector=FaultInjector(plan))
+        controller = MembershipController(group)
+        assert controller.begin_step() == [0, 1]  # call index still 0
+        assert controller.pending_events == 1
+        group.all_reduce([np.ones(4), np.ones(4)])
+        group.all_reduce([np.ones(4), np.ones(4)])
+        assert controller.begin_step() == [0, 1, 2]
+        assert controller.pending_events == 0
+        assert controller.log.changes[-1].kind == "join"
+        assert controller.log.changes[-1].donor == 0
+
+    def test_recovery_for_never_ejected_rank_is_a_noop(self):
+        # The recovery's call index precedes the failure's: latest event
+        # wins, the rank never goes down, and the admission is skipped.
+        plan = FaultPlan(
+            seed=0,
+            permanent=(PermanentFailure(rank=1, call_index=50),),
+            recoveries=(Recovery(rank=1, call_index=1),),
+        )
+        group = ResilientProcessGroup(2, injector=FaultInjector(plan))
+        controller = MembershipController(group)
+        group.all_reduce([np.ones(4), np.ones(4)])
+        assert controller.begin_step() == [0, 1]
+        assert controller.log.changes == []
+
+    def test_ejection_recorded_in_log(self):
+        plan = FaultPlan(
+            seed=0, permanent=(PermanentFailure(rank=0, call_index=0),)
+        )
+        group = ResilientProcessGroup(
+            2, injector=FaultInjector(plan),
+            policy=BackoffPolicy(max_retries=0),
+        )
+        controller = MembershipController(group)
+        group.all_reduce([np.ones(4), np.ones(4)])
+        assert controller.begin_step() == [1]
+        ejections = controller.log.of_kind("eject")
+        assert [change.rank for change in ejections] == [0]
+        assert ejections[0].donor is None
+        assert "eject" in controller.log.render()
+
+    def test_unbound_controller_manages_roster_only(self):
+        plan = FaultPlan(seed=0, joins=(Join(call_index=0),))
+        group = ResilientProcessGroup(2, injector=FaultInjector(plan))
+        controller = MembershipController(group)  # never bound to a trainer
+        assert controller.begin_step() == [0, 1, 2]
+        assert group.stats.joins == 1
+
+
+class TestPlanMembershipSemantics:
+    def test_latest_event_wins(self):
+        plan = FaultPlan(
+            seed=0,
+            permanent=(
+                PermanentFailure(rank=1, call_index=2),
+                PermanentFailure(rank=1, call_index=20),
+            ),
+            recoveries=(Recovery(rank=1, call_index=10),),
+        )
+        assert not plan.permanently_down(1, 1)   # before first failure
+        assert plan.permanently_down(1, 2)       # failed
+        assert plan.permanently_down(1, 9)       # still down
+        assert not plan.permanently_down(1, 10)  # recovered
+        assert plan.permanently_down(1, 20)      # failed again
+        assert plan.permanently_down(1, 99)      # no later recovery
+        assert plan.permanently_dead(5) == {1}
+        assert plan.permanently_dead(15) == set()
+
+    def test_membership_events_commit_order(self):
+        plan = FaultPlan(
+            seed=0,
+            recoveries=(Recovery(rank=2, call_index=7),
+                        Recovery(rank=0, call_index=7)),
+            joins=(Join(call_index=7), Join(call_index=3)),
+        )
+        events = plan.membership_events()
+        # By call index; at a tie, recoveries (by rank) before joins.
+        assert isinstance(events[0], Join) and events[0].call_index == 3
+        assert isinstance(events[1], Recovery) and events[1].rank == 0
+        assert isinstance(events[2], Recovery) and events[2].rank == 2
+        assert isinstance(events[3], Join)
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError, match="rank"):
+            Recovery(rank=-1, call_index=0)
+        with pytest.raises(ValueError, match="call_index"):
+            Recovery(rank=0, call_index=-1)
+        with pytest.raises(ValueError, match="call_index"):
+            Join(call_index=-2)
+
+
+class TestCompressorWarmStart:
+    def _run_powersgd_steps(self, state, rng, steps=3):
+        for _ in range(steps):
+            m = rng.normal(size=(6, 4))
+            p = state.compute_p("w", m)
+            q = state.compute_q("w", p)
+            state.reconstruct("w", q)
+
+    def test_powersgd_warm_start_copies_query_zeroes_error(self):
+        rng = np.random.default_rng(0)
+        donor = PowerSGDState(rank=2, seed=7)
+        self._run_powersgd_steps(donor, rng)
+        assert donor._error  # the donor accumulated a residual
+
+        joiner = PowerSGDState(rank=2, seed=7)
+        joiner.warm_start_from(donor)
+        assert not joiner._error
+        assert set(joiner._query) == set(donor._query)
+        assert np.array_equal(joiner._query["w"], donor._query["w"])
+        # A deep copy: mutating the joiner's never touches the donor's.
+        joiner._query["w"][0, 0] += 1.0
+        assert not np.array_equal(joiner._query["w"], donor._query["w"])
+
+    def test_acpsgd_warm_start_syncs_alternation_phase(self):
+        rng = np.random.default_rng(1)
+        donor = ACPSGDState(rank=2, seed=7)
+        for step in (1, 2, 3):
+            m = rng.normal(size=(6, 4))
+            factor = donor.compress("w", m, step)
+            donor.finalize("w", factor, step)
+
+        joiner = ACPSGDState(rank=2, seed=7)
+        joiner.warm_start_from(donor)
+        assert np.array_equal(joiner._p["w"], donor._p["w"])
+        assert np.array_equal(joiner._q["w"], donor._q["w"])
+        assert not joiner._error and not joiner._carried
+
+    def test_acpsgd_warm_started_peer_is_in_phase(self):
+        """With the per-worker residual out of the picture, a warm-started
+        joiner produces the *identical* local factor for identical input —
+        it orthogonalizes the same carried factor and compresses the same
+        side of the factorization as the survivors."""
+        rng = np.random.default_rng(1)
+        donor = ACPSGDState(rank=2, seed=7, use_error_feedback=False)
+        for step in (1, 2, 3):
+            m = rng.normal(size=(6, 4))
+            donor.finalize("w", donor.compress("w", m, step), step)
+
+        joiner = ACPSGDState(rank=2, seed=7, use_error_feedback=False)
+        joiner.warm_start_from(donor)
+        m = rng.normal(size=(6, 4))
+        assert np.array_equal(
+            joiner.compress("w", m.copy(), 4), donor.compress("w", m.copy(), 4)
+        )
+
+    def test_aggregator_admit_rank_warm_starts_from_donor(self):
+        group = ResilientProcessGroup(2)
+        aggregator = make_aggregator("acpsgd", group, rank=2)
+        grads = [{"w": np.random.default_rng(r).normal(size=(6, 4))}
+                 for r in range(2)]
+        aggregator.aggregate(grads)
+
+        group.admit(group.allocate_rank(), rejoin=False)
+        aggregator.admit_rank(2, donor_rank=0)
+        aggregator.set_roster([0, 1, 2])
+        donor_state = aggregator.state_for(0)
+        joiner_state = aggregator.state_for(2)
+        assert np.array_equal(joiner_state._p["w"], donor_state._p["w"])
+
+        # The widened aggregate runs and stays finite.
+        grads.append({"w": np.random.default_rng(9).normal(size=(6, 4))})
+        out = aggregator.aggregate(grads)
+        assert np.isfinite(out["w"]).all()
+
+    def test_per_rank_state_follows_rank_ids_not_slots(self):
+        """Ejecting rank 0 must not hand its EF residual to rank 1."""
+        group = ResilientProcessGroup(3)
+        aggregator = make_aggregator("topk", group, ratio=0.5)
+        grads = [{"w": np.random.default_rng(r).normal(size=(8,))}
+                 for r in range(3)]
+        aggregator.aggregate(grads)
+        rank1_state = aggregator.state_for(1)
+
+        aggregator.set_roster([1, 2])  # rank 0 ejected
+        assert aggregator.state_for(1) is rank1_state
+        assert aggregator.state_for(0) is not rank1_state

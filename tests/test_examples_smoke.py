@@ -45,3 +45,10 @@ class TestFastExamples:
         assert "MATCH bit-exactly" in out
         assert "collective calls" in out  # the resilience report printed
         assert "slowdown" in out  # the sim comparison printed
+
+    @pytest.mark.faults
+    def test_elastic_training(self):
+        out = _run("elastic_training.py", "--epochs", "1", "--steps", "10")
+        assert "MATCH bit-exactly" in out
+        assert "rejoin" in out and "join" in out  # membership log printed
+        assert "admission" in out  # the sim churn trace printed

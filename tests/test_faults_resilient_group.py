@@ -31,9 +31,36 @@ class TestBackoffPolicy:
         assert policy.backoff_delay(4) == pytest.approx(0.05)  # capped
         assert policy.backoff_delay(9) == pytest.approx(0.05)
 
+    def test_first_retry_pays_exactly_base_delay(self):
+        # Boundary: the multiplier must not apply before the second retry.
+        policy = BackoffPolicy(base_delay_s=0.25, multiplier=16.0)
+        assert policy.backoff_delay(1) == pytest.approx(0.25)
+
+    def test_clamp_when_base_equals_max(self):
+        # Boundary: base == max clamps from the very first retry.
+        policy = BackoffPolicy(base_delay_s=0.05, multiplier=3.0,
+                               max_delay_s=0.05)
+        for retry in (1, 2, 10):
+            assert policy.backoff_delay(retry) == pytest.approx(0.05)
+
+    def test_clamp_exactly_at_crossover_retry(self):
+        # 0.01 * 2^(r-1) crosses max_delay_s=0.08 exactly at retry 4.
+        policy = BackoffPolicy(base_delay_s=0.01, multiplier=2.0,
+                               max_delay_s=0.08)
+        assert policy.backoff_delay(3) == pytest.approx(0.04)
+        assert policy.backoff_delay(4) == pytest.approx(0.08)
+        assert policy.backoff_delay(5) == pytest.approx(0.08)
+
+    def test_zero_base_delay_stays_zero(self):
+        policy = BackoffPolicy(base_delay_s=0.0, multiplier=2.0)
+        assert policy.backoff_delay(1) == 0.0
+        assert policy.backoff_delay(7) == 0.0
+
     def test_retry_is_one_based(self):
         with pytest.raises(ValueError, match="1-based"):
             BackoffPolicy().backoff_delay(0)
+        with pytest.raises(ValueError, match="1-based"):
+            BackoffPolicy().backoff_delay(-3)
 
     def test_budgets_validated(self):
         with pytest.raises(ValueError, match="max_retries"):
@@ -228,6 +255,65 @@ class TestPermanentLoss:
             group.all_reduce(buffers_for(2))
         with pytest.raises(RuntimeError, match="all ranks have failed"):
             group.begin_step()
+
+
+class TestMembershipStats:
+    def test_initial_timeline_entry(self):
+        group = ResilientProcessGroup(4)
+        assert group.stats.world_size_timeline == [(0, 4)]
+        assert group.stats.ejections == 0
+        assert group.stats.rejoins == 0
+        assert group.stats.joins == 0
+
+    def test_ejection_then_rejoin_counts_and_timeline(self):
+        plan = FaultPlan(seed=0, permanent=(
+            PermanentFailure(rank=1, call_index=0),
+        ))
+        group = ResilientProcessGroup(3, injector=FaultInjector(plan),
+                                      policy=BackoffPolicy(max_retries=0))
+        group.all_reduce(buffers_for(3))
+        assert group.begin_step() == [0, 2]
+        assert group.stats.ejections == 1
+        assert group.stats.ejected_ranks == [1]
+
+        group.admit(1, rejoin=True)
+        assert group.live_ranks == [0, 1, 2]
+        assert group.world_size == 3
+        assert group.stats.rejoins == 1
+        assert group.stats.rejoined_ranks == [1]
+        sizes = [size for _, size in group.stats.world_size_timeline]
+        assert sizes == [3, 2, 3]
+
+    def test_join_allocates_fresh_rank_id(self):
+        group = ResilientProcessGroup(3)
+        rank = group.allocate_rank()
+        assert rank == 3  # never collides with 0..2
+        group.admit(rank, rejoin=False)
+        assert group.live_ranks == [0, 1, 2, 3]
+        assert group.stats.joins == 1
+        assert group.stats.joined_ranks == [3]
+        # Ids are never recycled, even past an ejection.
+        assert group.allocate_rank() == 4
+
+    def test_admit_live_rank_rejected(self):
+        group = ResilientProcessGroup(2)
+        with pytest.raises(ValueError, match="already live"):
+            group.admit(1, rejoin=True)
+
+    def test_report_renders_membership_lines(self):
+        group = ResilientProcessGroup(2)
+        group.admit(group.allocate_rank(), rejoin=False)
+        report = group.resilience_report()
+        assert "rejoins" in report
+        assert "joins" in report
+        assert "world-size timeline" in report
+        assert "2@call0 -> 3@call0" in report
+
+    def test_averaging_rescales_after_scale_up(self):
+        group = ResilientProcessGroup(2)
+        group.admit(group.allocate_rank(), rejoin=False)
+        result = group.all_reduce(buffers_for(3), average=True)
+        assert np.allclose(result[0], expected_sum(3) / 3)
 
 
 class TestCorruptionDetection:

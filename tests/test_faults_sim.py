@@ -7,8 +7,11 @@ from repro.cli import main
 from repro.models import get_model_spec
 from repro.sim.engine import Engine, Task
 from repro.sim.faults import (
+    ChurnEvent,
     FaultModel,
+    admission_sync_cost,
     compare_methods_under_faults,
+    simulate_elastic_trace,
     simulate_fault_trace,
 )
 from repro.sim.strategies import ClusterSpec, build_iteration_tasks
@@ -175,7 +178,86 @@ class TestFaultTraces:
         assert faulty.total >= clean.total
 
 
+class TestElasticTimeline:
+    def _spec(self):
+        return get_model_spec("ResNet-50")
+
+    def test_phases_follow_the_schedule(self):
+        cluster = ClusterSpec(world_size=4)
+        trace = simulate_elastic_trace(
+            "ssgd", self._spec(),
+            schedule=[ChurnEvent(iteration=5, world_size=3),
+                      ChurnEvent(iteration=9, world_size=5)],
+            iterations=12, cluster=cluster, batch_size=16,
+        )
+        assert [p.world_size for p in trace.phases] == [4, 3, 5]
+        assert [p.start_iteration for p in trace.phases] == [1, 5, 9]
+        assert [p.iterations for p in trace.phases] == [4, 4, 4]
+        assert trace.total_time_s > 0
+
+    def test_scale_up_pays_admission_cost_shrink_does_not(self):
+        cluster = ClusterSpec(world_size=4)
+        spec = self._spec()
+        trace = simulate_elastic_trace(
+            "acpsgd", spec,
+            schedule=[ChurnEvent(iteration=4, world_size=3),
+                      ChurnEvent(iteration=8, world_size=5)],
+            iterations=10, cluster=cluster, batch_size=16,
+        )
+        shrink, grow = trace.phases[1], trace.phases[2]
+        assert shrink.admission_cost_s == 0.0
+        # 3 -> 5 admits two ranks: two state syncs.
+        import dataclasses
+        sized = dataclasses.replace(cluster, world_size=5)
+        assert grow.admission_cost_s == pytest.approx(
+            2 * admission_sync_cost(spec, sized)
+        )
+        assert trace.admission_overhead_s == grow.admission_cost_s
+        assert "admission" in trace.render()
+
+    def test_churn_beyond_run_rejected(self):
+        with pytest.raises(ValueError, match="beyond"):
+            simulate_elastic_trace(
+                "ssgd", self._spec(),
+                schedule=[ChurnEvent(iteration=99, world_size=2)],
+                iterations=10, cluster=ClusterSpec(world_size=4),
+                batch_size=16,
+            )
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError, match="1-based"):
+            ChurnEvent(iteration=0, world_size=2)
+        with pytest.raises(ValueError, match="world_size"):
+            ChurnEvent(iteration=1, world_size=0)
+
+    def test_same_size_event_changes_nothing_but_splits_phase(self):
+        cluster = ClusterSpec(world_size=4)
+        trace = simulate_elastic_trace(
+            "ssgd", self._spec(),
+            schedule=[ChurnEvent(iteration=6, world_size=4)],
+            iterations=10, cluster=cluster, batch_size=16,
+        )
+        assert [p.world_size for p in trace.phases] == [4, 4]
+        assert trace.phases[0].iteration_time_s == pytest.approx(
+            trace.phases[1].iteration_time_s
+        )
+        assert trace.phases[1].admission_cost_s == 0.0
+
+
 class TestFaultsCli:
+    def test_elastic_cli_demo(self, capsys):
+        code = main([
+            "elastic", "--method", "ssgd", "--workers", "3",
+            "--epochs", "1", "--steps-per-epoch", "8",
+            "--samples", "120", "--batch-size", "8",
+            "--fail-call", "2", "--rejoin-call", "5", "--join-call", "7",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "membership" in out
+        assert "rejoin" in out and "join" in out
+        assert "world-size timeline" in out
+
     def test_faults_command_renders_comparison(self, capsys):
         code = main([
             "faults", "--model", "ResNet-50", "--methods", "acpsgd,ssgd",
