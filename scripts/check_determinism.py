@@ -1,8 +1,8 @@
 #!/usr/bin/env python
-"""Verify fault-injected, parallel-worker, and elastic-churn training are
-bit-deterministic.
+"""Verify fault-injected, parallel-worker, elastic-churn, and bucketed
+training are bit-deterministic.
 
-Three checks, all diffing final weights bit-exactly:
+Four checks, all diffing final weights bit-exactly:
 
 1. the same fault-injected resilient training job run twice — identical
    FaultPlan, identical seeds — must produce identical weights (hidden
@@ -15,11 +15,16 @@ Three checks, all diffing final weights bit-exactly:
 3. the same elastic-churn job — a rank ejected, readmitted, then a
    brand-new rank joined mid-run — replayed twice must produce identical
    weights (unseeded state in the admission protocol: warm-start, rng
-   allocation, re-sharding, ring re-chunk, shows up here).
+   allocation, re-sharding, ring re-chunk, shows up here);
+4. the same clean training job run monolithically (``buffer_bytes=None``)
+   and through the bucketed WFBP reducer pipeline must produce identical
+   weights for every bucket-capable method (drift between the per-bucket
+   segmented collectives / staged compression and the fused path shows up
+   here).
 
 Usage:
     python scripts/check_determinism.py [--steps 6]
-Exit code 0 when all three PASS, 1 otherwise.
+Exit code 0 when all four PASS, 1 otherwise.
 """
 
 import argparse
@@ -109,6 +114,23 @@ def run_churn(steps: int) -> np.ndarray:
     return model.state_vector()
 
 
+def run_bucketed(steps: int, method: str, buffer_bytes) -> np.ndarray:
+    """A clean run, monolithic (buffer_bytes=None) or bucketed."""
+    from repro.comm import ProcessGroup
+
+    train_data, test_data = make_cifar_like(num_train=256, num_test=64, seed=3)
+    model = make_small_vgg(base_width=4, rng=np.random.default_rng(5))
+    kwargs = {"rank": 2} if method in ("powersgd", "acpsgd") else {}
+    aggregator = make_aggregator(method, ProcessGroup(2), **kwargs)
+    trainer = DataParallelTrainer(
+        model, SGD(model, lr=0.05, momentum=0.9), aggregator,
+        train_data, test_data, batch_size_per_worker=8, seed=13,
+        buffer_bytes=buffer_bytes,
+    )
+    trainer.run(epochs=1, steps_per_epoch=steps, method_label=method)
+    return model.state_vector()
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--steps", type=int, default=6)
@@ -147,6 +169,23 @@ def main() -> int:
         diff = float(np.abs(churn_first - churn_second).max())
         print(f"FAIL: elastic-churn replay diverged "
               f"(max |diff| = {diff:g})")
+        failures += 1
+
+    bucketed_methods = ("ssgd", "signsgd", "topk", "powersgd", "acpsgd")
+    mismatched = []
+    for method in bucketed_methods:
+        monolithic = run_bucketed(args.steps, method, buffer_bytes=None)
+        bucketed = run_bucketed(args.steps, method, buffer_bytes=64 * 1024)
+        if not np.array_equal(monolithic, bucketed):
+            diff = float(np.abs(monolithic - bucketed).max())
+            mismatched.append(f"{method} (max |diff| = {diff:g})")
+    if not mismatched:
+        print(f"PASS: bucketed (WFBP reducer) and monolithic runs of "
+              f"{args.steps} steps produced bit-identical weights for "
+              f"{', '.join(bucketed_methods)}")
+    else:
+        print(f"FAIL: bucketed weights diverge from monolithic for "
+              f"{'; '.join(mismatched)}")
         failures += 1
     return 1 if failures else 0
 

@@ -263,6 +263,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
     methods = None
     if args.methods:
         methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    buffer_sizes_mb = None
+    if args.buffer_sizes:
+        buffer_sizes_mb = [
+            float(s.strip()) for s in args.buffer_sizes.split(",") if s.strip()
+        ]
+    elif args.no_buffer_sweep:
+        buffer_sizes_mb = []
     report = run_hot_path_bench(
         world_size=args.workers,
         base_width=args.base_width,
@@ -271,6 +278,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         methods=methods,
         include_train_step=not args.no_train_step,
+        buffer_sizes_mb=buffer_sizes_mb,
     )
     config = report["config"]
     print(f"hot-path bench: {config['model_parameters']} params, "
@@ -286,6 +294,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
               f"(target {crit['ssgd_speedup_target']}x); "
               f"fused allocs/step on arena path: "
               f"{crit['arena_fused_allocs_per_step']:.0f}")
+    if "buffer_sweep" in report:
+        print(f"{'buffer MB':>10}  {'buckets':>8}  {'step ms':>8}")
+        for row in report["buffer_sweep"]:
+            print(f"{row['buffer_mbytes']:>10.2f}  {row['num_buckets']:>8}  "
+                  f"{row['best_s'] * 1e3:>8.2f}")
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2)
@@ -407,6 +420,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.add_argument("--methods", default="",
                          help="comma-separated subset (default: all)")
+    p_bench.add_argument("--buffer-sizes", default="",
+                         help="comma-separated fusion buffer sizes in MB for "
+                              "the bucketed S-SGD sweep (default: "
+                              "0.25,1,4,16)")
+    p_bench.add_argument("--no-buffer-sweep", action="store_true",
+                         help="skip the fusion buffer-size sweep")
     p_bench.add_argument("--no-train-step", action="store_true",
                          help="skip the end-to-end train_step comparison")
     p_bench.add_argument("--output", default="BENCH_hotpath.json",

@@ -21,6 +21,8 @@ from repro.comm.collectives import (
     all_gather,
     all_reduce_naive,
     all_reduce_ring,
+    all_reduce_ring_segment,
+    all_reduce_ring_segment_,
     broadcast,
     gather,
     reduce,
@@ -59,6 +61,8 @@ __all__ = [
     "all_gather",
     "all_reduce_naive",
     "all_reduce_ring",
+    "all_reduce_ring_segment",
+    "all_reduce_ring_segment_",
     "broadcast",
     "gather",
     "reduce",

@@ -312,6 +312,137 @@ def all_reduce_ring_inplace(
     )
 
 
+def _segment_ring_traffic(
+    seg_start: int,
+    seg_len: int,
+    total_length: int,
+    world_size: int,
+    elem_bytes: int,
+) -> List[int]:
+    """Per-rank bytes of the monolithic ring schedule restricted to a segment.
+
+    In the reduce-scatter phase rank ``r`` sends every chunk except
+    ``(r + 1) mod p`` (the one it ends up owning); in the all-gather phase
+    every chunk except ``(r + 2) mod p``. A bucketed collective moves only
+    each chunk's overlap with its segment, so summing this accounting over
+    all buckets reproduces the monolithic ring traffic exactly.
+    """
+    bounds = _chunk_bounds(total_length, world_size)
+    overlaps = [
+        max(0, min(hi, seg_start + seg_len) - max(lo, seg_start))
+        for lo, hi in bounds
+    ]
+    sent = [0] * world_size
+    for rank in range(world_size):
+        for chunk, overlap in enumerate(overlaps):
+            if chunk != (rank + 1) % world_size:
+                sent[rank] += overlap * elem_bytes
+            if chunk != (rank + 2) % world_size:
+                sent[rank] += overlap * elem_bytes
+    return sent
+
+
+def all_reduce_ring_segment_(
+    buffers: Sequence[np.ndarray],
+    seg_start: int,
+    total_length: int,
+    scratch: Optional[RingScratch] = None,
+) -> CollectiveStats:
+    """In-place ring all-reduce of one *segment* of a logical fused buffer.
+
+    ``buffers`` are the per-rank views of elements
+    ``[seg_start, seg_start + len)`` of a logical buffer of
+    ``total_length`` elements (a tensor-fusion bucket of an arena slab).
+    The chunk schedule is derived from ``total_length`` — the **monolithic**
+    buffer's chunk bounds — so reducing every bucket of a slab through this
+    function yields bit-identical values to one fused
+    :func:`all_reduce_ring_inplace` call over the whole slab:
+
+    - the ring accumulates each element of chunk ``c`` in ascending rank
+      order starting at rank ``c`` (``g_c``, then ``g_{c+1}``, ...), an
+      order that depends only on the element's *global* chunk index;
+    - IEEE addition is commutative (only association changes results), so
+      folding the same operands in the same association over a segment view
+      reproduces the fused result exactly, element by element.
+
+    Traffic accounting likewise replicates the monolithic schedule
+    restricted to the segment, so per-bucket stats sum to the fused stats.
+    Requirements match :func:`all_reduce_ring_inplace`: 1-D float64
+    C-contiguous writable non-aliasing buffers of equal length.
+    """
+    world_size = len(buffers)
+    if world_size == 0:
+        raise ValueError("collective requires at least one rank buffer")
+    seg_len = buffers[0].shape[0]
+    if not 0 <= seg_start <= seg_start + seg_len <= total_length:
+        raise ValueError(
+            f"segment [{seg_start}, {seg_start + seg_len}) out of range for "
+            f"total length {total_length}"
+        )
+    for rank, buf in enumerate(buffers):
+        if buf.ndim != 1 or buf.shape[0] != seg_len:
+            raise ValueError(
+                f"rank {rank} buffer shape {buf.shape} != 1-D length {seg_len}"
+            )
+        if buf.dtype != np.float64:
+            raise ValueError(
+                f"segment all-reduce requires float64 buffers, "
+                f"rank {rank} has {buf.dtype}"
+            )
+        if not buf.flags.writeable or not buf.flags.c_contiguous:
+            raise ValueError(
+                f"rank {rank} buffer must be writable and C-contiguous"
+            )
+    if world_size == 1:
+        return CollectiveStats("allreduce_ring_segment", 1, [0], 0)
+
+    bounds = _chunk_bounds(total_length, world_size)
+    scratch = scratch if scratch is not None else RingScratch()
+    acc_row = scratch.get(1, max(1, seg_len))[0]
+    for chunk, (lo, hi) in enumerate(bounds):
+        olo = max(lo, seg_start)
+        ohi = min(hi, seg_start + seg_len)
+        if olo >= ohi:
+            continue
+        a, b = olo - seg_start, ohi - seg_start
+        acc = acc_row[: b - a]
+        # Fold in the monolithic ring's per-element order: start at the
+        # chunk-index rank, then ascending ranks around the ring.
+        np.copyto(acc, buffers[chunk % world_size][a:b])
+        for hop in range(1, world_size):
+            acc += buffers[(chunk + hop) % world_size][a:b]
+        for rank in range(world_size):
+            buffers[rank][a:b] = acc
+
+    return CollectiveStats(
+        algorithm="allreduce_ring_segment",
+        world_size=world_size,
+        bytes_sent_per_rank=_segment_ring_traffic(
+            seg_start, seg_len, total_length, world_size,
+            buffers[0].dtype.itemsize,
+        ),
+        steps=2 * (world_size - 1),
+    )
+
+
+def all_reduce_ring_segment(
+    buffers: Sequence[np.ndarray],
+    seg_start: int,
+    total_length: int,
+) -> Tuple[List[np.ndarray], CollectiveStats]:
+    """Copying variant of :func:`all_reduce_ring_segment_`.
+
+    Leaves the inputs untouched (groups that may retransmit originals on a
+    detected fault need the payloads intact) and returns per-rank result
+    arrays, all holding the reduced segment.
+    """
+    work = [
+        buf.reshape(-1).astype(np.float64, copy=True) for buf in buffers
+    ]
+    stats = all_reduce_ring_segment_(work, seg_start, total_length)
+    return work, stats
+
+
 def reduce_scatter(
     buffers: Sequence[np.ndarray],
 ) -> Tuple[List[np.ndarray], CollectiveStats]:

@@ -85,6 +85,55 @@ class ProcessGroup:
                 buf /= self.world_size
         return buffers
 
+    def all_reduce_segment(
+        self,
+        buffers: Sequence[np.ndarray],
+        seg_start: int,
+        total_length: int,
+        average: bool = False,
+    ) -> List[np.ndarray]:
+        """Ring all-reduce of one bucket of a logical fused buffer (copying).
+
+        ``buffers`` are per-rank views of elements
+        ``[seg_start, seg_start + len)`` of a logical ``total_length``-element
+        buffer; the ring chunk schedule comes from ``total_length``, so
+        reducing every bucket reproduces one fused :meth:`all_reduce` over
+        the whole buffer bit-exactly (see
+        :func:`repro.comm.collectives.all_reduce_ring_segment_`).
+        """
+        self._check_world(buffers)
+        results, stats = collectives.all_reduce_ring_segment(
+            buffers, seg_start, total_length
+        )
+        self.history.append(stats)
+        if average:
+            results = [res / self.world_size for res in results]
+        return results
+
+    def all_reduce_segment_(
+        self,
+        buffers: Sequence[np.ndarray],
+        seg_start: int,
+        total_length: int,
+        average: bool = False,
+    ) -> Sequence[np.ndarray]:
+        """In-place bucket all-reduce: reduces **into** the segment views.
+
+        The bucketed counterpart of :meth:`all_reduce_`: zero-copy on arena
+        bucket views, destroys the per-rank payloads, and is bit-identical
+        to the fused in-place call when every bucket of the slab goes
+        through it.
+        """
+        self._check_world(buffers)
+        stats = collectives.all_reduce_ring_segment_(
+            buffers, seg_start, total_length, scratch=self._ring_scratch
+        )
+        self.history.append(stats)
+        if average:
+            for buf in buffers:
+                buf /= self.world_size
+        return buffers
+
     def all_gather(self, buffers: Sequence[np.ndarray]) -> List[List[np.ndarray]]:
         """Ring all-gather; per-rank payloads may differ in shape."""
         self._check_world(buffers)

@@ -71,6 +71,23 @@ class SignCompressor:
         bits = np.unpackbits(payload.packed_bits)[: payload.num_elements]
         return np.where(bits == 1, 1.0, -1.0)
 
+    def residual_for(self, name: str):
+        """Stored EF residual for ``name`` (``None`` when absent or EF off).
+
+        The bucketed reducer stages per-bucket slices of the fused gradient
+        and needs the matching residual slice before the full vector exists;
+        it reads/writes the residual through these accessors so reset and
+        per-rank state semantics stay in one place.
+        """
+        if not self.use_error_feedback:
+            return None
+        return self._error.get(name)
+
+    def store_residual(self, name: str, residual: np.ndarray) -> None:
+        """Replace the EF residual for ``name`` (no-op when EF is off)."""
+        if self.use_error_feedback:
+            self._error[name] = residual
+
     def reset(self) -> None:
         """Drop accumulated error state."""
         self._error.clear()

@@ -141,6 +141,19 @@ class TopkCompressor:
         self.min_k = min_k
         self._error: Dict[str, np.ndarray] = {}
 
+    def select(self, flat: np.ndarray) -> np.ndarray:
+        """Top-k coordinate selection over an (EF-corrected) flat vector.
+
+        One call consumes at most one draw from the sampling stream, so
+        callers that stage the vector themselves (the bucketed reducer
+        builds it bucket by bucket) select bit-identically to
+        :meth:`compress`.
+        """
+        k = max(self.min_k, int(round(self.ratio * flat.size)))
+        if self.selection == "exact":
+            return exact_topk_mask(flat, k)
+        return sampled_threshold_topk_mask(flat, k, self.rng)
+
     def compress(self, name: str, grad: np.ndarray) -> SparsePayload:
         """Sparsify ``grad`` (plus stored residual) to ~ratio*size elements."""
         flat = grad.reshape(-1).astype(np.float64)
@@ -148,17 +161,24 @@ class TopkCompressor:
             residual = self._error.get(name)
             if residual is not None:
                 flat = flat + residual
-        k = max(self.min_k, int(round(self.ratio * flat.size)))
-        if self.selection == "exact":
-            idx = exact_topk_mask(flat, k)
-        else:
-            idx = sampled_threshold_topk_mask(flat, k, self.rng)
+        idx = self.select(flat)
         values = flat[idx]
         if self.use_error_feedback:
             residual = flat.copy()
             residual[idx] = 0.0
             self._error[name] = residual
         return SparsePayload(indices=idx, values=values, num_elements=flat.size)
+
+    def residual_for(self, name: str):
+        """Stored EF residual for ``name`` (``None`` when absent or EF off)."""
+        if not self.use_error_feedback:
+            return None
+        return self._error.get(name)
+
+    def store_residual(self, name: str, residual: np.ndarray) -> None:
+        """Replace the EF residual for ``name`` (no-op when EF is off)."""
+        if self.use_error_feedback:
+            self._error[name] = residual
 
     def reset(self) -> None:
         """Drop accumulated error state."""

@@ -426,6 +426,78 @@ class ResilientProcessGroup(ProcessGroup):
             np.copyto(buf, res)
         return buffers
 
+    def all_reduce_segment(
+        self,
+        buffers: Sequence[np.ndarray],
+        seg_start: int,
+        total_length: int,
+        average: bool = False,
+    ) -> List[np.ndarray]:
+        """Resilient bucket all-reduce with a *per-bucket* retry ladder.
+
+        Each bucket runs the full detect/retry/backoff negotiation on its
+        own payloads, so a transient fault retransmits only the affected
+        bucket — not the whole fused gradient — before degrading. While the
+        ring is healthy the reduction uses the monolithic chunk schedule
+        (bit-identical to a fused all-reduce on a clean group); after the
+        fallback ladder fires, the bucket is summed naively in rank order,
+        and a degraded bucket averages over the ranks that contributed.
+        """
+        self._check_world(buffers)
+        ranks = list(self.live_ranks)
+        outcome = self._negotiate(buffers, ranks)
+        self._note_ring_health(outcome)
+        contributing = [
+            position for position, rank in enumerate(ranks)
+            if rank not in outcome.excluded
+        ]
+        if not contributing:
+            raise RuntimeError(
+                f"bucket all-reduce call {outcome.call_index}: "
+                f"no healthy rank left"
+            )
+        subset = [buffers[position] for position in contributing]
+        if self._ring_disabled:
+            flat = [buf.reshape(-1).astype(np.float64) for buf in subset]
+            result = flat[0].copy()
+            for payload in flat[1:]:
+                result += payload
+            nbytes = result.nbytes
+            stats = collectives.CollectiveStats(
+                algorithm="allreduce_naive_segment",
+                world_size=len(subset),
+                bytes_sent_per_rank=[nbytes * (len(subset) - 1)]
+                + [nbytes] * (len(subset) - 1),
+                steps=2,
+            )
+            reduced = [result]
+            self.stats.ring_fallback_calls += 1
+        else:
+            reduced, stats = collectives.all_reduce_ring_segment(
+                subset, seg_start, total_length
+            )
+        stats.delay_s = outcome.delay_s
+        self.history.append(stats)
+        result = reduced[0]
+        if average:
+            result = result / len(subset)
+        return [result.copy() for _ in buffers]
+
+    def all_reduce_segment_(
+        self,
+        buffers: Sequence[np.ndarray],
+        seg_start: int,
+        total_length: int,
+        average: bool = False,
+    ) -> Sequence[np.ndarray]:
+        """Fault-checked bucket reduce on copies, result copied back."""
+        results = self.all_reduce_segment(
+            list(buffers), seg_start, total_length, average=average
+        )
+        for buf, res in zip(buffers, results):
+            np.copyto(buf, res)
+        return buffers
+
     def all_gather(self, buffers: Sequence[np.ndarray]) -> List[List[np.ndarray]]:
         """Resilient all-gather; degraded calls omit the failed payloads."""
         self._check_world(buffers)

@@ -1,9 +1,16 @@
-"""Tensor-fusion buffer planning (§IV-B of the paper).
+"""Tensor-fusion buffer planning (§IV-B of the paper) — shared module.
 
 Gradients become ready in back-propagation order; tensor fusion packs
 consecutive ready tensors into fixed-size buffers, each aggregated with one
 collective. The buffer size trades WFBP overlap (small buffers) against
 start-up amortization (large buffers).
+
+This is the **single source of truth** for the bucketing policy: the
+discrete-event simulator (:mod:`repro.sim.strategies`) and the real
+execution path (:class:`repro.perf.arena.ArenaLayout` /
+:class:`repro.train.reducer.BucketedReducer`) both partition through
+:func:`partition_buckets`, so the simulated and the measured buffer-size
+sensitivity (Fig. 8 / Fig. 10) can never drift apart.
 
 For compressed methods the paper scales the buffer by the compression rate
 ("compressed buffer size"): e.g. ResNet-50 at rank 4 compresses to 0.64%
@@ -16,6 +23,9 @@ this makes ACP-SGD robust to the buffer-size hyper-parameter.
 from __future__ import annotations
 
 from typing import List, Sequence, Tuple
+
+#: PyTorch-DDP's default fusion buffer (§IV-B) — the paper's baseline.
+DEFAULT_BUFFER_BYTES = 25 * 1024 * 1024
 
 
 def partition_buckets(

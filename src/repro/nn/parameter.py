@@ -10,6 +10,27 @@ import numpy as np
 GradHook = Callable[["Parameter"], None]
 
 
+class RemovableHandle:
+    """Handle returned by :meth:`Parameter.register_hook`.
+
+    Mirrors ``torch.utils.hooks.RemovableHandle``: calling :meth:`remove`
+    detaches exactly the hook this handle was issued for (idempotently),
+    leaving hooks registered by other subsystems in place — which is why
+    the bucketed reducer uses handles instead of ``clear_hooks``.
+    """
+
+    def __init__(self, hooks: List[GradHook], hook: GradHook):
+        self._hooks = hooks
+        self._hook = hook
+
+    def remove(self) -> None:
+        """Detach the hook; safe to call more than once."""
+        try:
+            self._hooks.remove(self._hook)
+        except ValueError:
+            pass
+
+
 class Parameter:
     """A learnable tensor: value, gradient, and gradient-ready hooks.
 
@@ -66,15 +87,17 @@ class Parameter:
         """Number of elements."""
         return int(self.data.size)
 
-    def register_hook(self, hook: GradHook) -> None:
+    def register_hook(self, hook: GradHook) -> RemovableHandle:
         """Register a callback fired when this parameter's grad is ready.
 
         This mirrors ``torch.Tensor.register_hook`` as used by the paper's
         ACP-SGD prototype (§IV-C): distributed optimizers use it to launch
         compression/communication as soon as back-propagation produces each
-        gradient (wait-free back-propagation).
+        gradient (wait-free back-propagation). Returns a handle whose
+        ``remove()`` detaches just this hook.
         """
         self._hooks.append(hook)
+        return RemovableHandle(self._hooks, hook)
 
     def clear_hooks(self) -> None:
         """Remove all registered hooks."""

@@ -22,7 +22,12 @@ from repro.compression.acpsgd import ACPSGDState
 from repro.compression.powersgd import PowerSGDState
 from repro.compression.qsgd import QSGDCompressor
 from repro.compression.randomk import RandomKCompressor
-from repro.compression.reshaping import grad_to_matrix, matrix_to_grad, should_compress
+from repro.compression.reshaping import (
+    grad_to_matrix,
+    matrix_to_grad,
+    matrix_view_shape,
+    should_compress,
+)
 from repro.compression.signsgd import SignCompressor, majority_vote_aggregate
 from repro.compression.topk import TopkCompressor, sparse_aggregate
 
@@ -96,6 +101,47 @@ def _unpack(
     return out
 
 
+class _PackLayout:
+    """Element offsets of named blocks inside one fused pack.
+
+    The bucketed low-rank paths stage per-name factors into one logical
+    pack per collective (plain / P / Q), laid out in a fixed name order.
+    Because bucket membership follows the arena layout order, each bucket's
+    names occupy one contiguous segment of every pack, which is what lets a
+    per-bucket collective use the monolithic pack's chunk schedule.
+    """
+
+    def __init__(self, sizes: Dict[str, int], order: List[str]):
+        self.sizes = sizes
+        self.offsets: Dict[str, int] = {}
+        offset = 0
+        for name in order:
+            self.offsets[name] = offset
+            offset += sizes[name]
+        self.total = offset
+
+    def segment(self, names: Sequence[str]) -> Tuple[int, int]:
+        """Element range covered by ``names`` (must be pack-contiguous)."""
+        lo = self.offsets[names[0]]
+        last = names[-1]
+        return lo, self.offsets[last] + self.sizes[last]
+
+
+class _BucketSession:
+    """Per-step scratch of one bucketed aggregation pass."""
+
+    def __init__(self, per_worker: List[NamedGrads], layout) -> None:
+        self.per_worker = per_worker
+        self.layout = layout
+        self.names: List[str] = list(layout.names)
+        self.buckets: List[Tuple[int, int]] = list(layout.buckets)
+        self.bucket_names: List[List[str]] = layout.bucket_names()
+        self.total: int = layout.total_elements
+        self.slabs = [grads.slab for grads in per_worker]
+        self.template = per_worker[0]
+        self.done = [False] * len(self.buckets)
+
+
 class GradientAggregator:
     """Base class: process group, live roster, and per-rank compressor state.
 
@@ -104,9 +150,21 @@ class GradientAggregator:
     keeps its own state across roster changes — ejecting rank 0 must not
     silently hand its residual to rank 1, and a rank that rejoins later is
     readmitted with fresh (warm-started) state via :meth:`admit_rank`.
+
+    Bucketed protocol: aggregators that set ``supports_bucketed`` also
+    implement ``begin_buckets`` / ``reduce_bucket`` / ``finish_buckets``,
+    the staged form of :meth:`aggregate` the
+    :class:`~repro.train.reducer.BucketedReducer` drives bucket by bucket
+    as backward produces gradients. For every such aggregator the staged
+    path is bit-identical to :meth:`aggregate` in any bucket order (the
+    per-bucket collectives reuse the monolithic chunk schedule; see
+    :func:`repro.comm.collectives.all_reduce_ring_segment_`).
     """
 
     method = "base"
+
+    #: Whether the staged bucket protocol below is implemented.
+    supports_bucketed = False
 
     def __init__(self, group: ProcessGroup):
         self.group = group
@@ -117,6 +175,8 @@ class GradientAggregator:
         #: elastic membership controller (rejoin / scale-up).
         self.roster: List[int] = list(range(group.world_size))
         self._per_rank: Dict[int, object] = {}
+        self._bucket_session: Optional[_BucketSession] = None
+        self._staging_blocks: Dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Per-rank state lifecycle (elastic membership hooks)
@@ -169,6 +229,131 @@ class GradientAggregator:
         """Aggregate one step's gradients; returns the shared global gradient."""
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Bucketed (WFBP) protocol
+    # ------------------------------------------------------------------
+    def begin_buckets(self, per_worker_grads: List[NamedGrads]) -> None:
+        """Open a bucketed aggregation step over arena-backed gradients.
+
+        ``per_worker_grads`` must be :class:`~repro.perf.arena.ArenaGrads`
+        sharing one bucketed layout, in roster (slot) order. The caller may
+        then fire :meth:`reduce_bucket` for every bucket in any order —
+        typically reverse layout order, as backward produces them — and
+        collect the result with :meth:`finish_buckets`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support bucketed aggregation"
+        )
+
+    def reduce_bucket(self, index: int) -> None:
+        """Reduce (or stage) one bucket; gradients for it must be final."""
+        raise NotImplementedError
+
+    def finish_buckets(self) -> NamedGrads:
+        """Complete the step; every bucket must have been reduced.
+
+        Returned tensors follow the same ownership contract as
+        :meth:`aggregate`'s zero-copy paths: they are read-only views valid
+        until the next aggregation begins.
+        """
+        raise NotImplementedError
+
+    def aggregate_bucketed(
+        self,
+        per_worker_grads: List[NamedGrads],
+        order: Optional[Sequence[int]] = None,
+    ) -> NamedGrads:
+        """Run the whole staged protocol at once (deferred-mode entry).
+
+        ``order`` defaults to reverse layout order — the order backward
+        would have produced the buckets — but any permutation yields
+        bit-identical results.
+        """
+        self.begin_buckets(per_worker_grads)
+        session = self._bucket_state()
+        indices = (
+            order if order is not None
+            else range(len(session.buckets) - 1, -1, -1)
+        )
+        for index in indices:
+            self.reduce_bucket(index)
+        return self.finish_buckets()
+
+    def _open_bucket_session(
+        self, per_worker_grads: List[NamedGrads]
+    ) -> _BucketSession:
+        _check_worker_grads(per_worker_grads, len(self.roster))
+        layout = getattr(per_worker_grads[0], "layout", None)
+        if layout is None or any(
+            getattr(grads, "layout", None) is not layout
+            for grads in per_worker_grads
+        ):
+            raise ValueError(
+                "bucketed aggregation requires arena-backed gradients "
+                "sharing one layout (ArenaGrads from a single GradientArena)"
+            )
+        session = _BucketSession(per_worker_grads, layout)
+        self._bucket_session = session
+        return session
+
+    def _bucket_state(self) -> _BucketSession:
+        session = self._bucket_session
+        if session is None:
+            raise RuntimeError(
+                "reduce_bucket/finish_buckets called without begin_buckets"
+            )
+        return session
+
+    def _mark_bucket(self, session: _BucketSession, index: int) -> None:
+        if session.done[index]:
+            raise RuntimeError(f"bucket {index} reduced twice in one step")
+        session.done[index] = True
+
+    def _close_bucket_session(self, session: _BucketSession) -> None:
+        missing = [i for i, done in enumerate(session.done) if not done]
+        if missing:
+            raise RuntimeError(
+                f"finish_buckets called with unreduced buckets {missing}"
+            )
+        self._bucket_session = None
+
+    def _staging_rows(self, key: str, rows: int, cols: int) -> List[np.ndarray]:
+        """Per-slot 1-D staging buffers, allocated once and reused.
+
+        Backed by one grow-only 2-D block per purpose (``key``), so the
+        steady-state bucketed hot path stages with zero allocations; the
+        block only grows at roster-expansion boundaries.
+        """
+        block = self._staging_blocks.get(key)
+        if block is None or block.shape[0] < rows or block.shape[1] < cols:
+            old_rows, old_cols = block.shape if block is not None else (0, 0)
+            block = np.zeros((max(rows, old_rows), max(cols, old_cols)))
+            self._staging_blocks[key] = block
+        return [block[slot, :cols] for slot in range(rows)]
+
+    def _reduce_pack_segment(
+        self, rows: List[np.ndarray], lo: int, hi: int, total: int
+    ) -> None:
+        """Average-reduce ``rows[lo:hi]`` with the monolithic chunk schedule.
+
+        The aggregated values land in ``rows[0]``'s segment (in every row
+        when the group reduces in place). Staging rows are private to this
+        aggregator, so in-place reduction is safe whenever the group allows
+        it; resilient groups take the copying, fault-checked path.
+        """
+        if hi == lo:
+            return
+        views = [row[lo:hi] for row in rows]
+        ALLOC_STATS.bucket_reduces += 1
+        if getattr(self.group, "supports_inplace", False):
+            self.group.all_reduce_segment_(views, lo, total, average=True)
+        else:
+            ALLOC_STATS.bucket_copies += 1
+            reduced = self.group.all_reduce_segment(
+                views, lo, total, average=True
+            )
+            np.copyto(views[0], reduced[0])
+
     def reset(self) -> None:
         """Drop accumulated compressor state (EF residuals, cached factors).
 
@@ -197,6 +382,7 @@ class AllReduceAggregator(GradientAggregator):
     """
 
     method = "ssgd"
+    supports_bucketed = True
 
     def aggregate(self, per_worker_grads: List[NamedGrads]) -> NamedGrads:
         _check_worker_grads(per_worker_grads, len(self.roster))
@@ -214,6 +400,46 @@ class AllReduceAggregator(GradientAggregator):
         reduced = self.group.all_reduce(buffers, average=True)
         return _unpack(reduced[0], per_worker_grads[0], names)
 
+    def begin_buckets(self, per_worker_grads: List[NamedGrads]) -> None:
+        session = self._open_bucket_session(per_worker_grads)
+        self.step += 1
+        session.inplace = (
+            getattr(self.group, "supports_inplace", False)
+            and len({id(slab) for slab in session.slabs}) == len(session.slabs)
+        )
+        if not session.inplace:
+            out = self._staging_blocks.get("ssgd_out")
+            if out is None or out.shape[0] < session.total:
+                out = np.zeros(max(1, session.total))
+                self._staging_blocks["ssgd_out"] = out
+            session.out = out[: session.total]
+
+    def reduce_bucket(self, index: int) -> None:
+        session = self._bucket_state()
+        self._mark_bucket(session, index)
+        lo, hi = session.buckets[index]
+        if hi == lo:
+            return
+        ALLOC_STATS.bucket_reduces += 1
+        views = [slab[lo:hi] for slab in session.slabs]
+        if session.inplace:
+            # Zero-copy: reduce the arena bucket views where they live,
+            # with the monolithic slab's chunk schedule (bit-identical to
+            # one fused in-place all-reduce; destroys the local payloads).
+            self.group.all_reduce_segment_(views, lo, session.total, average=True)
+        else:
+            ALLOC_STATS.bucket_copies += 1
+            reduced = self.group.all_reduce_segment(
+                views, lo, session.total, average=True
+            )
+            session.out[lo:hi] = reduced[0]
+
+    def finish_buckets(self) -> NamedGrads:
+        session = self._bucket_state()
+        self._close_bucket_session(session)
+        buffer = session.slabs[0] if session.inplace else session.out
+        return _unpack(buffer, session.template, session.names)
+
 
 class SignSGDAggregator(GradientAggregator):
     """Sign-SGD with majority vote: all-gather 1-bit signs, vote, rescale.
@@ -225,6 +451,7 @@ class SignSGDAggregator(GradientAggregator):
     """
 
     method = "signsgd"
+    supports_bucketed = True
 
     def __init__(
         self,
@@ -255,11 +482,85 @@ class SignSGDAggregator(GradientAggregator):
         aggregated = majority_vote_aggregate(payloads, shape, validate=self.validate)
         return _unpack(aggregated, per_worker_grads[0], names)
 
+    def begin_buckets(self, per_worker_grads: List[NamedGrads]) -> None:
+        session = self._open_bucket_session(per_worker_grads)
+        self.step += 1
+        session.scratch = self._staging_rows(
+            "signsgd", len(self.roster), session.total
+        )
+        session.bits = [None] * len(session.buckets)
+
+    def reduce_bucket(self, index: int) -> None:
+        """Stage the bucket's EF-corrected segment and ship its sign bits.
+
+        Sign bits are *per-element* (``flat >= 0`` does not depend on the
+        global scale), so each bucket's 1-bit payload all-gathers as soon
+        as the bucket's gradients are ready — Sign-SGD keeps WFBP overlap
+        for the bulk of its traffic. Only the scalar L1-mean scale is
+        vector-global and waits for :meth:`finish_buckets`.
+        """
+        session = self._bucket_state()
+        self._mark_bucket(session, index)
+        lo, hi = session.buckets[index]
+        ALLOC_STATS.bucket_reduces += 1
+        packed = []
+        for slot, rank in enumerate(self.roster):
+            state = self._per_rank[rank]
+            staged = session.scratch[slot][lo:hi]
+            np.copyto(staged, session.slabs[slot][lo:hi])
+            residual = state.residual_for(f"fused/b{index}")
+            if residual is not None:
+                staged += residual
+            packed.append(np.packbits((staged >= 0).astype(np.uint8)))
+        session.bits[index] = packed
+        if hi > lo:
+            self.group.all_gather(packed)
+
+    def finish_buckets(self) -> NamedGrads:
+        session = self._bucket_state()
+        self._close_bucket_session(session)
+        num_slots = len(self.roster)
+        # The scale is the L1 mean of the *whole* EF-corrected vector —
+        # identical to the monolithic compressor's — computed over the
+        # per-slot staging buffers the buckets filled.
+        scales = np.array([
+            float(np.abs(session.scratch[slot]).mean()) if session.total else 0.0
+            for slot in range(num_slots)
+        ])
+        if self.validate:
+            from repro.utils.validation import assert_finite
+
+            assert_finite(scales, "signsgd payload scales")
+        mean_scale = float(scales.mean())
+        out = self._staging_rows("signsgd_out", 1, max(1, session.total))[0]
+        out = out[: session.total]
+        for index, (lo, hi) in enumerate(session.buckets):
+            if hi == lo:
+                continue
+            vote = np.zeros(hi - lo)
+            signs_per_slot = []
+            for slot in range(num_slots):
+                bits = np.unpackbits(session.bits[index][slot])[: hi - lo]
+                signs = np.where(bits == 1, 1.0, -1.0)
+                signs_per_slot.append(signs)
+                vote += signs
+            majority = np.where(vote >= 0, 1.0, -1.0)
+            out[lo:hi] = mean_scale * majority
+            for slot, rank in enumerate(self.roster):
+                state = self._per_rank[rank]
+                state.store_residual(
+                    f"fused/b{index}",
+                    session.scratch[slot][lo:hi]
+                    - scales[slot] * signs_per_slot[slot],
+                )
+        return _unpack(out, session.template, session.names)
+
 
 class TopkSGDAggregator(GradientAggregator):
     """Top-k SGD: all-gather (values, indices), sum sparse, average."""
 
     method = "topk"
+    supports_bucketed = True
 
     def __init__(
         self,
@@ -307,6 +608,76 @@ class TopkSGDAggregator(GradientAggregator):
             validate=self.validate,
         )
         return _unpack(aggregated, per_worker_grads[0], names)
+
+    def begin_buckets(self, per_worker_grads: List[NamedGrads]) -> None:
+        session = self._open_bucket_session(per_worker_grads)
+        self.step += 1
+        session.scratch = self._staging_rows(
+            "topk", len(self.roster), session.total
+        )
+
+    def reduce_bucket(self, index: int) -> None:
+        """Stage the bucket's EF-corrected segment (no communication yet).
+
+        Top-k selection is *vector-global* — one ``k`` and one threshold
+        over the whole fused gradient — so nothing can ship until every
+        bucket is staged: exactly the §IV observation that top-k
+        compression forfeits WFBP overlap. Staging is still per bucket so
+        the EF residual stays keyed by (rank, bucket).
+        """
+        session = self._bucket_state()
+        self._mark_bucket(session, index)
+        lo, hi = session.buckets[index]
+        ALLOC_STATS.bucket_reduces += 1
+        for slot, rank in enumerate(self.roster):
+            state = self._per_rank[rank]
+            staged = session.scratch[slot][lo:hi]
+            np.copyto(staged, session.slabs[slot][lo:hi])
+            residual = state.residual_for(f"fused/b{index}")
+            if residual is not None:
+                staged += residual
+
+    def finish_buckets(self) -> NamedGrads:
+        session = self._bucket_state()
+        self._close_bucket_session(session)
+        num_slots = len(self.roster)
+        selections = []
+        for slot, rank in enumerate(self.roster):
+            state = self._per_rank[rank]
+            flat = session.scratch[slot]
+            idx = state.select(flat)
+            values = flat[idx]
+            if self.validate:
+                from repro.utils.validation import assert_finite
+
+                assert_finite(values, f"topk payload values (worker {slot})")
+            residual = flat.copy()
+            residual[idx] = 0.0
+            for index, (lo, hi) in enumerate(session.buckets):
+                state.store_residual(f"fused/b{index}", residual[lo:hi])
+            selections.append((idx, values))
+        out = self._staging_rows("topk_out", 1, max(1, session.total))[0]
+        out = out[: session.total]
+        out[:] = 0.0
+        for index, (lo, hi) in enumerate(session.buckets):
+            if hi == lo:
+                continue
+            parts = []
+            for idx, values in selections:
+                mask = (idx >= lo) & (idx < hi)
+                parts.append((idx[mask] - lo, values[mask]))
+            # Per-bucket wire format: each rank ships only the (index,
+            # value) pairs whose coordinates fall in this bucket; the
+            # per-bucket wires partition the monolithic payload exactly.
+            self.group.all_gather([
+                np.concatenate([part_idx.astype(np.float64), part_vals])
+                for part_idx, part_vals in parts
+            ])
+            dense = out[lo:hi]
+            for part_idx, part_vals in parts:
+                np.add.at(dense, part_idx, part_vals)
+            dense /= num_slots
+        return _unpack(out, session.template, session.names)
 
 
 class RandomKAggregator(GradientAggregator):
@@ -472,6 +843,78 @@ class _LowRankBase(GradientAggregator):
         reduced = self.group.all_reduce(buffers, average=True)
         return _unpack(reduced[0], per_worker_grads[0], plain)
 
+    # ------------------------------------------------------------------
+    # Bucketed protocol shared plumbing
+    # ------------------------------------------------------------------
+    def _begin_lowrank_session(
+        self, per_worker_grads: List[NamedGrads]
+    ) -> _BucketSession:
+        """Open a session and lay out the shared plain (uncompressed) pack.
+
+        Each pack (plain here; P/Q/alternating factor in the subclasses)
+        orders its blocks by layout order, so every bucket's names cover a
+        contiguous pack segment and per-bucket reduction can reuse the
+        monolithic pack's chunk schedule.
+        """
+        session = self._open_bucket_session(per_worker_grads)
+        self.step += 1
+        compressible, plain = self._split_names(session.template)
+        session.compressible = compressible
+        session.comp_set = set(compressible)
+        plain_sizes = {name: int(session.template[name].size) for name in plain}
+        session.plain_pack = _PackLayout(plain_sizes, plain)
+        session.plain_scratch = self._staging_rows(
+            "plain", len(self.roster), max(1, session.plain_pack.total)
+        )
+        session.mshapes = {
+            name: matrix_view_shape(session.template[name].shape)
+            for name in compressible
+        }
+        session.result = {}
+        return session
+
+    def _reduce_plain_bucket(
+        self, session: _BucketSession, plain_b: List[str]
+    ) -> None:
+        """Stage and average-reduce a bucket's uncompressed tensors."""
+        if not plain_b:
+            return
+        pack = session.plain_pack
+        lo, hi = pack.segment(plain_b)
+        for slot in range(len(self.roster)):
+            grads = session.per_worker[slot]
+            row = session.plain_scratch[slot]
+            for name in plain_b:
+                off = pack.offsets[name]
+                row[off : off + pack.sizes[name]] = grads[name].reshape(-1)
+        self._reduce_pack_segment(session.plain_scratch, lo, hi, pack.total)
+        agg = session.plain_scratch[0]
+        for name in plain_b:
+            off = pack.offsets[name]
+            view = agg[off : off + pack.sizes[name]].reshape(
+                session.template[name].shape
+            )
+            view.flags.writeable = False
+            session.result[name] = view
+
+    def _pack_view(
+        self,
+        row: np.ndarray,
+        pack: _PackLayout,
+        name: str,
+        shape: Tuple[int, int],
+    ) -> np.ndarray:
+        """Read-only matrix view of one named block inside a pack row."""
+        off = pack.offsets[name]
+        view = row[off : off + pack.sizes[name]].reshape(shape)
+        view.flags.writeable = False
+        return view
+
+    def finish_buckets(self) -> NamedGrads:
+        session = self._bucket_state()
+        self._close_bucket_session(session)
+        return {name: session.result[name] for name in session.template}
+
 
 class PowerSGDAggregator(_LowRankBase):
     """Power-SGD: all-reduce P, orthogonalize, all-reduce Q, reconstruct.
@@ -482,6 +925,7 @@ class PowerSGDAggregator(_LowRankBase):
     """
 
     method = "powersgd"
+    supports_bucketed = True
 
     def __init__(
         self,
@@ -549,11 +993,88 @@ class PowerSGDAggregator(_LowRankBase):
                         )
         return {name: result[name] for name in per_worker_grads[0]}
 
+    def begin_buckets(self, per_worker_grads: List[NamedGrads]) -> None:
+        session = self._begin_lowrank_session(per_worker_grads)
+        p_sizes: Dict[str, int] = {}
+        q_sizes: Dict[str, int] = {}
+        session.p_shapes = {}
+        session.q_shapes = {}
+        for name in session.compressible:
+            n, m = session.mshapes[name]
+            r_eff = min(self.rank, n, m)
+            session.p_shapes[name] = (n, r_eff)
+            session.q_shapes[name] = (m, r_eff)
+            p_sizes[name] = n * r_eff
+            q_sizes[name] = m * r_eff
+        session.p_pack = _PackLayout(p_sizes, session.compressible)
+        session.q_pack = _PackLayout(q_sizes, session.compressible)
+        num_slots = len(self.roster)
+        session.p_scratch = self._staging_rows(
+            "powersgd_p", num_slots, max(1, session.p_pack.total)
+        )
+        session.q_scratch = self._staging_rows(
+            "powersgd_q", num_slots, max(1, session.q_pack.total)
+        )
+
+    def reduce_bucket(self, index: int) -> None:
+        """Full Power-SGD round for one bucket as its gradients land.
+
+        Per bucket: plain tensors reduce uncompressed, then the blocking
+        ``P-reduce -> orthogonalize -> Q-reduce -> reconstruct`` chain runs
+        on the bucket's segment of the global P/Q packs. The P collective
+        still blocks the Q computation *within* the bucket (the §III-C
+        structure), but bucketing lets later buckets start as soon as their
+        gradients exist.
+        """
+        session = self._bucket_state()
+        self._mark_bucket(session, index)
+        names_b = session.bucket_names[index]
+        comp_b = [n for n in names_b if n in session.comp_set]
+        plain_b = [n for n in names_b if n not in session.comp_set]
+        self._reduce_plain_bucket(session, plain_b)
+        if not comp_b:
+            return
+        p_pack, q_pack = session.p_pack, session.q_pack
+        plo, phi = p_pack.segment(comp_b)
+        for slot, rank_idx in enumerate(self.roster):
+            state = self._per_rank[rank_idx]
+            grads = session.per_worker[slot]
+            row = session.p_scratch[slot]
+            for name in comp_b:
+                p_local = state.compute_p(name, grad_to_matrix(grads[name]))
+                off = p_pack.offsets[name]
+                row[off : off + p_pack.sizes[name]] = p_local.reshape(-1)
+        self._reduce_pack_segment(session.p_scratch, plo, phi, p_pack.total)
+        qlo, qhi = q_pack.segment(comp_b)
+        for slot, rank_idx in enumerate(self.roster):
+            state = self._per_rank[rank_idx]
+            row = session.q_scratch[slot]
+            for name in comp_b:
+                p_agg = self._pack_view(
+                    session.p_scratch[0], p_pack, name, session.p_shapes[name]
+                )
+                q_local = state.compute_q(name, p_agg)
+                off = q_pack.offsets[name]
+                row[off : off + q_pack.sizes[name]] = q_local.reshape(-1)
+        self._reduce_pack_segment(session.q_scratch, qlo, qhi, q_pack.total)
+        for slot, rank_idx in enumerate(self.roster):
+            state = self._per_rank[rank_idx]
+            for name in comp_b:
+                q_agg = self._pack_view(
+                    session.q_scratch[0], q_pack, name, session.q_shapes[name]
+                )
+                m_hat = state.reconstruct(name, q_agg)
+                if slot == 0:
+                    session.result[name] = matrix_to_grad(
+                        m_hat, session.template[name].shape
+                    )
+
 
 class ACPSGDAggregator(_LowRankBase):
     """ACP-SGD: a single fused all-reduce of the alternating factor."""
 
     method = "acpsgd"
+    supports_bucketed = True
 
     def __init__(
         self,
@@ -605,6 +1126,65 @@ class ACPSGDAggregator(_LowRankBase):
                             m_hat, per_worker_grads[0][name].shape
                         )
         return {name: result[name] for name in per_worker_grads[0]}
+
+    def begin_buckets(self, per_worker_grads: List[NamedGrads]) -> None:
+        session = self._begin_lowrank_session(per_worker_grads)
+        # Factor shapes alternate with step parity: P=(n, r) on odd steps,
+        # Q=(m, r) on even steps — fixed for the whole session because every
+        # bucket shares this step's parity.
+        p_step = ACPSGDState.compresses_p(self.step)
+        f_sizes: Dict[str, int] = {}
+        session.f_shapes = {}
+        for name in session.compressible:
+            n, m = session.mshapes[name]
+            r_eff = min(self.rank, n, m)
+            session.f_shapes[name] = (n, r_eff) if p_step else (m, r_eff)
+            f_sizes[name] = session.f_shapes[name][0] * r_eff
+        session.factor_pack = _PackLayout(f_sizes, session.compressible)
+        session.factor_scratch = self._staging_rows(
+            "acpsgd_f", len(self.roster), max(1, session.factor_pack.total)
+        )
+
+    def reduce_bucket(self, index: int) -> None:
+        """One fused-factor round for the bucket as its gradients land.
+
+        ACP-SGD's single alternating-factor all-reduce is the cheapest of
+        the low-rank schedules (§IV-C), and it buckets cleanly: each bucket
+        compresses, reduces its contiguous segment of the factor pack, and
+        reconstructs immediately.
+        """
+        session = self._bucket_state()
+        self._mark_bucket(session, index)
+        names_b = session.bucket_names[index]
+        comp_b = [n for n in names_b if n in session.comp_set]
+        plain_b = [n for n in names_b if n not in session.comp_set]
+        self._reduce_plain_bucket(session, plain_b)
+        if not comp_b:
+            return
+        pack = session.factor_pack
+        lo, hi = pack.segment(comp_b)
+        for slot, rank_idx in enumerate(self.roster):
+            state = self._per_rank[rank_idx]
+            grads = session.per_worker[slot]
+            row = session.factor_scratch[slot]
+            for name in comp_b:
+                factor = state.compress(
+                    name, grad_to_matrix(grads[name]), self.step
+                )
+                off = pack.offsets[name]
+                row[off : off + pack.sizes[name]] = factor.reshape(-1)
+        self._reduce_pack_segment(session.factor_scratch, lo, hi, pack.total)
+        for slot, rank_idx in enumerate(self.roster):
+            state = self._per_rank[rank_idx]
+            for name in comp_b:
+                agg = self._pack_view(
+                    session.factor_scratch[0], pack, name, session.f_shapes[name]
+                )
+                m_hat = state.finalize(name, agg, self.step)
+                if slot == 0:
+                    session.result[name] = matrix_to_grad(
+                        m_hat, session.template[name].shape
+                    )
 
 
 def make_aggregator(

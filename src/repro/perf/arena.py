@@ -46,6 +46,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.fusion import partition_buckets
 from repro.nn.module import Module
 from repro.nn.parameter import Parameter
 
@@ -69,10 +70,9 @@ class ArenaLayout:
     ):
         if not named_shapes:
             raise ValueError("arena layout requires at least one parameter")
-        if bucket_bytes is not None and bucket_bytes < itemsize:
+        if bucket_bytes is not None and bucket_bytes < 0:
             raise ValueError(
-                f"bucket_bytes must be >= one element ({itemsize}), "
-                f"got {bucket_bytes}"
+                f"bucket_bytes must be >= 0, got {bucket_bytes}"
             )
         self.names: List[str] = []
         self.shapes: Dict[str, Tuple[int, ...]] = {}
@@ -94,19 +94,30 @@ class ArenaLayout:
     def _build_buckets(
         self, bucket_bytes: Optional[int], itemsize: int
     ) -> List[Tuple[int, int]]:
+        """Element ranges of the slab's buckets.
+
+        Delegates to the shared :func:`repro.fusion.partition_buckets`
+        policy — the same greedy fill the simulator uses — so the real
+        reducer and the simulated one can never drift. ``bucket_bytes=0``
+        means no fusion (one tensor per bucket).
+        """
         if bucket_bytes is None:
+            self._bucket_ranges = [(0, len(self.names))]
             return [(0, self.total_elements)]
-        cap = max(1, bucket_bytes // itemsize)
-        buckets: List[Tuple[int, int]] = []
-        start = 0
-        for name in self.names:
-            end = self.offsets[name] + self.size_of(name)
-            if end - start >= cap:
-                buckets.append((start, end))
-                start = end
-        if start < self.total_elements:
-            buckets.append((start, self.total_elements))
-        return buckets
+        sizes = [self.size_of(name) * itemsize for name in self.names]
+        self._bucket_ranges = partition_buckets(sizes, bucket_bytes)
+        spans: List[Tuple[int, int]] = []
+        for first, last in self._bucket_ranges:
+            lo = self.offsets[self.names[first]]
+            tail = self.names[last - 1]
+            spans.append((lo, self.offsets[tail] + self.size_of(tail)))
+        return spans
+
+    def bucket_names(self) -> List[List[str]]:
+        """Parameter names of each bucket, in layout (= bucket) order."""
+        return [
+            self.names[first:last] for first, last in self._bucket_ranges
+        ]
 
     def size_of(self, name: str) -> int:
         shape = self.shapes[name]

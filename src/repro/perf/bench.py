@@ -157,6 +157,75 @@ def _bench_train_step(
     return results
 
 
+def _bench_buffer_sweep(
+    world_size: int,
+    base_width: int,
+    iters: int,
+    warmup: int,
+    seed: int,
+    buffer_sizes_mb: List[float],
+) -> List[Dict[str, object]]:
+    """S-SGD aggregation time vs fusion buffer size (the Fig. 8 axis).
+
+    Each row drives the real bucketed pipeline — arena buckets, segmented
+    ring collectives, the reducer's deferred loop — at one ``buffer_bytes``
+    setting and records the per-bucket mean timings plus the
+    :data:`~repro.perf.counters.ALLOC_STATS` deltas, so the report shows
+    both ends of the paper's trade-off: many small buckets pay latency per
+    collective, one huge bucket forfeits overlap.
+    """
+    from repro.train.reducer import BucketedReducer
+
+    rows: List[Dict[str, object]] = []
+    for size_mb in buffer_sizes_mb:
+        buffer_bytes = int(size_mb * 2**20)
+        model = make_small_vgg(
+            base_width=base_width, rng=np.random.default_rng(seed)
+        )
+        arena = GradientArena(model, world_size, bucket_bytes=buffer_bytes)
+        aggregator = agg.AllReduceAggregator(ProcessGroup(world_size))
+        reducer = BucketedReducer(model, arena, aggregator)
+        reference = _reference_gradients(arena, seed + 1)
+
+        def provider() -> List[ArenaGrads]:
+            for slot, ref in enumerate(reference):
+                np.copyto(arena.slab(slot), ref)
+            return [arena.grads(slot) for slot in range(world_size)]
+
+        for _ in range(warmup):
+            reducer.aggregate(aggregator, provider())
+        ALLOC_STATS.reset()
+        times = []
+        bucket_seconds: Dict[int, List[float]] = {}
+        bucket_elements: Dict[int, int] = {}
+        for _ in range(iters):
+            per_worker = provider()
+            start = time.perf_counter()
+            reducer.aggregate(aggregator, per_worker)
+            times.append(time.perf_counter() - start)
+            for index, elements, seconds in reducer.last_timings:
+                bucket_seconds.setdefault(index, []).append(seconds)
+                bucket_elements[index] = elements
+        rows.append({
+            "buffer_mbytes": size_mb,
+            "buffer_bytes": buffer_bytes,
+            "num_buckets": reducer.num_buckets,
+            "best_s": min(times),
+            "mean_s": float(np.mean(times)),
+            "per_bucket": [
+                {
+                    "bucket": index,
+                    "elements": bucket_elements[index],
+                    "mean_s": float(np.mean(bucket_seconds[index])),
+                }
+                for index in sorted(bucket_seconds)
+            ],
+            "alloc_stats": ALLOC_STATS.snapshot(),
+        })
+        reducer.close()
+    return rows
+
+
 def run_hot_path_bench(
     world_size: int = 4,
     base_width: int = 32,
@@ -165,6 +234,7 @@ def run_hot_path_bench(
     seed: int = 0,
     methods: Optional[List[str]] = None,
     include_train_step: bool = True,
+    buffer_sizes_mb: Optional[List[float]] = None,
 ) -> Dict[str, object]:
     """Run the full benchmark and return the JSON-serializable report."""
     model = make_small_vgg(base_width=base_width, rng=np.random.default_rng(seed))
@@ -221,6 +291,13 @@ def run_hot_path_bench(
     if include_train_step:
         report["train_step_ssgd"] = _bench_train_step(
             world_size, base_width, max(3, iters // 2), 1, seed
+        )
+    if buffer_sizes_mb is None:
+        # Four sizes spanning the Fig. 8 sweet-spot search by default.
+        buffer_sizes_mb = [0.25, 1.0, 4.0, 16.0]
+    if buffer_sizes_mb:
+        report["buffer_sweep"] = _bench_buffer_sweep(
+            world_size, base_width, iters, warmup, seed, buffer_sizes_mb
         )
     if "ssgd" in aggregate_step:
         ssgd = aggregate_step["ssgd"]

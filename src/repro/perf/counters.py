@@ -24,10 +24,16 @@ class AllocStats:
         pack_copies: fused buffers materialized by copying (``_pack`` could
             not return a zero-copy arena view).
         unpack_copies: per-tensor copies made on unpack (``copy=True``).
+        bucket_reduces: per-bucket collective reductions fired by the
+            bucketed reducer (in-place and copying alike).
+        bucket_copies: bucket payloads that had to be staged through an
+            allocating copy instead of reduced in the arena views.
     """
 
     pack_copies: int = 0
     unpack_copies: int = 0
+    bucket_reduces: int = 0
+    bucket_copies: int = 0
 
     @property
     def fused_allocs(self) -> int:
@@ -38,6 +44,18 @@ class AllocStats:
         """Zero all counters (call before a measured region)."""
         self.pack_copies = 0
         self.unpack_copies = 0
+        self.bucket_reduces = 0
+        self.bucket_copies = 0
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy of all counters (for benchmark reports)."""
+        return {
+            "pack_copies": self.pack_copies,
+            "unpack_copies": self.unpack_copies,
+            "bucket_reduces": self.bucket_reduces,
+            "bucket_copies": self.bucket_copies,
+            "fused_allocs": self.fused_allocs,
+        }
 
 
 #: Process-global counters; reset before a measured region.

@@ -23,9 +23,14 @@ breakdown metric: FF&BP time, compression time, non-overlapped
 communication time.
 """
 
-from repro.sim.calibration import GPUSpec, SimConfig, RTX2080TI
+from repro.sim.calibration import (
+    GPUSpec,
+    SimConfig,
+    RTX2080TI,
+    fit_link_from_bucket_timings,
+)
 from repro.sim.engine import Engine, Task
-from repro.sim.fusion import partition_buckets, scaled_buffer_size
+from repro.fusion import partition_buckets, scaled_buffer_size
 from repro.sim.results import IterationBreakdown
 from repro.sim.strategies import (
     ClusterSpec,
@@ -63,6 +68,7 @@ __all__ = [
     "GPUSpec",
     "SimConfig",
     "RTX2080TI",
+    "fit_link_from_bucket_timings",
     "Engine",
     "Task",
     "partition_buckets",

@@ -21,12 +21,15 @@ tolerance:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
 
 from repro.comm.cost_model import (
     ETHERNET_1G as LINK_1GBE,
     ETHERNET_10G as LINK_10GBE,
     INFINIBAND_100G as LINK_100GBIB,
+    LinkSpec,
 )
 
 
@@ -146,3 +149,62 @@ class SimConfig:
 # Network presets: aliases of the canonical definitions in
 # repro.comm.cost_model (see the calibration discussion there).
 SIM_LINKS = {link.name: link for link in (LINK_1GBE, LINK_10GBE, LINK_100GBIB)}
+
+
+def fit_link_from_bucket_timings(
+    samples: Sequence[Tuple[float, float]],
+    world_size: int,
+    name: str = "calibrated",
+    nominal_gbps: float = 0.0,
+) -> LinkSpec:
+    """Fit an alpha-beta :class:`LinkSpec` to measured per-bucket timings.
+
+    The bucketed reducer times every ``reduce_bucket`` call
+    (:attr:`repro.train.reducer.BucketedReducer.last_timings`); under the
+    ring model those times are linear in the bucket's byte size,
+    ``t(n) = 2(p-1) alpha + 2 n (p-1) / (p beta)`` (the same formula
+    :func:`repro.comm.cost_model.allreduce_time` prices), so a least
+    squares line through ``(nbytes, seconds)`` samples recovers the link
+    parameters the simulator should use for *this* machine. This closes
+    the loop the paper draws between measurement and simulation: the
+    simulator's network model can be re-anchored to real per-bucket
+    timings instead of the testbed constants above.
+
+    Args:
+        samples: ``(nbytes, seconds)`` pairs, e.g. one per fired bucket
+            per step. Needs at least two distinct sizes.
+        world_size: ring size ``p`` the timings were measured at; must be
+            >= 2 (a single rank performs no communication to fit).
+        name/nominal_gbps: passed through to the returned spec.
+
+    Raises:
+        ValueError: on ``world_size < 2``, too few distinct sizes, or a
+            non-positive fitted slope (timings not increasing with size —
+            no bandwidth term can explain them).
+    """
+    if world_size < 2:
+        raise ValueError(
+            f"world_size must be >= 2 to fit a link, got {world_size}"
+        )
+    sizes = np.array([float(nbytes) for nbytes, _ in samples])
+    times = np.array([float(seconds) for _, seconds in samples])
+    if sizes.size < 2 or np.unique(sizes).size < 2:
+        raise ValueError(
+            "need timings at >= 2 distinct bucket sizes to fit alpha and "
+            f"beta, got {np.unique(sizes).size}"
+        )
+    if np.any(sizes < 0) or np.any(times < 0):
+        raise ValueError("bucket sizes and timings must be >= 0")
+    slope, intercept = np.polyfit(sizes, times, 1)
+    if slope <= 0:
+        raise ValueError(
+            f"fitted slope {slope:.3e} s/byte is not positive; the timings "
+            "do not grow with bucket size (likely noise-dominated: use "
+            "more iterations or larger buckets)"
+        )
+    p = world_size
+    alpha = max(0.0, float(intercept)) / (2 * (p - 1))
+    beta = 2 * (p - 1) / (p * float(slope))
+    return LinkSpec(
+        name=name, alpha=alpha, beta=beta, nominal_gbps=nominal_gbps
+    )

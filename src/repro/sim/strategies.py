@@ -36,11 +36,10 @@ from repro.models.spec import LayerSpec, ModelSpec, TensorSpec
 from repro.sim import gpu as gpu_cost
 from repro.sim.calibration import LINK_10GBE, SimConfig
 from repro.sim.engine import GPU_MAIN, GPU_SIDE, NIC, Engine, Task
-from repro.sim.fusion import partition_buckets, scaled_buffer_size
+from repro.fusion import DEFAULT_BUFFER_BYTES, partition_buckets, scaled_buffer_size
 from repro.sim.results import IterationBreakdown, breakdown_from_records
 
 FP32 = 4
-DEFAULT_BUFFER_BYTES = 25 * 1024 * 1024  # PyTorch-DDP default (§IV-B)
 
 METHODS = ("ssgd", "signsgd", "topk", "powersgd", "powersgd_star", "acpsgd")
 

@@ -27,6 +27,7 @@ from repro.train.checkpoint import (
 )
 from repro.train.metrics import StepRecord, TrainingMetrics
 from repro.train.history import TrainingHistory
+from repro.train.reducer import BucketedReducer
 from repro.train.resilience import ResilienceConfig, ResilienceLog
 from repro.train.trainer import DataParallelTrainer
 
@@ -37,6 +38,7 @@ __all__ = [
     "make_token_classification",
     "make_cifar_like",
     "TrainingHistory",
+    "BucketedReducer",
     "DataParallelTrainer",
     "CheckpointError",
     "CheckpointManager",

@@ -44,6 +44,7 @@ from repro.perf.replicas import ReplicaSet
 from repro.train.checkpoint import CheckpointError, CheckpointManager
 from repro.train.datasets import ArrayDataset
 from repro.train.history import TrainingHistory
+from repro.train.reducer import BucketedReducer
 from repro.train.resilience import ResilienceConfig, ResilienceLog
 from repro.utils.seeding import spawn_rngs
 from repro.utils.validation import is_finite
@@ -72,6 +73,7 @@ class DataParallelTrainer:
         use_arena: bool = True,
         parallel_workers: bool = False,
         membership: Optional["MembershipController"] = None,
+        buffer_bytes: Optional[int] = None,
     ):
         if batch_size_per_worker < 1:
             raise ValueError(
@@ -115,10 +117,28 @@ class DataParallelTrainer:
             enumerate(spawn_rngs(seed, self.world_size))
         )
         # --- hot-path state: gradient arena + optional parallel workers ---
+        if buffer_bytes is not None and not use_arena:
+            raise ValueError(
+                "buffer_bytes requires use_arena=True: buckets are "
+                "contiguous views of the fused arena slab"
+            )
+        if buffer_bytes is not None and not aggregator.supports_bucketed:
+            raise ValueError(
+                f"aggregator {aggregator.method!r} does not support bucketed "
+                "reduction; use buffer_bytes=None for this method"
+            )
         self.use_arena = use_arena
         self.parallel_workers = parallel_workers
+        self.buffer_bytes = buffer_bytes
         self._arena: Optional[GradientArena] = (
-            GradientArena(model, self.world_size) if use_arena else None
+            GradientArena(model, self.world_size, bucket_bytes=buffer_bytes)
+            if use_arena
+            else None
+        )
+        self._reducer: Optional[BucketedReducer] = (
+            BucketedReducer(model, self._arena, aggregator, accumulation_steps)
+            if buffer_bytes is not None
+            else None
         )
         self._replicas: Optional[ReplicaSet] = None
         self._pool: Optional[ThreadPoolExecutor] = None
@@ -184,9 +204,14 @@ class DataParallelTrainer:
                     raise RuntimeError(
                         f"parameter {name!r} received no gradient"
                     )
-            if self.accumulation_steps > 1:
+            if self.accumulation_steps > 1 and not (
+                self._reducer is not None and self._reducer.owns_division(slot)
+            ):
                 # True division in place: bit-identical to the legacy
                 # ``param.grad / accumulation_steps`` below, minus the copy.
+                # On an eager bucketed step the reducer divides the final
+                # worker's slab bucket by bucket instead, just before each
+                # bucket fires.
                 self._arena.divide_(slot, self.accumulation_steps)
             return float(np.mean(losses)), self._arena.grads(slot)
         grads: Dict[str, np.ndarray] = {}
@@ -277,19 +302,34 @@ class DataParallelTrainer:
         see :mod:`repro.train.resilience` for the ladder.
         """
         ranks = self._live_ranks()
-        if self._pool is not None and len(ranks) > 1:
+        parallel = self._pool is not None and len(ranks) > 1
+        # The reducer runs the clean path bucket by bucket. Hook-driven
+        # (eager, WFBP) firing needs sequential workers — the final
+        # worker's backward is the firing pass — and no resilience, whose
+        # finite-checks must see the local gradients before any
+        # communication. The resilient path still buckets, deferred, via
+        # ``_aggregate``.
+        reducer = self._reducer if self.resilience is None else None
+        if reducer is not None:
+            reducer.begin_step(len(ranks), eager=not parallel)
+        if parallel:
             losses, per_worker = self._parallel_worker_gradients(ranks)
         else:
             losses = []
             per_worker = []
             for slot, rank in enumerate(ranks):
+                if reducer is not None:
+                    reducer.begin_worker(slot)
                 loss, grads = self._worker_gradients(rank, slot)
                 losses.append(loss)
                 per_worker.append(grads)
         mean_loss = float(np.mean(losses))
         self._step_count += 1
         if self.resilience is None:
-            aggregated = self.aggregator.aggregate(per_worker)
+            if reducer is not None:
+                aggregated = reducer.finish_step()
+            else:
+                aggregated = self.aggregator.aggregate(per_worker)
             self.optimizer.step(aggregated)
             return mean_loss
         return self._resilient_apply(mean_loss, per_worker)
@@ -310,7 +350,7 @@ class DataParallelTrainer:
         applied = False
         if not cfg.check_finite or grads_finite:
             aggregator = self._current_aggregator()
-            aggregated = aggregator.aggregate(per_worker)
+            aggregated = self._aggregate(aggregator, per_worker)
             if cfg.check_finite and not all(
                 is_finite(grad) for grad in aggregated.values()
             ):
@@ -349,6 +389,21 @@ class DataParallelTrainer:
         # Keep histories finite: report the running baseline for a skipped
         # non-finite step (0.0 when the very first step blows up).
         return float(self._loss_ema) if self._loss_ema is not None else 0.0
+
+    def _aggregate(
+        self,
+        aggregator: GradientAggregator,
+        per_worker: List[Dict[str, np.ndarray]],
+    ) -> Dict[str, np.ndarray]:
+        """Aggregate through the bucketed pipeline when one is configured.
+
+        The fallback :class:`AllReduceAggregator` supports buckets, so a
+        fallback window on a bucketed trainer stays bucketed (and keeps
+        recording per-bucket timings).
+        """
+        if self._reducer is not None and aggregator.supports_bucketed:
+            return self._reducer.aggregate(aggregator, per_worker)
+        return aggregator.aggregate(per_worker)
 
     def _current_aggregator(self) -> GradientAggregator:
         """The aggregator for this step, honouring the fallback window."""

@@ -34,6 +34,11 @@ class TestFastExamples:
         assert "Table III" in out
         assert "ACP-SGD mean speedups" in out
 
+    def test_buffer_size_sweep(self):
+        out = _run("buffer_size_sweep.py", "--steps", "3")
+        assert "MATCH bit-exactly" in out
+        assert "monolithic" in out  # the fallback point is in the table
+
     def test_adaptive_compression(self):
         out = _run("adaptive_compression.py")
         assert "rank @90% energy" in out

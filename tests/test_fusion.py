@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.sim.fusion import partition_buckets, scaled_buffer_size
+from repro.fusion import DEFAULT_BUFFER_BYTES, partition_buckets, scaled_buffer_size
 
 
 class TestPartition:
@@ -48,6 +48,35 @@ class TestPartition:
             for start, end in buckets:
                 if end - start > 1:
                     assert sum(sizes[start:end]) <= buffer + 1e-9
+
+
+class TestSharedPolicy:
+    def test_default_buffer_matches_horovod_default(self):
+        """The paper benchmarks against Horovod's 25MB fusion threshold;
+        both the simulator and the real reducer inherit this constant."""
+        assert DEFAULT_BUFFER_BYTES == 25 * 1024 * 1024
+
+    def test_arena_layout_uses_the_same_partition(self):
+        """The execution path (ArenaLayout) and the simulator must agree
+        on bucketing: same sizes + same buffer => same bucket spans."""
+        import numpy as np
+
+        from repro.models.convnets import make_mlp
+        from repro.perf.arena import GradientArena
+
+        model = make_mlp(17, 9, 4, rng=np.random.default_rng(0))
+        buffer_bytes = 60 * 8
+        arena = GradientArena(model, 1, bucket_bytes=buffer_bytes)
+        layout = arena.layout
+        elems = [layout.size_of(name) for name in layout.names]
+        starts = [0]
+        for size in elems:
+            starts.append(starts[-1] + size)
+        index_spans = partition_buckets(
+            [8 * size for size in elems], buffer_bytes
+        )
+        expected = [(starts[s], starts[e]) for s, e in index_spans]
+        assert list(layout.buckets) == expected
 
 
 class TestScaledBuffer:

@@ -1,0 +1,506 @@
+"""Bucketed reducer pipeline: segment collectives, staged aggregation, WFBP."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.comm import collectives
+from repro.comm.process_group import ProcessGroup
+from repro.faults.resilient import ResilientProcessGroup
+from repro.models.convnets import make_mlp
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.optim.aggregators import (
+    AllReduceAggregator,
+    RandomKAggregator,
+    make_aggregator,
+)
+from repro.optim.sgd import SGD
+from repro.perf.arena import GradientArena
+from repro.sim import fit_link_from_bucket_timings
+from repro.train.datasets import SyntheticImageDataset
+from repro.train.reducer import BucketedReducer
+from repro.train.resilience import ResilienceConfig
+from repro.train.trainer import DataParallelTrainer
+
+BUCKETED_METHODS = ["ssgd", "signsgd", "topk", "powersgd", "acpsgd"]
+
+
+def _fill_slabs(arena, num_slots, seed):
+    rng = np.random.default_rng(seed)
+    for slot in range(num_slots):
+        arena.slab(slot)[:] = rng.normal(size=arena.layout.total_elements)
+
+
+def _mlp(depth=2, seed=7):
+    return make_mlp(17, 9, 4, depth=depth, rng=np.random.default_rng(seed))
+
+
+class TestSegmentCollectives:
+    """Per-segment ring all-reduce vs one fused call: values and traffic."""
+
+    @pytest.mark.parametrize("world", [1, 2, 3, 4, 5])
+    def test_segments_reproduce_fused_result_bitwise(self, world):
+        rng = np.random.default_rng(world)
+        total = 97
+        data = [rng.normal(size=total) for _ in range(world)]
+        fused, _ = collectives.all_reduce_ring([buf.copy() for buf in data])
+
+        segmented = [buf.copy() for buf in data]
+        cuts = [0, 13, 14, 60, total]
+        for lo, hi in zip(cuts, cuts[1:]):
+            views = [buf[lo:hi] for buf in segmented]
+            collectives.all_reduce_ring_segment_(views, lo, total)
+        for got, want in zip(segmented, fused):
+            np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("world", [2, 4])
+    def test_copying_variant_matches_inplace(self, world):
+        rng = np.random.default_rng(world + 10)
+        total = 40
+        data = [rng.normal(size=total) for _ in range(world)]
+        inplace = [buf.copy() for buf in data]
+        collectives.all_reduce_ring_segment_(
+            [buf[8:25] for buf in inplace], 8, total
+        )
+        copied, _ = collectives.all_reduce_ring_segment(
+            [buf[8:25] for buf in data], 8, total
+        )
+        for res in copied:
+            np.testing.assert_array_equal(res, inplace[0][8:25])
+
+    def test_traffic_sums_to_monolithic(self):
+        """Per-segment bytes_sent must add up to the fused call's exactly."""
+        world, total = 4, 120
+        rng = np.random.default_rng(0)
+        data = [rng.normal(size=total) for _ in range(world)]
+
+        _, fused_stats = collectives.all_reduce_ring(
+            [buf.copy() for buf in data]
+        )
+
+        segmented = [buf.copy() for buf in data]
+        sums = np.zeros(world)
+        cuts = [0, 30, 75, total]
+        for lo, hi in zip(cuts, cuts[1:]):
+            stats = collectives.all_reduce_ring_segment_(
+                [buf[lo:hi] for buf in segmented], lo, total
+            )
+            sums += np.array(stats.bytes_sent_per_rank)
+        np.testing.assert_array_equal(
+            sums, np.array(fused_stats.bytes_sent_per_rank)
+        )
+
+    def test_zero_length_segment_is_noop(self):
+        data = [np.arange(5.0), np.arange(5.0)]
+        before = [buf.copy() for buf in data]
+        collectives.all_reduce_ring_segment_([buf[2:2] for buf in data], 2, 5)
+        for buf, want in zip(data, before):
+            np.testing.assert_array_equal(buf, want)
+
+
+class TestBucketedAggregation:
+    """aggregate_bucketed must be bit-identical to aggregate, per method."""
+
+    @pytest.mark.parametrize("method", BUCKETED_METHODS)
+    @pytest.mark.parametrize("world", [1, 2, 4])
+    def test_bit_identical_to_monolithic(self, method, world):
+        model = _mlp()
+        mono_arena = GradientArena(model, world)
+        bucket_arena = GradientArena(model, world, bucket_bytes=60 * 8)
+        assert len(bucket_arena.layout.buckets) > 1
+        mono = make_aggregator(method, ProcessGroup(world))
+        bucketed = make_aggregator(method, ProcessGroup(world))
+        for step in range(3):  # several steps so EF residuals carry over
+            _fill_slabs(mono_arena, world, 50 + step)
+            _fill_slabs(bucket_arena, world, 50 + step)
+            want = mono.aggregate(
+                [mono_arena.grads(s) for s in range(world)]
+            )
+            got = bucketed.aggregate_bucketed(
+                [bucket_arena.grads(s) for s in range(world)]
+            )
+            for name in want:
+                np.testing.assert_array_equal(got[name], want[name])
+
+    @pytest.mark.parametrize("method", BUCKETED_METHODS)
+    def test_bucket_order_does_not_matter(self, method):
+        world = 2
+        model = _mlp()
+        arenas = [
+            GradientArena(model, world, bucket_bytes=40 * 8) for _ in range(2)
+        ]
+        num_buckets = len(arenas[0].layout.buckets)
+        assert num_buckets >= 3
+        orders = [list(range(num_buckets)), list(range(num_buckets))[::-1]]
+        orders[1][0], orders[1][-1] = orders[1][-1], orders[1][0]
+        aggs = [make_aggregator(method, ProcessGroup(world)) for _ in range(2)]
+        results = []
+        for arena, agg, order in zip(arenas, aggs, orders):
+            _fill_slabs(arena, world, 3)
+            results.append(
+                agg.aggregate_bucketed(
+                    [arena.grads(s) for s in range(world)], order=order
+                )
+            )
+        for name in results[0]:
+            np.testing.assert_array_equal(results[0][name], results[1][name])
+
+    @pytest.mark.parametrize("method", BUCKETED_METHODS)
+    def test_roster_churn_stays_bit_identical(self, method):
+        """Eject/rejoin between steps: per-rank state must follow rank ids."""
+        model = _mlp(depth=3)
+        mono_arena = GradientArena(model, 4)
+        bucket_arena = GradientArena(model, 4, bucket_bytes=40 * 8)
+        mono = make_aggregator(method, ResilientProcessGroup(4))
+        bucketed = make_aggregator(method, ResilientProcessGroup(4))
+        rosters = [[0, 1, 2, 3], [0, 2, 3], [0, 2, 3], [1, 3], [0, 1, 2, 3]]
+        for step, roster in enumerate(rosters):
+            for agg in (mono, bucketed):
+                agg.group.live_ranks = list(roster)
+                agg.group.world_size = len(roster)
+                agg.set_roster(roster)
+            _fill_slabs(mono_arena, len(roster), 90 + step)
+            _fill_slabs(bucket_arena, len(roster), 90 + step)
+            want = mono.aggregate(
+                [mono_arena.grads(s) for s in range(len(roster))]
+            )
+            got = bucketed.aggregate_bucketed(
+                [bucket_arena.grads(s) for s in range(len(roster))]
+            )
+            for name in want:
+                np.testing.assert_array_equal(got[name], want[name])
+
+    def test_single_parameter_model(self):
+        class OneParam(Module):
+            def __init__(self):
+                self.w = Parameter(np.zeros((6, 5)))
+
+        model = OneParam()
+        for bucket_bytes in (8, 10**6):  # smaller and larger than the tensor
+            arena = GradientArena(model, 2, bucket_bytes=bucket_bytes)
+            assert len(arena.layout.buckets) == 1
+            _fill_slabs(arena, 2, 1)
+            mono_arena = GradientArena(model, 2)
+            _fill_slabs(mono_arena, 2, 1)
+            agg = AllReduceAggregator(ProcessGroup(2))
+            mono = AllReduceAggregator(ProcessGroup(2))
+            got = agg.aggregate_bucketed([arena.grads(0), arena.grads(1)])
+            want = mono.aggregate([mono_arena.grads(0), mono_arena.grads(1)])
+            np.testing.assert_array_equal(got["w"], want["w"])
+
+    def test_oversized_parameter_travels_alone(self):
+        """A tensor bigger than buffer_bytes gets its own bucket."""
+        model = _mlp()
+        arena = GradientArena(model, 2, bucket_bytes=16)  # 2 elements
+        sizes = [arena.layout.size_of(n) for n in arena.layout.names]
+        assert max(sizes) * 8 > 16
+        assert len(arena.layout.buckets) == len(arena.layout.names)
+        mono_arena = GradientArena(model, 2)
+        for a in (arena, mono_arena):
+            _fill_slabs(a, 2, 4)
+        bucketed = make_aggregator("signsgd", ProcessGroup(2))
+        mono = make_aggregator("signsgd", ProcessGroup(2))
+        got = bucketed.aggregate_bucketed([arena.grads(0), arena.grads(1)])
+        want = mono.aggregate([mono_arena.grads(0), mono_arena.grads(1)])
+        for name in want:
+            np.testing.assert_array_equal(got[name], want[name])
+
+    @pytest.mark.parametrize("method", BUCKETED_METHODS)
+    def test_zero_size_parameters(self, method):
+        class Gappy(Module):
+            def __init__(self):
+                self.a = Parameter(np.zeros((0,)))
+                self.big = Parameter(np.zeros((9, 4)))
+                self.empty_tail = Parameter(np.zeros((0,)))
+                self.c = Parameter(np.zeros((5,)))
+
+        model = Gappy()
+        arena = GradientArena(model, 2, bucket_bytes=10 * 8)
+        mono_arena = GradientArena(model, 2)
+        for a in (arena, mono_arena):
+            _fill_slabs(a, 2, 8)
+        bucketed = make_aggregator(method, ProcessGroup(2))
+        mono = make_aggregator(method, ProcessGroup(2))
+        got = bucketed.aggregate_bucketed([arena.grads(0), arena.grads(1)])
+        want = mono.aggregate([mono_arena.grads(0), mono_arena.grads(1)])
+        for name in want:
+            np.testing.assert_array_equal(got[name], want[name])
+
+    def test_session_protocol_errors(self):
+        model = _mlp()
+        arena = GradientArena(model, 2, bucket_bytes=60 * 8)
+        agg = AllReduceAggregator(ProcessGroup(2))
+        with pytest.raises(RuntimeError, match="without begin_buckets"):
+            agg.reduce_bucket(0)
+        per_worker = [arena.grads(0), arena.grads(1)]
+        agg.begin_buckets(per_worker)
+        agg.reduce_bucket(0)
+        with pytest.raises(RuntimeError, match="reduced twice"):
+            agg.reduce_bucket(0)
+        with pytest.raises(RuntimeError, match="unreduced buckets"):
+            agg.finish_buckets()
+
+    def test_requires_shared_arena_layout(self):
+        model = _mlp()
+        agg = AllReduceAggregator(ProcessGroup(2))
+        plain = [
+            {n: np.zeros(p.shape) for n, p in model.named_parameters()}
+            for _ in range(2)
+        ]
+        with pytest.raises(ValueError, match="arena-backed"):
+            agg.begin_buckets(plain)
+
+    def test_unsupported_method_raises(self):
+        model = _mlp()
+        arena = GradientArena(model, 2, bucket_bytes=60 * 8)
+        agg = RandomKAggregator(ProcessGroup(2))
+        assert not agg.supports_bucketed
+        with pytest.raises(NotImplementedError, match="bucketed"):
+            agg.begin_buckets([arena.grads(0), arena.grads(1)])
+
+
+def _flat_dataset(num, dim, classes, seed):
+    centers = np.random.default_rng(999).normal(size=(classes, dim)) * 3
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, classes, size=num)
+    images = centers[labels] + rng.normal(size=(num, dim))
+    return SyntheticImageDataset(images.reshape(num, dim, 1, 1), labels)
+
+
+def _make_trainer(method, world, buffer_bytes, accum=1, **kwargs):
+    rng = np.random.default_rng(0)
+    dim, classes = 12, 5
+    model = nn.Sequential(
+        nn.Flatten(), *make_mlp(dim, 10, classes, rng=rng).layers
+    )
+    aggregator = make_aggregator(method, ProcessGroup(world))
+    return DataParallelTrainer(
+        model,
+        SGD(model, lr=0.05, momentum=0.9),
+        aggregator,
+        _flat_dataset(256, dim, classes, 1),
+        _flat_dataset(64, dim, classes, 2),
+        batch_size_per_worker=8,
+        seed=3,
+        accumulation_steps=accum,
+        buffer_bytes=buffer_bytes,
+        **kwargs,
+    )
+
+
+class TestBucketedTrainer:
+    """End-to-end: bucketed WFBP trainer vs monolithic, bit for bit."""
+
+    BUCKET = 60 * 8
+
+    def _assert_same_trajectory(self, t_mono, t_bucket, steps=4):
+        for _ in range(steps):
+            assert t_mono.train_step() == t_bucket.train_step()
+        np.testing.assert_array_equal(
+            t_mono.model.state_vector(), t_bucket.model.state_vector()
+        )
+
+    @pytest.mark.parametrize("method", BUCKETED_METHODS)
+    @pytest.mark.parametrize("world", [1, 2, 4])
+    def test_bit_identical_training(self, method, world):
+        self._assert_same_trajectory(
+            _make_trainer(method, world, None),
+            _make_trainer(method, world, self.BUCKET),
+        )
+
+    def test_eager_wfbp_engages(self):
+        trainer = _make_trainer("ssgd", 2, self.BUCKET)
+        for _ in range(3):
+            trainer.train_step()
+        reducer = trainer._reducer
+        assert reducer.eager_steps == 3
+        assert reducer.deferred_steps == 0
+        assert len(reducer.last_timings) == reducer.num_buckets
+        # Eager firing is reverse layout order (WFBP: output layers first).
+        fired = [index for index, _, _ in reducer.last_timings]
+        assert fired == sorted(fired, reverse=True)
+
+    def test_world_one_first_step_defers_then_fires_eagerly(self):
+        trainer = _make_trainer("ssgd", 1, self.BUCKET)
+        trainer.train_step()
+        assert trainer._reducer.deferred_steps == 1
+        trainer.train_step()
+        trainer.train_step()
+        assert trainer._reducer.eager_steps == 2
+
+    def test_gradient_accumulation_matches(self):
+        self._assert_same_trajectory(
+            _make_trainer("ssgd", 2, None, accum=3),
+            _make_trainer("ssgd", 2, self.BUCKET, accum=3),
+        )
+
+    def test_per_tensor_buckets_match(self):
+        """buffer_bytes=0 means one bucket per tensor (no fusion)."""
+        t_bucket = _make_trainer("powersgd", 2, 0)
+        assert (
+            t_bucket._reducer.num_buckets
+            == len(t_bucket._arena.layout.names)
+        )
+        self._assert_same_trajectory(
+            _make_trainer("powersgd", 2, None), t_bucket
+        )
+
+    def test_parallel_workers_defer_but_match(self):
+        t_par = _make_trainer("ssgd", 2, self.BUCKET, parallel_workers=True)
+        self._assert_same_trajectory(_make_trainer("ssgd", 2, None), t_par)
+        assert t_par._reducer.deferred_steps > 0
+        assert t_par._reducer.eager_steps == 0
+
+    def test_resilient_path_stays_bucketed_and_identical(self):
+        t_mono = _make_trainer(
+            "signsgd", 2, None, resilience=ResilienceConfig()
+        )
+        t_bucket = _make_trainer(
+            "signsgd", 2, self.BUCKET, resilience=ResilienceConfig()
+        )
+        self._assert_same_trajectory(t_mono, t_bucket)
+        assert t_bucket._reducer.deferred_steps == 4
+
+    def test_fallback_aggregator_goes_through_buckets(self):
+        trainer = _make_trainer(
+            "topk", 2, self.BUCKET, resilience=ResilienceConfig()
+        )
+        reference = _make_trainer("topk", 2, None)
+        trainer.train_step()
+        reference.train_step()
+        fallback = AllReduceAggregator(trainer.aggregator.group)
+        per_worker = [trainer._arena.grads(s) for s in range(2)]
+        _fill_slabs(trainer._arena, 2, 11)
+        mono_arena = reference._arena
+        _fill_slabs(mono_arena, 2, 11)
+        got = trainer._aggregate(fallback, per_worker)
+        want = AllReduceAggregator(ProcessGroup(2)).aggregate(
+            [mono_arena.grads(s) for s in range(2)]
+        )
+        for name in want:
+            np.testing.assert_array_equal(got[name], want[name])
+        assert len(trainer._reducer.last_timings) > 0
+
+    def test_buffer_bytes_validation(self):
+        with pytest.raises(ValueError, match="use_arena"):
+            _make_trainer("ssgd", 2, self.BUCKET, use_arena=False)
+        with pytest.raises(ValueError, match="does not support bucketed"):
+            _make_trainer("randomk", 2, self.BUCKET)
+
+
+class TestReducerHooks:
+    """The hook-driven (eager) machinery, driven directly."""
+
+    class TwoParam(Module):
+        def __init__(self):
+            self.a = Parameter(np.zeros((4,)))
+            self.b = Parameter(np.zeros((3,)))
+
+    def _setup(self):
+        model = self.TwoParam()
+        arena = GradientArena(model, 2, bucket_bytes=8)  # per-tensor buckets
+        aggregator = AllReduceAggregator(ProcessGroup(2))
+        reducer = BucketedReducer(model, arena, aggregator)
+        return model, arena, reducer
+
+    def test_rejects_unbucketed_aggregator(self):
+        model = self.TwoParam()
+        arena = GradientArena(model, 2, bucket_bytes=8)
+        with pytest.raises(ValueError, match="does not support bucketed"):
+            BucketedReducer(model, arena, RandomKAggregator(ProcessGroup(2)))
+
+    def _run_worker(self, model, arena, slot):
+        arena.bind(model, slot)
+        model.zero_grad()
+        for _, param in model.named_parameters():
+            param.accumulate_grad(np.full(param.shape, slot + 1.0))
+
+    def test_buckets_fire_during_final_backward(self):
+        model, arena, reducer = self._setup()
+        reducer.begin_step(2, eager=True)
+        reducer.begin_worker(0)
+        self._run_worker(model, arena, 0)
+        assert not any(reducer._fired)  # observation pass only
+        reducer.begin_worker(1)
+        self._run_worker(model, arena, 1)
+        assert all(reducer._fired)  # every bucket fired from hooks
+        result = reducer.finish_step()
+        np.testing.assert_array_equal(result["a"], np.full((4,), 1.5))
+        np.testing.assert_array_equal(result["b"], np.full((3,), 1.5))
+
+    def test_sealed_parameter_raises_on_late_gradient(self):
+        model, arena, reducer = self._setup()
+        reducer.begin_step(2, eager=True)
+        reducer.begin_worker(0)
+        self._run_worker(model, arena, 0)
+        reducer.begin_worker(1)
+        self._run_worker(model, arena, 1)
+        param = dict(model.named_parameters())["a"]
+        with pytest.raises(RuntimeError, match="after its bucket"):
+            param.accumulate_grad(np.ones(param.shape))
+
+    def test_close_detaches_hooks(self):
+        model, arena, reducer = self._setup()
+        reducer.close()
+        reducer.close()  # idempotent
+        reducer.begin_step(2, eager=True)
+        reducer.begin_worker(0)
+        self._run_worker(model, arena, 0)
+        reducer.begin_worker(1)
+        self._run_worker(model, arena, 1)
+        assert not any(reducer._fired)  # hooks gone: nothing fires eagerly
+        reducer.finish_step()  # deferred catch-up still completes the step
+
+    def test_removable_handle_is_selective(self):
+        param = Parameter(np.zeros((2,)), name="p")
+        seen = []
+        keep = param.register_hook(lambda p: seen.append("keep"))
+        drop = param.register_hook(lambda p: seen.append("drop"))
+        drop.remove()
+        drop.remove()  # idempotent
+        param.accumulate_grad(np.ones(2))
+        assert seen == ["keep"]
+        assert keep is not None
+
+
+class TestLinkFitFromTimings:
+    def test_roundtrip_recovers_alpha_beta(self):
+        from repro.comm.cost_model import ETHERNET_10G, allreduce_time
+
+        samples = [
+            (n, allreduce_time(n, 4, ETHERNET_10G))
+            for n in (1e4, 1e5, 1e6, 1e7)
+        ]
+        spec = fit_link_from_bucket_timings(samples, 4, name="fit")
+        assert spec.alpha == pytest.approx(ETHERNET_10G.alpha, rel=1e-6)
+        assert spec.beta == pytest.approx(ETHERNET_10G.beta, rel=1e-6)
+
+    def test_guards(self):
+        with pytest.raises(ValueError, match="world_size"):
+            fit_link_from_bucket_timings([(1e4, 1.0), (1e5, 2.0)], 1)
+        with pytest.raises(ValueError, match="distinct"):
+            fit_link_from_bucket_timings([(1e4, 1.0), (1e4, 1.1)], 4)
+        with pytest.raises(ValueError, match="not positive"):
+            fit_link_from_bucket_timings([(1e4, 2.0), (1e5, 1.0)], 4)
+
+    def test_fits_real_reducer_timings(self):
+        """The reducer's last_timings feed the fit directly."""
+        trainer = _make_trainer("ssgd", 4, 60 * 8)
+        for _ in range(2):
+            trainer.train_step()
+        samples = [
+            (elements * 8, max(seconds, 1e-9))
+            for _, elements, seconds in trainer._reducer.last_timings
+        ]
+        sizes = {nbytes for nbytes, _ in samples}
+        if len(sizes) < 2:
+            pytest.skip("model buckets collapsed to one size")
+        try:
+            spec = fit_link_from_bucket_timings(samples, 4)
+        except ValueError:
+            # In-process timings can be noise-dominated; the guard firing
+            # is acceptable behaviour, not a failure.
+            return
+        assert spec.beta > 0
+        assert spec.alpha >= 0
