@@ -1,8 +1,8 @@
 #!/usr/bin/env python
-"""Verify fault-injected, parallel-worker, elastic-churn, and bucketed
-training are bit-deterministic.
+"""Verify fault-injected, parallel-worker, elastic-churn, bucketed, and
+gossip training are bit-deterministic.
 
-Four checks, all diffing final weights bit-exactly:
+Five checks, all diffing final weights bit-exactly:
 
 1. the same fault-injected resilient training job run twice — identical
    FaultPlan, identical seeds — must produce identical weights (hidden
@@ -20,11 +20,16 @@ Four checks, all diffing final weights bit-exactly:
    and through the bucketed WFBP reducer pipeline must produce identical
    weights for every bucket-capable method (drift between the per-bucket
    segmented collectives / staged compression and the fused path shows up
-   here).
+   here);
+5. the same open-membership gossip run — adversarial peers (sign-flip +
+   corrupt-payload) plus churn (departure, return, fresh join via store
+   replay) — replayed twice must produce identical honest weights and the
+   identical quarantine record (unseeded state in the publish path, the
+   peer scorer, or the donor-less admission replay shows up here).
 
 Usage:
     python scripts/check_determinism.py [--steps 6]
-Exit code 0 when all four PASS, 1 otherwise.
+Exit code 0 when all five PASS, 1 otherwise.
 """
 
 import argparse
@@ -131,6 +136,43 @@ def run_bucketed(steps: int, method: str, buffer_bytes) -> np.ndarray:
     return model.state_vector()
 
 
+def run_gossip(windows: int):
+    """A seeded gossip run with attackers and churn; returns
+    (honest weights, quarantine record)."""
+    from repro.faults import Join, PeerFault, PermanentFailure, Recovery
+    from repro.gossip import GossipCluster, GossipConfig
+    from repro.models import make_mlp
+    from repro.train import ArrayDataset
+
+    rng = np.random.default_rng(3)
+    weights = rng.normal(size=(6, 3))
+    inputs = rng.normal(size=(320, 6))
+    labels = (inputs @ weights).argmax(axis=1)
+    train_data = ArrayDataset(inputs[:256], labels[:256])
+    test_data = ArrayDataset(inputs[256:], labels[256:])
+
+    def factory():
+        return make_mlp(6, 16, 3, rng=np.random.default_rng(5))
+
+    plan = FaultPlan(
+        seed=7,
+        peer_faults=(
+            PeerFault("sign-flip", rank=4, start_window=0),
+            PeerFault("corrupt-payload", rank=3, start_window=1),
+        ),
+        permanent=(PermanentFailure(rank=1, call_index=3),),
+        recoveries=(Recovery(rank=1, call_index=6),),
+        joins=(Join(call_index=5),),
+    )
+    cluster = GossipCluster(
+        factory, train_data, test_data,
+        GossipConfig(local_steps=2, lr=0.1, compression_ratio=0.2),
+        plan=plan, peers=5, seed=13,
+    )
+    report = cluster.run(windows)
+    return cluster.honest_peers()[0].state_vector(), dict(report.quarantined)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--steps", type=int, default=6)
@@ -186,6 +228,21 @@ def main() -> int:
     else:
         print(f"FAIL: bucketed weights diverge from monolithic for "
               f"{'; '.join(mismatched)}")
+        failures += 1
+
+    gossip_windows = max(args.steps, 8)  # attackers + churn need room
+    gossip_first, quarantine_first = run_gossip(gossip_windows)
+    gossip_second, quarantine_second = run_gossip(gossip_windows)
+    if (np.array_equal(gossip_first, gossip_second)
+            and quarantine_first == quarantine_second
+            and set(quarantine_first) == {"peer-003", "peer-004"}):
+        print(f"PASS: two adversarial gossip runs ({gossip_windows} windows, "
+              "sign-flip + corrupt-payload + churn) produced bit-identical "
+              "honest weights and quarantine records")
+    else:
+        diff = float(np.abs(gossip_first - gossip_second).max())
+        print(f"FAIL: gossip replay diverged (max weight |diff| = {diff:g}; "
+              f"quarantined {quarantine_first} vs {quarantine_second})")
         failures += 1
     return 1 if failures else 0
 

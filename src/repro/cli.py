@@ -11,6 +11,9 @@ Subcommands:
 - ``elastic`` — elastic-membership demo: a rank dies mid-run, later
   rejoins, and a brand-new rank joins, all committed at step boundaries
   with state warm-start and dataset re-sharding;
+- ``gossip`` — open-membership gossip training demo: peers exchange
+  compressed updates through a shared store, a configurable fraction of
+  them is adversarial, and the peer scorer quarantines every attacker;
 - ``faults`` — straggler/drop sensitivity of each method's iteration time
   (the "what does a 3-sigma straggler do to ACP-SGD vs S-SGD" question);
 - ``evaluate`` — regenerate the paper's tables/figures (wraps the
@@ -194,6 +197,81 @@ def cmd_elastic(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_gossip(args: argparse.Namespace) -> int:
+    """Open-membership gossip demo: adversarial peers get quarantined."""
+    import numpy as np
+
+    from repro.faults import FaultPlan, PeerFault
+    from repro.gossip import (
+        FilesystemStore, GossipCluster, GossipConfig, InMemoryStore,
+    )
+    from repro.models import make_mlp
+    from repro.sim.gossip import GossipWindowSpec, render_window_sweep
+    from repro.train import ArrayDataset, make_cifar_like
+
+    if args.adversaries >= args.peers / 2:
+        raise SystemExit(
+            f"--adversaries {args.adversaries} is not an honest-majority "
+            f"roster at --peers {args.peers}"
+        )
+    train_images, test_images = make_cifar_like(
+        num_train=args.samples, num_test=max(100, args.samples // 4),
+        image_size=8, seed=args.seed,
+    )
+    train_data = ArrayDataset(
+        train_images.inputs.reshape(len(train_images), -1),
+        train_images.labels,
+    )
+    test_data = ArrayDataset(
+        test_images.inputs.reshape(len(test_images), -1),
+        test_images.labels,
+    )
+    in_features = train_data.inputs.shape[1]
+    num_classes = train_data.num_classes
+
+    def factory():
+        return make_mlp(
+            in_features, args.hidden, num_classes,
+            rng=np.random.default_rng(args.seed + 1),
+        )
+
+    kinds = [k.strip() for k in args.adversary_kinds.split(",") if k.strip()]
+    peer_faults = tuple(
+        PeerFault(kinds[i % len(kinds)], rank=args.peers - 1 - i)
+        for i in range(args.adversaries)
+    )
+    plan = FaultPlan(seed=args.fault_seed, peer_faults=peer_faults)
+    store = FilesystemStore(args.store_dir) if args.store_dir else InMemoryStore()
+    config = GossipConfig(
+        local_steps=args.local_steps,
+        batch_size=args.batch_size,
+        lr=args.lr,
+        compression_ratio=args.compression_ratio,
+        store_retention=args.retention if args.retention > 0 else None,
+    )
+    cluster = GossipCluster(
+        factory, train_data, test_data, config, plan=plan,
+        peers=args.peers, store=store, seed=args.seed + 2,
+    )
+    report = cluster.run(args.windows)
+    print(report.render())
+    print("--- peer trust (reference peer's view) ---")
+    print(cluster.reference_peer().scorer.render())
+    if args.window_sweep:
+        update_bytes = len(
+            cluster.reference_peer().make_update(args.windows)
+        )
+        spec = GossipWindowSpec(
+            peers=args.peers,
+            update_bytes=update_bytes,
+            step_time_s=args.step_time_ms * 1e-3,
+            churn_per_step=args.churn_per_step,
+        )
+        print("--- window economy ---")
+        print(render_window_sweep(spec, SIM_LINKS[args.link]))
+    return 0
+
+
 def cmd_faults(args: argparse.Namespace) -> int:
     from repro.sim.faults import (
         FaultModel,
@@ -373,6 +451,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_elastic.add_argument("--join-call", type=int, default=22,
                            help="collective call at which a new rank joins")
     p_elastic.set_defaults(func=cmd_elastic)
+
+    p_gossip = sub.add_parser(
+        "gossip",
+        help="open-membership gossip training with Byzantine peers",
+    )
+    p_gossip.add_argument("--peers", type=int, default=5)
+    p_gossip.add_argument("--windows", type=int, default=20)
+    p_gossip.add_argument("--local-steps", type=int, default=3)
+    p_gossip.add_argument("--batch-size", type=int, default=16)
+    p_gossip.add_argument("--samples", type=int, default=800)
+    p_gossip.add_argument("--hidden", type=int, default=24)
+    p_gossip.add_argument("--lr", type=float, default=0.3)
+    p_gossip.add_argument("--compression-ratio", type=float, default=0.3,
+                          help="fraction of momentum coordinates published")
+    p_gossip.add_argument("--retention", type=int, default=0,
+                          help="store windows kept (0 = keep all, which "
+                               "lets joiners replay to bit-identity)")
+    p_gossip.add_argument("--adversaries", type=int, default=2,
+                          help="number of adversarial peers (must stay a "
+                               "minority)")
+    p_gossip.add_argument("--adversary-kinds",
+                          default="sign-flip,corrupt-payload,free-rider,lagging",
+                          help="comma-separated peer-fault kinds, assigned "
+                               "round-robin to the adversaries")
+    p_gossip.add_argument("--store-dir", default="",
+                          help="back the update store with this directory "
+                               "(default: in-memory)")
+    p_gossip.add_argument("--seed", type=int, default=0)
+    p_gossip.add_argument("--fault-seed", type=int, default=0)
+    p_gossip.add_argument("--window-sweep", action="store_true",
+                          help="also print the window-length economy table")
+    p_gossip.add_argument("--link", default="10GbE", choices=sorted(SIM_LINKS))
+    p_gossip.add_argument("--step-time-ms", type=float, default=50.0,
+                          help="assumed local step time for the sweep")
+    p_gossip.add_argument("--churn-per-step", type=float, default=0.002,
+                          help="per-step departure probability for the sweep")
+    p_gossip.set_defaults(func=cmd_gossip)
 
     p_faults = sub.add_parser(
         "faults", help="iteration-time sensitivity to stragglers/drops"

@@ -29,6 +29,9 @@ Shared infrastructure:
   a Gram-Schmidt fallback for degenerate inputs.
 - :mod:`repro.compression.ratios` / :mod:`repro.compression.complexity` —
   the analytical accounting behind Tables I and II.
+- :mod:`repro.compression.payload` — self-describing, CRC-stamped
+  pack/unpack of compressed updates for store-mediated exchange between
+  untrusted peers (:mod:`repro.gossip`).
 """
 
 from repro.compression.orthogonalize import orthogonalize
@@ -73,6 +76,13 @@ from repro.compression.adaptive import (
 )
 from repro.compression.atomo import SVDLowRankState, best_rank_r_error
 from repro.compression.terngrad import TernGradCompressor, TernPayload
+from repro.compression.payload import (
+    PAYLOAD_MAGIC,
+    PayloadFormatError,
+    pack_payload,
+    payload_meta,
+    unpack_payload,
+)
 
 __all__ = [
     "orthogonalize",
@@ -110,4 +120,9 @@ __all__ = [
     "best_rank_r_error",
     "TernGradCompressor",
     "TernPayload",
+    "PAYLOAD_MAGIC",
+    "PayloadFormatError",
+    "pack_payload",
+    "payload_meta",
+    "unpack_payload",
 ]

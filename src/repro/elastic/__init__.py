@@ -8,6 +8,10 @@ boundaries. This package adds the *fail-up* half: a
 events at the same step boundaries, running a deterministic admission
 protocol (state broadcast from a survivor, compressor warm-start, dataset
 re-shard) so training continues seamlessly at the new world size.
+
+For the open-membership gossip mode, :mod:`repro.elastic.open_admission`
+provides the donor-less variant: a joiner reconstructs state by replaying
+the update store instead of receiving a broadcast from a live rank.
 """
 
 from repro.elastic.membership import (
@@ -16,10 +20,18 @@ from repro.elastic.membership import (
     MembershipLog,
     joiner_rng,
 )
+from repro.elastic.open_admission import (
+    CatchUpPlan,
+    allocate_peer_index,
+    catch_up_plan,
+)
 
 __all__ = [
     "MembershipChange",
     "MembershipController",
     "MembershipLog",
     "joiner_rng",
+    "CatchUpPlan",
+    "allocate_peer_index",
+    "catch_up_plan",
 ]

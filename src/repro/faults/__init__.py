@@ -21,11 +21,13 @@ and the determinism guarantees.
 """
 
 from repro.faults.plan import (
+    PEER_FAULT_KINDS,
     AttemptFaults,
     FaultEvent,
     FaultInjector,
     FaultPlan,
     Join,
+    PeerFault,
     PermanentFailure,
     Recovery,
     TransientFailure,
@@ -38,11 +40,13 @@ from repro.faults.resilient import (
 )
 
 __all__ = [
+    "PEER_FAULT_KINDS",
     "AttemptFaults",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
     "Join",
+    "PeerFault",
     "PermanentFailure",
     "Recovery",
     "TransientFailure",

@@ -26,6 +26,13 @@ import numpy as np
 
 _CORRUPT_MODES = ("nan", "bitflip")
 
+#: Adversarial peer behaviours the gossip mode can schedule.
+PEER_FAULT_KINDS = ("corrupt-payload", "free-rider", "sign-flip", "lagging")
+
+#: Seed-tuple sentinel decoupling the backoff-jitter stream from the
+#: per-rank fault stream (ranks are always >= 0, so no collision).
+_JITTER_STREAM = 2**31 - 1
+
 
 @dataclass(frozen=True)
 class FaultEvent:
@@ -118,6 +125,61 @@ class Join:
 
 
 @dataclass(frozen=True)
+class PeerFault:
+    """One peer's scheduled adversarial behaviour in the gossip mode.
+
+    Unlike the wire faults above (which strike *collective calls*), peer
+    faults strike *published updates*: the peer keeps participating in the
+    windowed exchange but its contributions are hostile or useless.
+
+    Attributes:
+        kind: one of :data:`PEER_FAULT_KINDS` —
+            ``"corrupt-payload"`` (the published blob is bit-flipped so it
+            fails CRC verification), ``"free-rider"`` (the peer skips its
+            local compute and publishes a zero update), ``"sign-flip"``
+            (the classic Byzantine attack: the update is negated, pushing
+            the model *away* from the peer's own descent direction), and
+            ``"lagging"`` (the peer publishes updates computed ``lag``
+            windows ago, stamped with their true window).
+        rank: the misbehaving peer's index in the founding roster.
+        start_window: first window (inclusive) the behaviour is active.
+        end_window: last window (inclusive); ``None`` means forever.
+        lag: staleness in windows for ``"lagging"`` peers.
+    """
+
+    kind: str
+    rank: int
+    start_window: int = 0
+    end_window: Optional[int] = None
+    lag: int = 2
+
+    def __post_init__(self) -> None:
+        if self.kind not in PEER_FAULT_KINDS:
+            raise ValueError(
+                f"kind must be one of {PEER_FAULT_KINDS}, got {self.kind!r}"
+            )
+        if self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+        if self.start_window < 0:
+            raise ValueError(
+                f"start_window must be >= 0, got {self.start_window}"
+            )
+        if self.end_window is not None and self.end_window < self.start_window:
+            raise ValueError(
+                f"end_window {self.end_window} precedes start_window "
+                f"{self.start_window}"
+            )
+        if self.lag < 1:
+            raise ValueError(f"lag must be >= 1, got {self.lag}")
+
+    def active(self, window: int) -> bool:
+        """Whether the behaviour applies during ``window``."""
+        if window < self.start_window:
+            return False
+        return self.end_window is None or window <= self.end_window
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Seeded description of the fault environment.
 
@@ -138,6 +200,10 @@ class FaultPlan:
         recoveries: scheduled rank rejoins (each revises the most recent
             permanent failure of its rank).
         joins: scheduled admissions of brand-new ranks.
+        peer_faults: scheduled adversarial peer behaviours for the gossip
+            mode (:class:`PeerFault`); in gossip runs ``permanent`` /
+            ``recoveries`` / ``joins`` events are interpreted with
+            ``call_index`` meaning *window index*.
     """
 
     seed: int = 0
@@ -150,6 +216,7 @@ class FaultPlan:
     permanent: Tuple[PermanentFailure, ...] = ()
     recoveries: Tuple[Recovery, ...] = ()
     joins: Tuple[Join, ...] = ()
+    peer_faults: Tuple[PeerFault, ...] = ()
 
     def __post_init__(self) -> None:
         for rate_name in ("drop_rate", "corrupt_rate", "straggler_rate"):
@@ -170,10 +237,33 @@ class FaultPlan:
         object.__setattr__(self, "permanent", tuple(self.permanent))
         object.__setattr__(self, "recoveries", tuple(self.recoveries))
         object.__setattr__(self, "joins", tuple(self.joins))
+        object.__setattr__(self, "peer_faults", tuple(self.peer_faults))
 
     def rank_rng(self, call_index: int, attempt: int, rank: int) -> np.random.Generator:
         """Deterministic generator for one (call, attempt, rank) cell."""
         return np.random.default_rng((self.seed, call_index, attempt, rank))
+
+    def jitter_rng(self, call_index: int, retry: int) -> np.random.Generator:
+        """Deterministic stream for backoff jitter on one (call, retry).
+
+        Derived from the plan seed — never from global RNG state — so
+        retry timing is part of the seeded replay contract: the same plan
+        over the same call sequence waits the same simulated backoff.
+        """
+        return np.random.default_rng(
+            (self.seed, call_index, retry, _JITTER_STREAM)
+        )
+
+    def peer_faults_at(self, rank: int, window: int) -> Tuple[PeerFault, ...]:
+        """Peer-fault behaviours active for ``rank`` during ``window``."""
+        return tuple(
+            fault for fault in self.peer_faults
+            if fault.rank == rank and fault.active(window)
+        )
+
+    def adversarial_ranks(self) -> Set[int]:
+        """Founding ranks with at least one scheduled peer fault."""
+        return {fault.rank for fault in self.peer_faults}
 
     def rank_down(self, call_index: int, attempt: int, rank: int) -> bool:
         """Whether a scheduled (non-random) outage silences this rank now."""

@@ -56,6 +56,12 @@ class BackoffPolicy:
             backoff); once exceeded, the call stops retrying and degrades.
         ring_failure_threshold: consecutive all-reduce calls needing >= 1
             retry before the group falls back to the naive algorithm.
+        jitter: full-jitter fraction in ``[0, 1)``: each backoff interval
+            is scaled by a factor drawn uniformly from
+            ``[1 - jitter, 1 + jitter]``. The draw comes from the fault
+            plan's seeded stream (:meth:`FaultPlan.jitter_rng`), never
+            from global RNG state, so jittered retry timing replays
+            bit-identically under the same seed.
     """
 
     max_retries: int = 4
@@ -64,6 +70,7 @@ class BackoffPolicy:
     max_delay_s: float = 1.0
     call_timeout_s: float = 5.0
     ring_failure_threshold: int = 3
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -81,14 +88,27 @@ class BackoffPolicy:
                 f"ring_failure_threshold must be >= 1, "
                 f"got {self.ring_failure_threshold}"
             )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
 
-    def backoff_delay(self, retry: int) -> float:
-        """Backoff before retry number ``retry`` (1-based)."""
+    def backoff_delay(
+        self, retry: int, rng: Optional[np.random.Generator] = None
+    ) -> float:
+        """Backoff before retry number ``retry`` (1-based).
+
+        ``rng`` supplies the jitter draw; the resilient group passes the
+        fault plan's :meth:`~repro.faults.plan.FaultPlan.jitter_rng`
+        stream. With ``jitter == 0`` (or no rng) the delay is the pure
+        exponential schedule.
+        """
         if retry < 1:
             raise ValueError(f"retry is 1-based, got {retry}")
-        return min(
+        delay = min(
             self.base_delay_s * self.multiplier ** (retry - 1), self.max_delay_s
         )
+        if self.jitter and rng is not None:
+            delay *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return delay
 
 
 @dataclass
@@ -343,7 +363,9 @@ class ResilientProcessGroup(ProcessGroup):
             if retries >= policy.max_retries:
                 excluded |= bad
                 break
-            backoff = policy.backoff_delay(retries + 1)
+            backoff = policy.backoff_delay(
+                retries + 1, rng=self.injector.plan.jitter_rng(call, retries + 1)
+            )
             if delay + backoff > policy.call_timeout_s:
                 timed_out = True
                 self.stats.timeouts += 1

@@ -1,0 +1,59 @@
+"""Open-membership gossip training: windowed, store-mediated exchange.
+
+The closed-world stack (:mod:`repro.train`, :mod:`repro.faults`,
+:mod:`repro.elastic`) assumes a roster: everyone knows who is in the
+group, collectives run in lockstep, and a joiner is hand-held by a donor.
+This package drops all three assumptions. Peers publish compressed,
+CRC-stamped momentum updates to a shared :class:`UpdateStore` once per
+*window*, aggregate whatever their untrusted neighbours published, and
+defend themselves with a per-peer :class:`PeerScorer` that quarantines
+corrupt, free-riding, lagging, and Byzantine (sign-flipping) publishers.
+
+Entry points:
+
+- :class:`GossipCluster` — seeded single-process harness driving many
+  peers through the window loop (the ``python -m repro gossip`` backend).
+- :class:`UpdateStore` / :class:`InMemoryStore` / :class:`FilesystemStore`
+  — the communication fabric.
+- :class:`PeerScorer` / :class:`ScorerConfig` — the Byzantine screen.
+- :mod:`repro.sim.gossip` — window-length and staleness pricing on the
+  calibrated link models.
+"""
+
+from repro.gossip.scorer import (
+    OFFENCE_KINDS,
+    Contribution,
+    Offence,
+    PeerRecord,
+    PeerScorer,
+    ScorerConfig,
+)
+from repro.gossip.store import FilesystemStore, InMemoryStore, UpdateStore
+from repro.gossip.trainer import (
+    FlatLayout,
+    GossipCluster,
+    GossipConfig,
+    GossipPeer,
+    GossipReport,
+    decode_update,
+    evaluate,
+)
+
+__all__ = [
+    "OFFENCE_KINDS",
+    "Contribution",
+    "Offence",
+    "PeerRecord",
+    "PeerScorer",
+    "ScorerConfig",
+    "FilesystemStore",
+    "InMemoryStore",
+    "UpdateStore",
+    "FlatLayout",
+    "GossipCluster",
+    "GossipConfig",
+    "GossipPeer",
+    "GossipReport",
+    "decode_update",
+    "evaluate",
+]

@@ -56,6 +56,14 @@ from repro.sim.variance import (
     IterationDistribution,
     simulate_iteration_distribution,
 )
+from repro.sim.gossip import (
+    GossipWindowSpec,
+    recommend_window_steps,
+    render_window_sweep,
+    window_exchange_time,
+    window_survival_probability,
+    window_utility_rate,
+)
 from repro.sim.faults import (
     FaultModel,
     FaultTrace,
@@ -95,6 +103,12 @@ __all__ = [
     "write_chrome_trace",
     "IterationDistribution",
     "simulate_iteration_distribution",
+    "GossipWindowSpec",
+    "recommend_window_steps",
+    "render_window_sweep",
+    "window_exchange_time",
+    "window_survival_probability",
+    "window_utility_rate",
     "FaultModel",
     "FaultTrace",
     "compare_methods_under_faults",

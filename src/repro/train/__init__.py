@@ -22,6 +22,7 @@ from repro.train.datasets import (
 from repro.train.checkpoint import (
     CheckpointError,
     CheckpointManager,
+    NoRestorableCheckpointError,
     load_checkpoint,
     save_checkpoint,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "DataParallelTrainer",
     "CheckpointError",
     "CheckpointManager",
+    "NoRestorableCheckpointError",
     "load_checkpoint",
     "save_checkpoint",
     "ResilienceConfig",

@@ -33,6 +33,22 @@ class CheckpointError(ValueError):
     """A checkpoint file is unreadable, truncated, or corrupt."""
 
 
+class NoRestorableCheckpointError(CheckpointError):
+    """Every retained checkpoint failed to load (or none was ever saved).
+
+    Distinct from a single bad file: callers that walk the ring and reach
+    this error have lost *all* rollback targets, which usually means
+    restarting from scratch is the only move left. ``failures`` carries
+    one ``"<path>: <reason>"`` entry per checkpoint tried, in
+    newest-first order (empty when the ring was empty to begin with).
+    """
+
+    def __init__(self, failures: List[str]):
+        self.failures = list(failures)
+        detail = "; ".join(failures) if failures else "no checkpoint saved yet"
+        super().__init__(f"no restorable checkpoint ({detail})")
+
+
 def save_checkpoint(path: str, model: Module, optimizer: SGD,
                     metadata: Dict | None = None) -> None:
     """Write model parameters and optimizer momentum to ``path`` (.npz)."""
@@ -164,7 +180,8 @@ class CheckpointManager:
         ``keep`` and age out a checkpoint that still works.
 
         Raises:
-            CheckpointError: when no retained checkpoint loads.
+            NoRestorableCheckpointError: when no retained checkpoint
+                loads; its ``failures`` list the per-file reasons.
         """
         failures = []
         for path in reversed(list(self._saved)):
@@ -173,5 +190,4 @@ class CheckpointManager:
             except CheckpointError as exc:
                 failures.append(f"{path}: {exc}")
                 self._saved.remove(path)
-        detail = "; ".join(failures) if failures else "no checkpoint saved yet"
-        raise CheckpointError(f"no restorable checkpoint ({detail})")
+        raise NoRestorableCheckpointError(failures)

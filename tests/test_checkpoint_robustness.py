@@ -11,6 +11,7 @@ from repro.optim.sgd import SGD
 from repro.train.checkpoint import (
     CheckpointError,
     CheckpointManager,
+    NoRestorableCheckpointError,
     load_checkpoint,
     save_checkpoint,
 )
@@ -149,18 +150,46 @@ class TestManagerFallback:
     def test_restore_with_nothing_saved(self, tmp_path, model_and_opt):
         model, opt = model_and_opt
         manager = CheckpointManager(str(tmp_path))
-        with pytest.raises(CheckpointError, match="no checkpoint saved yet"):
+        with pytest.raises(NoRestorableCheckpointError,
+                           match="no checkpoint saved yet") as excinfo:
             manager.restore(model, opt)
+        assert excinfo.value.failures == []
 
     def test_restore_with_every_file_broken(self, tmp_path, model_and_opt):
         model, opt = model_and_opt
         manager = CheckpointManager(str(tmp_path), keep=2)
+        paths = []
         for step in (1, 2):
             path = manager.save(model, opt, metadata={"step": step})
+            paths.append(path)
             with open(path, "wb") as handle:
                 handle.write(b"ruined")
-        with pytest.raises(CheckpointError, match="no restorable checkpoint"):
+        with pytest.raises(NoRestorableCheckpointError,
+                           match="no restorable checkpoint") as excinfo:
             manager.restore(model, opt)
+        # One diagnostic per file tried, newest first, path included.
+        assert len(excinfo.value.failures) == 2
+        assert paths[1] in excinfo.value.failures[0]
+        assert paths[0] in excinfo.value.failures[1]
+
+    def test_exhausted_ring_error_is_a_checkpoint_error(self):
+        """Callers catching the broad CheckpointError keep working."""
+        assert issubclass(NoRestorableCheckpointError, CheckpointError)
+
+    def test_single_bad_file_does_not_raise_the_exhausted_type(
+        self, tmp_path, model_and_opt
+    ):
+        """load_checkpoint on one corrupt file raises the plain error —
+        the exhausted type is reserved for an empty-handed ring walk."""
+        model, opt = model_and_opt
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, model, opt)
+        with open(path, "wb") as handle:
+            handle.write(b"ruined")
+        target, topt = fresh_target()
+        with pytest.raises(CheckpointError) as excinfo:
+            load_checkpoint(path, target, topt)
+        assert not isinstance(excinfo.value, NoRestorableCheckpointError)
 
     def test_ring_prunes_old_files(self, tmp_path, model_and_opt):
         model, opt = model_and_opt

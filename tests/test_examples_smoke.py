@@ -57,3 +57,10 @@ class TestFastExamples:
         assert "MATCH bit-exactly" in out
         assert "rejoin" in out and "join" in out  # membership log printed
         assert "admission" in out  # the sim churn trace printed
+
+    @pytest.mark.gossip
+    def test_gossip_training(self):
+        out = _run("gossip_training.py", "--windows", "10")
+        assert "QUARANTINED" in out  # the trust table printed
+        assert "honest replicas bit-identical (incl. joiner): True" in out
+        assert "seeded replay bit-identical: True" in out

@@ -328,3 +328,165 @@ class TestCorruptionDetection:
                 assert np.array_equal(result[0], expected_sum(2))
         assert group.stats.corruptions_detected > 0
         assert group.stats.retries > 0
+
+
+class TestDeterministicJitter:
+    def test_jitter_validated(self):
+        with pytest.raises(ValueError, match="jitter"):
+            BackoffPolicy(jitter=1.0)
+        with pytest.raises(ValueError, match="jitter"):
+            BackoffPolicy(jitter=-0.1)
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = BackoffPolicy(base_delay_s=0.01, multiplier=2.0)
+        rng = FaultPlan(seed=3).jitter_rng(0, 1)
+        assert policy.backoff_delay(2, rng=rng) == pytest.approx(0.02)
+
+    def test_no_rng_means_no_jitter(self):
+        policy = BackoffPolicy(base_delay_s=0.01, multiplier=2.0, jitter=0.5)
+        assert policy.backoff_delay(1) == pytest.approx(0.01)
+
+    def test_jitter_stays_within_band(self):
+        policy = BackoffPolicy(base_delay_s=0.01, multiplier=1.0,
+                               max_delay_s=0.01, jitter=0.3)
+        plan = FaultPlan(seed=11)
+        for call in range(50):
+            delay = policy.backoff_delay(1, rng=plan.jitter_rng(call, 1))
+            assert 0.007 <= delay <= 0.013
+
+    def test_jitter_draw_is_a_pure_function_of_seed_call_retry(self):
+        policy = BackoffPolicy(base_delay_s=0.01, jitter=0.5)
+        plan = FaultPlan(seed=11)
+        a = policy.backoff_delay(1, rng=plan.jitter_rng(4, 1))
+        b = policy.backoff_delay(1, rng=plan.jitter_rng(4, 1))
+        assert a == b  # bit-identical, not just approximately equal
+        # ...and actually sensitive to each coordinate of the stream key.
+        assert a != policy.backoff_delay(1, rng=plan.jitter_rng(5, 1))
+        assert a != policy.backoff_delay(1, rng=plan.jitter_rng(4, 2))
+        other = FaultPlan(seed=12)
+        assert a != policy.backoff_delay(1, rng=other.jitter_rng(4, 1))
+
+    def test_jittered_run_replays_bit_identically(self):
+        def run():
+            policy = BackoffPolicy(base_delay_s=0.01, jitter=0.4)
+            plan = FaultPlan(seed=2, transient=(
+                TransientFailure(rank=1, call_index=0, attempts=2),
+                TransientFailure(rank=0, call_index=3, attempts=1),
+            ))
+            group = ResilientProcessGroup(2, injector=FaultInjector(plan),
+                                          policy=policy)
+            for _ in range(5):
+                group.all_reduce(buffers_for(2))
+            return group.stats.backoff_s
+
+        first, second = run(), run()
+        assert first > 0.0
+        assert first == second  # same plan seed -> same jittered delays
+
+    def test_jitter_perturbs_accounted_backoff(self):
+        def total_backoff(jitter):
+            policy = BackoffPolicy(base_delay_s=0.01, jitter=jitter)
+            plan = FaultPlan(seed=2, transient=(
+                TransientFailure(rank=1, call_index=0, attempts=2),
+            ))
+            group = ResilientProcessGroup(2, injector=FaultInjector(plan),
+                                          policy=policy)
+            group.all_reduce(buffers_for(2))
+            return group.stats.backoff_s
+
+        assert total_backoff(0.4) != pytest.approx(total_backoff(0.0))
+
+
+class TestSegmentRetryAndFallback:
+    """all_reduce_segment(_) at world size 2 under a mid-segment drop."""
+
+    SEGMENTS = ((0, 8), (8, 8), (16, 8))  # three buckets of one flat model
+    TOTAL = 24
+
+    def _bucket_buffers(self, scale=1.0):
+        return [
+            [np.full(8, float(rank + 1) * scale + seg) for rank in range(2)]
+            for seg, _ in enumerate(self.SEGMENTS)
+        ]
+
+    def _run_segments(self, group, average=False):
+        out = []
+        for (seg_start, _), buffers in zip(self.SEGMENTS,
+                                           self._bucket_buffers()):
+            out.append(group.all_reduce_segment(
+                buffers, seg_start, self.TOTAL, average=average)[0])
+        return out
+
+    def test_mid_segment_drop_retries_to_bit_exact(self):
+        # The drop hits the middle bucket (call index 1) only; after the
+        # retry every bucket must match a clean group bit for bit.
+        plan = FaultPlan(seed=0, transient=(
+            TransientFailure(rank=1, call_index=1, attempts=2),
+        ))
+        faulty = ResilientProcessGroup(2, injector=FaultInjector(plan))
+        clean = ResilientProcessGroup(2)
+        faulty_out = self._run_segments(faulty)
+        clean_out = self._run_segments(clean)
+        for got, want in zip(faulty_out, clean_out):
+            assert np.array_equal(got, want)
+        assert faulty.stats.retries == 2
+        assert faulty.stats.degraded_calls == 0
+        # Backoff was charged for the retried bucket, not slept.
+        assert faulty.stats.backoff_s > 0.0
+
+    def test_exhausted_retries_degrade_only_the_hit_bucket(self):
+        policy = BackoffPolicy(max_retries=1)
+        plan = FaultPlan(seed=0, transient=(
+            TransientFailure(rank=1, call_index=1, attempts=5),
+        ))
+        group = ResilientProcessGroup(2, injector=FaultInjector(plan),
+                                      policy=policy)
+        out = self._run_segments(group, average=True)
+        buffers = self._bucket_buffers()
+        # Buckets 0 and 2 average both ranks; bucket 1 degrades to the
+        # single surviving contributor (rank 0), rescaled accordingly.
+        assert np.allclose(out[0], (buffers[0][0] + buffers[0][1]) / 2)
+        assert np.array_equal(out[1], buffers[1][0])
+        assert np.allclose(out[2], (buffers[2][0] + buffers[2][1]) / 2)
+        assert group.stats.degraded_calls == 1
+        assert group.live_ranks == [0, 1]  # transient fault: no ejection
+
+    def test_fallback_threshold_switches_segments_to_naive(self):
+        policy = BackoffPolicy(max_retries=0, ring_failure_threshold=1)
+        plan = FaultPlan(seed=0, transient=(
+            TransientFailure(rank=1, call_index=0, attempts=1),
+        ))
+        group = ResilientProcessGroup(2, injector=FaultInjector(plan),
+                                      policy=policy)
+        self._run_segments(group)
+        # Call 0 tripped the one-strike threshold before its reduction ran,
+        # so all three bucket calls took the naive path.
+        assert group.stats.ring_fallback_calls == 3
+        assert group.history[-1].algorithm == "allreduce_naive_segment"
+
+    def test_naive_fallback_segment_matches_ring_values(self):
+        policy = BackoffPolicy(max_retries=0, ring_failure_threshold=1)
+        plan = FaultPlan(seed=0, transient=(
+            TransientFailure(rank=1, call_index=0, attempts=1),
+        ))
+        faulty = ResilientProcessGroup(2, injector=FaultInjector(plan),
+                                       policy=policy)
+        clean = ResilientProcessGroup(2)
+        faulty_out = self._run_segments(faulty)
+        clean_out = self._run_segments(clean)
+        # Buckets 1 and 2 (clean calls, naive algorithm) still reduce to
+        # the same values the healthy ring computes.
+        for got, want in zip(faulty_out[1:], clean_out[1:]):
+            assert np.allclose(got, want)
+
+    def test_in_place_variant_copies_result_back(self):
+        plan = FaultPlan(seed=0, transient=(
+            TransientFailure(rank=1, call_index=0, attempts=2),
+        ))
+        group = ResilientProcessGroup(2, injector=FaultInjector(plan))
+        buffers = [np.full(8, 1.0), np.full(8, 2.0)]
+        returned = group.all_reduce_segment_(buffers, 0, self.TOTAL)
+        assert returned is buffers
+        for buf in buffers:
+            assert np.array_equal(buf, np.full(8, 3.0))
+        assert group.stats.retries == 2
