@@ -1,0 +1,26 @@
+#!/usr/bin/env python
+"""Track the planning service: queries/sec over the memoized simulator.
+
+Thin wrapper over ``python -m repro bench --planner`` (see
+:mod:`repro.serve.bench`): answers a deterministic grid of capacity-
+planning queries cold (empty cache — every query pays a simulator
+sweep), then replays a deterministic warm stream against the sharded
+result cache, and writes cold/warm throughput, the cache hit rate,
+p50/p99 latency, and the byte-identity probe (cached payload == fresh
+cache-less payload) to ``BENCH_planner.json``.
+
+Usage:
+    python scripts/bench_planner.py [--queries 12] [--warm-lookups 5000]
+                                    [--output BENCH_planner.json]
+Exit code 0 on success.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(["bench", "--planner"] + sys.argv[1:]))

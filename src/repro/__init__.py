@@ -16,6 +16,10 @@ Top-level packages:
   datasets for the convergence experiments.
 - :mod:`repro.sim` — discrete-event cluster performance simulator (WFBP,
   tensor fusion, compute/communication overlap and contention).
+- :mod:`repro.serve` — capacity-planning service over the simulator:
+  canonical hashable queries, sharded memoized result cache with
+  single-flight de-duplication, batched API + JSONL loop, and
+  calibration-generation invalidation.
 - :mod:`repro.experiments` — one driver per table/figure of the paper.
 """
 
@@ -31,6 +35,7 @@ __all__ = [
     "optim",
     "train",
     "sim",
+    "serve",
     "experiments",
     "Plan",
     "plan",

@@ -16,10 +16,17 @@ Subcommands:
   them is adversarial, and the peer scorer quarantines every attacker;
 - ``faults`` — straggler/drop sensitivity of each method's iteration time
   (the "what does a 3-sigma straggler do to ACP-SGD vs S-SGD" question);
+- ``plan`` — one-shot deployment recommendation (``--json`` emits the
+  versioned schema the planning service serves);
+- ``serve`` — capacity-planning service loop: JSONL queries on stdin (or
+  ``--input``), canonical JSONL plans on stdout, backed by the sharded
+  memoized result cache with single-flight de-duplication;
 - ``evaluate`` — regenerate the paper's tables/figures (wraps the
   experiment drivers; ``--fast`` skips the convergence figures);
 - ``bench`` — hot-path micro-benchmark: per-aggregator step time with
-  legacy copying gradients vs the zero-copy arena, written to JSON.
+  legacy copying gradients vs the zero-copy arena, written to JSON;
+  ``--planner`` benchmarks the planning service instead (cold/warm
+  queries-per-second, hit rate, p50/p99 latency → BENCH_planner.json).
 """
 
 from __future__ import annotations
@@ -314,7 +321,61 @@ def cmd_plan(args: argparse.Namespace) -> int:
         args.model, gpus=args.gpus, link=args.link, rank=args.rank,
         batch_size=args.batch_size, tune_buffer=not args.no_tune,
     )
+    if args.json:
+        import json
+
+        from repro.serve.schema import plan_to_dict
+
+        # The exact schema the planning service caches and streams — one
+        # serialization, two frontends (see docs/planner_service.md).
+        print(json.dumps(plan_to_dict(result), indent=2, sort_keys=True))
+        return 0
     print(result.render())
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """JSONL planning loop: queries in, canonical plan documents out."""
+    import sys
+
+    from repro.serve import PlannerService, ResultCache, serve_jsonl
+
+    service = PlannerService(
+        cache=ResultCache(shards=args.shards,
+                          capacity_per_shard=args.capacity_per_shard),
+        max_workers=args.workers,
+    )
+    try:
+        if args.warm_start:
+            models = None
+            if args.warm_models:
+                models = [m.strip() for m in args.warm_models.split(",")
+                          if m.strip()]
+            computed = service.warm_start(models=models)
+            print(f"warm start: {computed} grid points precomputed",
+                  file=sys.stderr)
+        in_handle = (sys.stdin if args.input == "-"
+                     else open(args.input, "r", encoding="utf-8"))
+        out_handle = (sys.stdout if args.output == "-"
+                      else open(args.output, "w", encoding="utf-8"))
+        try:
+            for line in serve_jsonl(in_handle, service,
+                                    batch_size=args.batch_lines):
+                out_handle.write(line + "\n")
+            out_handle.flush()
+        finally:
+            if in_handle is not sys.stdin:
+                in_handle.close()
+            if out_handle is not sys.stdout:
+                out_handle.close()
+        stats = service.stats()
+        cache = stats["cache"]
+        print(f"served: {cache['hits'] + cache['misses']} lookups, "
+              f"{stats['computes']} simulator runs, "
+              f"hit rate {cache['hit_rate']:.1%}, "
+              f"generation {stats['generation']}", file=sys.stderr)
+    finally:
+        service.close()
     return 0
 
 
@@ -333,6 +394,27 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     import json
+
+    if args.planner:
+        from repro.serve.bench import render_report, run_planner_bench
+
+        report = run_planner_bench(
+            unique_queries=args.queries,
+            warm_lookups=args.warm_lookups,
+            max_workers=args.workers,
+            tune_buffer=args.tune_buffer,
+            seed=args.seed,
+        )
+        print(render_report(report))
+        output = args.output
+        if output == "BENCH_hotpath.json":  # hot-path default; retarget
+            output = "BENCH_planner.json"
+        if output:
+            with open(output, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2)
+                handle.write("\n")
+            print(f"wrote report to {output}")
+        return 0
 
     # Imported lazily: bench pulls in the aggregators, which import the
     # perf counters — keeping this out of module scope avoids the cycle.
@@ -513,7 +595,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cluster_args(p_plan)
     p_plan.add_argument("--no-tune", action="store_true",
                         help="skip the fusion-buffer autotuner")
+    p_plan.add_argument("--json", action="store_true",
+                        help="emit the plan in the versioned schema the "
+                             "planning service uses (repro.serve.schema)")
     p_plan.set_defaults(func=cmd_plan)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="capacity-planning service loop: JSONL queries in, plans out",
+    )
+    p_serve.add_argument("--input", default="-",
+                         help="JSONL query file ('-' = stdin); one "
+                              "PlanQuery document per line")
+    p_serve.add_argument("--output", default="-",
+                         help="JSONL plan file ('-' = stdout)")
+    p_serve.add_argument("--workers", type=int, default=4,
+                         help="thread-pool width for uncached queries")
+    p_serve.add_argument("--shards", type=int, default=8,
+                         help="result-cache shard count")
+    p_serve.add_argument("--capacity-per-shard", type=int, default=4096,
+                         help="LRU bound per cache shard")
+    p_serve.add_argument("--batch-lines", type=int, default=64,
+                         help="input lines answered per submit_batch")
+    p_serve.add_argument("--warm-start", action="store_true",
+                         help="precompute the registry-model grid before "
+                              "serving")
+    p_serve.add_argument("--warm-models", default="",
+                         help="comma-separated models for --warm-start "
+                              "(default: every registry model)")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_eval = sub.add_parser("evaluate", help="regenerate the paper evaluation")
     p_eval.add_argument("--fast", action="store_true",
@@ -544,7 +654,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--no-train-step", action="store_true",
                          help="skip the end-to-end train_step comparison")
     p_bench.add_argument("--output", default="BENCH_hotpath.json",
-                         help="JSON report path ('' to skip writing)")
+                         help="JSON report path ('' to skip writing; "
+                              "--planner defaults to BENCH_planner.json)")
+    p_bench.add_argument("--planner", action="store_true",
+                         help="benchmark the planning service instead of "
+                              "the training hot path (cold/warm q/s, hit "
+                              "rate, p50/p99 latency)")
+    p_bench.add_argument("--queries", type=int, default=12,
+                         help="[--planner] unique queries in the grid")
+    p_bench.add_argument("--warm-lookups", type=int, default=5000,
+                         help="[--planner] warm-cache lookups to time")
+    p_bench.add_argument("--tune-buffer", action="store_true",
+                         help="[--planner] include buffer autotuning in "
+                              "each cold query")
     p_bench.set_defaults(func=cmd_bench)
     return parser
 

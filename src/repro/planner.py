@@ -16,11 +16,12 @@ used by ``examples/cluster_planning.py`` and suitable for notebooks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple, Union
 
+from repro.comm.cost_model import LinkSpec
 from repro.models import get_model_spec
 from repro.models.registry import PAPER_RANKS
-from repro.sim.autotune import autotune_buffer_size
+from repro.sim.autotune import TuneResult, autotune_buffer_size
 from repro.sim.calibration import SIM_LINKS
 from repro.sim.memory import RTX2080TI_MEMORY_BYTES, estimate_memory
 from repro.sim.strategies import ClusterSpec, simulate_iteration
@@ -64,6 +65,7 @@ class Plan:
     expected_iteration_ms: float
     tuned_buffer_mb: float
     speedup_over_ssgd: float
+    tuning: Optional[TuneResult] = None
 
     def render(self) -> str:
         """Human-readable recommendation card."""
@@ -96,11 +98,13 @@ class Plan:
 def plan(
     model_name: str,
     gpus: int = 32,
-    link: str = "10GbE",
+    link: Union[str, LinkSpec] = "10GbE",
     rank: Optional[int] = None,
     batch_size: Optional[int] = None,
     memory_capacity_bytes: float = RTX2080TI_MEMORY_BYTES,
     tune_buffer: bool = True,
+    methods: Optional[Sequence[str]] = None,
+    topk_ratio: float = 0.001,
 ) -> Plan:
     """Assess every method and recommend one for this deployment.
 
@@ -112,39 +116,58 @@ def plan(
     Args:
         model_name: a model from :mod:`repro.models.registry`.
         gpus: cluster size.
-        link: one of ``1GbE`` / ``10GbE`` / ``100GbIB``.
+        link: one of ``1GbE`` / ``10GbE`` / ``100GbIB``, or an explicit
+            :class:`~repro.comm.cost_model.LinkSpec` — e.g. one fitted
+            from measured bucket timings by
+            :func:`repro.sim.calibration.fit_link_from_bucket_timings`.
         rank: low-rank compression rank (default: the paper's choice).
         batch_size: per-GPU batch (default: the paper's).
         memory_capacity_bytes: per-GPU memory for the feasibility check.
         tune_buffer: run the fusion-buffer autotuner for the winner.
+        methods: candidate subset to assess (default: all of
+            :data:`_CANDIDATES`). S-SGD is always simulated as the
+            speedup baseline even when excluded from the assessments.
+        topk_ratio: Top-k keep fraction (paper: 0.001).
     """
-    if link not in SIM_LINKS:
-        raise ValueError(
-            f"unknown link {link!r}; available: {', '.join(sorted(SIM_LINKS))}"
-        )
+    if isinstance(link, LinkSpec):
+        link_spec = link
+    else:
+        if link not in SIM_LINKS:
+            raise ValueError(
+                f"unknown link {link!r}; available: {', '.join(sorted(SIM_LINKS))}"
+            )
+        link_spec = SIM_LINKS[link]
+    candidates = tuple(methods) if methods is not None else _CANDIDATES
+    if not candidates:
+        raise ValueError("need at least one candidate method")
+    for method in candidates:
+        if method not in _CANDIDATES:
+            raise ValueError(
+                f"unknown method {method!r}; available: {', '.join(_CANDIDATES)}"
+            )
     spec = get_model_spec(model_name)
     rank = rank if rank is not None else PAPER_RANKS[model_name]
     batch = batch_size if batch_size is not None else spec.default_batch_size
-    cluster = ClusterSpec(gpus, SIM_LINKS[link])
+    cluster = ClusterSpec(gpus, link_spec)
 
-    assessments = []
-    for method in _CANDIDATES:
+    def assess(method: str) -> MethodAssessment:
         breakdown = simulate_iteration(
-            method, spec, cluster=cluster, rank=rank, batch_size=batch
+            method, spec, cluster=cluster, rank=rank, batch_size=batch,
+            topk_ratio=topk_ratio,
         )
         memory = estimate_memory(
             "powersgd" if method == "powersgd_star" else method,
-            spec, batch, gpus, rank=rank,
+            spec, batch, gpus, rank=rank, topk_ratio=topk_ratio,
         )
-        assessments.append(
-            MethodAssessment(
-                method=method,
-                iteration_ms=breakdown.total * 1e3,
-                memory_gib=memory.total / (1024.0**3),
-                fits_memory=memory.fits(memory_capacity_bytes),
-                quality_note=_QUALITY_NOTES[method],
-            )
+        return MethodAssessment(
+            method=method,
+            iteration_ms=breakdown.total * 1e3,
+            memory_gib=memory.total / (1024.0**3),
+            fits_memory=memory.fits(memory_capacity_bytes),
+            quality_note=_QUALITY_NOTES[method],
         )
+
+    assessments = [assess(method) for method in candidates]
 
     # Recommend among methods that fit memory and hold S-SGD-level quality.
     quality_tier = ("ssgd", "powersgd", "powersgd_star", "acpsgd")
@@ -154,25 +177,32 @@ def plan(
         eligible = [a for a in assessments if a.fits_memory] or list(assessments)
     winner = min(eligible, key=lambda a: a.iteration_ms)
 
-    ssgd_ms = next(a.iteration_ms for a in assessments if a.method == "ssgd")
+    ssgd_ms = next(
+        (a.iteration_ms for a in assessments if a.method == "ssgd"),
+        None,
+    )
+    if ssgd_ms is None:  # baseline still simulated when not assessed
+        ssgd_ms = assess("ssgd").iteration_ms
     tuned_mb = 25.0
     expected_ms = winner.iteration_ms
+    tuning: Optional[TuneResult] = None
     if tune_buffer:
-        result = autotune_buffer_size(
+        tuning = autotune_buffer_size(
             winner.method, spec, cluster=cluster, rank=rank, batch_size=batch,
             refine_rounds=2,
         )
-        tuned_mb = result.best_buffer_mb
-        expected_ms = min(expected_ms, result.best_time * 1e3)
+        tuned_mb = tuning.best_buffer_mb
+        expected_ms = min(expected_ms, tuning.best_time * 1e3)
 
     return Plan(
         model=model_name,
         world_size=gpus,
-        link_name=link,
+        link_name=link_spec.name,
         rank=rank,
         assessments=tuple(assessments),
         recommended_method=winner.method,
         expected_iteration_ms=expected_ms,
         tuned_buffer_mb=tuned_mb,
         speedup_over_ssgd=ssgd_ms / expected_ms,
+        tuning=tuning,
     )

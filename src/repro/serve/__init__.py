@@ -1,0 +1,67 @@
+"""repro.serve: the capacity-planning service over the simulator.
+
+The "serve millions of users" face of the project: the calibrated
+performance simulator becomes the *backend* of a planning service, and
+this package is its front — canonical hashable queries
+(:mod:`repro.serve.query`), one versioned plan schema shared by the CLI
+and the service (:mod:`repro.serve.schema`), a sharded memoized result
+cache (:mod:`repro.serve.cache`), the single-flighted batched service
+itself (:mod:`repro.serve.service`), and the throughput benchmark
+(:mod:`repro.serve.bench`).
+
+    >>> from repro.serve import PlannerService, PlanQuery
+    >>> from repro.sim.calibration import SIM_LINKS
+    >>> with PlannerService() as service:
+    ...     q = PlanQuery("ResNet-50", gpus=32, link=SIM_LINKS["10GbE"])
+    ...     first = service.submit(q)     # simulator sweep
+    ...     again = service.submit(q)     # cache hit, byte-identical
+    ...     assert first.payload == again.payload
+
+See ``docs/planner_service.md`` for the architecture, the cache-key
+contract, the invalidation rules, and the benchmark methodology.
+"""
+
+from repro.serve.cache import ResultCache, ShardStats
+from repro.serve.query import (
+    SCHEMA_VERSION,
+    PlanQuery,
+    canonical_float,
+    canonical_link,
+    dumps_canonical,
+    link_from_dict,
+    link_to_dict,
+)
+from repro.serve.schema import (
+    assessment_from_dict,
+    assessment_to_dict,
+    plan_from_dict,
+    plan_payload,
+    plan_to_dict,
+)
+from repro.serve.service import (
+    PlannerService,
+    PlanResult,
+    compute_plan_payload,
+    serve_jsonl,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "PlanQuery",
+    "PlanResult",
+    "PlannerService",
+    "ResultCache",
+    "ShardStats",
+    "assessment_from_dict",
+    "assessment_to_dict",
+    "canonical_float",
+    "canonical_link",
+    "compute_plan_payload",
+    "dumps_canonical",
+    "link_from_dict",
+    "link_to_dict",
+    "plan_from_dict",
+    "plan_payload",
+    "plan_to_dict",
+    "serve_jsonl",
+]

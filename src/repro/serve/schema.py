@@ -1,0 +1,102 @@
+"""Versioned serialization of plans — one schema, two frontends.
+
+``python -m repro plan --json`` and the ``python -m repro serve`` JSONL
+loop both emit exactly this schema, and the result cache stores exactly
+the canonical string :func:`plan_payload` produces. That single choke
+point is what makes the service's contract checkable: a cached plan is
+*byte-identical* to an uncached one because both are the same pure
+function of the same :class:`~repro.planner.Plan`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.planner import MethodAssessment, Plan
+from repro.serve.query import SCHEMA_VERSION, canonical_float, dumps_canonical
+from repro.sim.autotune import TuneResult
+
+
+def assessment_to_dict(item: MethodAssessment) -> Dict[str, object]:
+    """JSON-safe form of one candidate assessment."""
+    return {
+        "method": item.method,
+        "iteration_ms": canonical_float(item.iteration_ms, "iteration_ms"),
+        "memory_gib": canonical_float(item.memory_gib, "memory_gib"),
+        "fits_memory": bool(item.fits_memory),
+        "quality_note": item.quality_note,
+    }
+
+
+def assessment_from_dict(doc: Dict[str, object]) -> MethodAssessment:
+    """Inverse of :func:`assessment_to_dict`."""
+    return MethodAssessment(
+        method=str(doc["method"]),
+        iteration_ms=float(doc["iteration_ms"]),  # type: ignore[arg-type]
+        memory_gib=float(doc["memory_gib"]),  # type: ignore[arg-type]
+        fits_memory=bool(doc["fits_memory"]),
+        quality_note=str(doc["quality_note"]),
+    )
+
+
+def plan_to_dict(plan: Plan) -> Dict[str, object]:
+    """Versioned JSON-safe form of a full recommendation."""
+    tuning: Optional[Dict[str, object]] = None
+    if plan.tuning is not None:
+        tuning = plan.tuning.to_dict()
+    return {
+        "schema": SCHEMA_VERSION,
+        "model": plan.model,
+        "world_size": int(plan.world_size),
+        "link_name": plan.link_name,
+        "rank": int(plan.rank),
+        "assessments": [assessment_to_dict(a) for a in plan.assessments],
+        "recommended_method": plan.recommended_method,
+        "expected_iteration_ms": canonical_float(
+            plan.expected_iteration_ms, "expected_iteration_ms"
+        ),
+        "tuned_buffer_mb": canonical_float(
+            plan.tuned_buffer_mb, "tuned_buffer_mb"
+        ),
+        "speedup_over_ssgd": canonical_float(
+            plan.speedup_over_ssgd, "speedup_over_ssgd"
+        ),
+        "tuning": tuning,
+    }
+
+
+def plan_from_dict(doc: Dict[str, object]) -> Plan:
+    """Inverse of :func:`plan_to_dict`; rejects foreign schema versions."""
+    schema = doc.get("schema", SCHEMA_VERSION)
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema {schema!r}; this build reads "
+            f"{SCHEMA_VERSION!r}"
+        )
+    tuning = None
+    if doc.get("tuning") is not None:
+        tuning = TuneResult.from_dict(doc["tuning"])  # type: ignore[arg-type]
+    return Plan(
+        model=str(doc["model"]),
+        world_size=int(doc["world_size"]),  # type: ignore[arg-type]
+        link_name=str(doc["link_name"]),
+        rank=int(doc["rank"]),  # type: ignore[arg-type]
+        assessments=tuple(
+            assessment_from_dict(a) for a in doc["assessments"]  # type: ignore[union-attr]
+        ),
+        recommended_method=str(doc["recommended_method"]),
+        expected_iteration_ms=float(doc["expected_iteration_ms"]),  # type: ignore[arg-type]
+        tuned_buffer_mb=float(doc["tuned_buffer_mb"]),  # type: ignore[arg-type]
+        speedup_over_ssgd=float(doc["speedup_over_ssgd"]),  # type: ignore[arg-type]
+        tuning=tuning,
+    )
+
+
+def plan_payload(plan: Plan) -> str:
+    """The canonical wire/cache form: deterministic JSON of the plan.
+
+    This exact string is what the result cache stores and what both
+    frontends emit — byte-identity between cached and fresh answers is
+    asserted against it.
+    """
+    return dumps_canonical(plan_to_dict(plan))

@@ -45,6 +45,34 @@ class TuneResult:
         needed is the caller's job — KeyError otherwise)."""
         return self.evaluated[buffer_bytes] / self.best_time
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form (float dict keys become ``repr`` strings).
+
+        ``repr`` of a float is shortest-round-trip in every supported
+        Python, so ``from_dict(to_dict(r)) == r`` bit-exactly — the
+        property the planning service's byte-identical-payload contract
+        relies on.
+        """
+        return {
+            "best_buffer_bytes": float(self.best_buffer_bytes),
+            "best_time": float(self.best_time),
+            "evaluated": {
+                repr(float(k)): float(v) for k, v in sorted(self.evaluated.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "TuneResult":
+        """Inverse of :meth:`to_dict`."""
+        evaluated = {
+            float(k): float(v) for k, v in doc["evaluated"].items()  # type: ignore[union-attr]
+        }
+        return cls(
+            best_buffer_bytes=float(doc["best_buffer_bytes"]),  # type: ignore[arg-type]
+            best_time=float(doc["best_time"]),  # type: ignore[arg-type]
+            evaluated=evaluated,
+        )
+
 
 def autotune_buffer_size(
     method: str,

@@ -20,6 +20,7 @@ tolerance:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Sequence, Tuple
 
@@ -151,6 +152,37 @@ class SimConfig:
 SIM_LINKS = {link.name: link for link in (LINK_1GBE, LINK_10GBE, LINK_100GBIB)}
 
 
+class CalibrationGeneration:
+    """Monotone counter stamped on every re-anchoring of the link model.
+
+    Anything that memoizes simulator output (the :mod:`repro.serve` result
+    cache) records the generation current at compute time and must treat an
+    entry whose generation predates the latest
+    :func:`fit_link_from_bucket_timings` as stale: a re-anchored
+    ``LinkSpec`` changes every simulated duration, so results priced under
+    the old calibration can never be served again.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def bump(self) -> int:
+        """Advance the generation; returns the new value."""
+        with self._lock:
+            self._value += 1
+            return self._value
+
+
+#: Process-wide generation, bumped by ``fit_link_from_bucket_timings``.
+CALIBRATION_GENERATION = CalibrationGeneration()
+
+
 def fit_link_from_bucket_timings(
     samples: Sequence[Tuple[float, float]],
     world_size: int,
@@ -169,6 +201,10 @@ def fit_link_from_bucket_timings(
     the loop the paper draws between measurement and simulation: the
     simulator's network model can be re-anchored to real per-bucket
     timings instead of the testbed constants above.
+
+    Every successful fit bumps :data:`CALIBRATION_GENERATION`, which
+    invalidates memoized simulator results (the planning service's cache)
+    computed under the previous calibration.
 
     Args:
         samples: ``(nbytes, seconds)`` pairs, e.g. one per fired bucket
@@ -205,6 +241,10 @@ def fit_link_from_bucket_timings(
     p = world_size
     alpha = max(0.0, float(intercept)) / (2 * (p - 1))
     beta = 2 * (p - 1) / (p * float(slope))
-    return LinkSpec(
+    spec = LinkSpec(
         name=name, alpha=alpha, beta=beta, nominal_gbps=nominal_gbps
     )
+    # A successful fit re-anchors the simulator's network model: invalidate
+    # every memoized simulator result (see CALIBRATION_GENERATION).
+    CALIBRATION_GENERATION.bump()
+    return spec

@@ -117,3 +117,93 @@ class TestParser:
         assert args.link == "1GbE"
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--link", "5GbE"])
+
+
+@pytest.mark.serve
+class TestPlanJson:
+    def test_plan_json_round_trips_through_service_schema(self, capsys):
+        """`plan --json` emits exactly the schema the service serves."""
+        from repro.serve.schema import plan_from_dict, plan_payload
+
+        code = main(["plan", "--model", "ResNet-18", "--gpus", "4",
+                     "--rank", "4", "--no-tune", "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.plan/1"
+        restored = plan_from_dict(doc)
+        assert restored.model == "ResNet-18"
+        assert restored.world_size == 4
+        # Canonical payload of the parsed plan == canonical payload of a
+        # fresh library call: one schema, two frontends.
+        from repro.planner import plan
+
+        direct = plan("ResNet-18", gpus=4, link="10GbE", rank=4,
+                      tune_buffer=False)
+        assert plan_payload(restored) == plan_payload(direct)
+
+    def test_plan_human_output_unchanged(self, capsys):
+        code = main(["plan", "--model", "ResNet-18", "--gpus", "4",
+                     "--rank", "4", "--no-tune"])
+        assert code == 0
+        assert "recommended" in capsys.readouterr().out
+
+
+@pytest.mark.serve
+class TestServeCommand:
+    def make_query_line(self, gpus):
+        return json.dumps({"model": "ResNet-18", "gpus": gpus,
+                           "link": "10GbE", "rank": 4,
+                           "tune_buffer": False})
+
+    def test_jsonl_file_in_file_out(self, tmp_path, capsys):
+        queries = tmp_path / "queries.jsonl"
+        plans = tmp_path / "plans.jsonl"
+        queries.write_text("\n".join([
+            self.make_query_line(4),
+            self.make_query_line(8),
+            self.make_query_line(4),  # duplicate -> cache/coalesce
+        ]) + "\n")
+        code = main(["serve", "--input", str(queries),
+                     "--output", str(plans), "--workers", "2"])
+        assert code == 0
+        lines = [json.loads(line)
+                 for line in plans.read_text().splitlines()]
+        assert len(lines) == 3
+        assert lines[0]["plan"]["model"] == "ResNet-18"
+        assert lines[0]["key"] == lines[2]["key"]
+        # Duplicate answered from the same computation: identical bytes.
+        assert lines[0]["plan"] == lines[2]["plan"]
+
+    def test_serve_reports_errors_per_line(self, tmp_path):
+        queries = tmp_path / "queries.jsonl"
+        plans = tmp_path / "plans.jsonl"
+        queries.write_text("garbage\n" + self.make_query_line(4) + "\n")
+        code = main(["serve", "--input", str(queries),
+                     "--output", str(plans)])
+        assert code == 0
+        lines = [json.loads(line)
+                 for line in plans.read_text().splitlines()]
+        assert "error" in lines[0]
+        assert "plan" in lines[1]
+
+
+@pytest.mark.serve
+class TestPlannerBench:
+    def test_bench_planner_writes_report(self, tmp_path, capsys):
+        report_path = tmp_path / "BENCH_planner.json"
+        code = main(["bench", "--planner", "--queries", "4",
+                     "--warm-lookups", "2000",
+                     "--output", str(report_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "planner bench" in out and "hit rate" in out
+        with open(report_path) as handle:
+            report = json.load(handle)
+        assert report["schema"] == "repro.bench.planner/1"
+        # Acceptance criteria: warm hit rate nonzero, >= 1000 q/s warm,
+        # cached plans byte-identical to uncached.
+        assert report["warm"]["hit_rate"] > 0.0
+        assert report["criteria"]["warm_qps"] >= 1000.0
+        assert report["criteria"]["payload_bit_identical"] is True
+        assert report["cold"]["qps"] > 0.0
+        assert report["warm"]["p99_ms"] >= report["warm"]["p50_ms"]

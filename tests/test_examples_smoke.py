@@ -44,6 +44,13 @@ class TestFastExamples:
         assert "rank @90% energy" in out
         assert "rank 32" in out  # the paper's BERT choice, recovered
 
+    @pytest.mark.serve
+    def test_capacity_planning(self):
+        out = _run("capacity_planning.py", "--queries", "24")
+        assert "MATCH bit-exactly" in out
+        assert "simulator runs" in out
+        assert "recomputed (stale entry dropped)" in out
+
     @pytest.mark.faults
     def test_fault_tolerance(self):
         out = _run("fault_tolerance.py", "--epochs", "1", "--steps", "4")

@@ -1,0 +1,105 @@
+"""Property tests for the cache-key contract (hypothesis).
+
+The service's hit rate rests on one invariant: the cache key is a pure
+function of query *value*. Floats are where that breaks in practice —
+equal doubles with different spellings (``10.0`` vs ``1e1``), negative
+zero, integer-valued floats — so these properties drive generated
+:class:`LinkSpec` values through every such disguise and require the key
+to be blind to all of them, and to distinguish every genuinely different
+value.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.cost_model import LinkSpec
+from repro.serve import PlanQuery, canonical_float, canonical_link
+
+pytestmark = pytest.mark.serve
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+alphas = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+betas = st.floats(min_value=1.0, max_value=1e12, allow_nan=False)
+gbps = st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+
+
+def make_query(alpha, beta, nominal):
+    return PlanQuery(
+        "ResNet-50", gpus=16,
+        link=LinkSpec("generated", alpha, beta, nominal),
+        tune_buffer=False,
+    )
+
+
+def disguises(value):
+    """Different spellings of the same float value."""
+    forms = [value, float(repr(value)), value * 1.0, value + 0.0]
+    if value == 0.0:
+        forms.append(-0.0)
+    if value == int(value) and abs(value) < 2**53:
+        forms.append(float(int(value)))
+    return forms
+
+
+class TestCanonicalFloatProperties:
+    @given(finite)
+    def test_idempotent(self, value):
+        once = canonical_float(value)
+        assert repr(canonical_float(once)) == repr(once)
+
+    @given(finite)
+    def test_value_preserving(self, value):
+        assert canonical_float(value) == value
+
+    @given(finite)
+    def test_all_disguises_share_one_repr(self, value):
+        spellings = {repr(canonical_float(form)) for form in disguises(value)}
+        assert len(spellings) == 1
+
+    @given(finite)
+    def test_never_negative_zero(self, value):
+        out = canonical_float(value)
+        if out == 0.0:
+            assert math.copysign(1.0, out) == 1.0
+
+
+class TestLinkKeyProperties:
+    @settings(max_examples=60)
+    @given(alphas, betas, gbps)
+    def test_equal_specs_equal_keys(self, alpha, beta, nominal):
+        """Every disguise of the same link values yields one cache key."""
+        keys = {
+            make_query(a, b, g).cache_key()
+            for a in disguises(alpha)
+            for b in disguises(beta)
+            for g in disguises(nominal)
+        }
+        assert len(keys) == 1
+
+    @settings(max_examples=60)
+    @given(alphas, betas, gbps, alphas, betas, gbps)
+    def test_keys_equal_iff_queries_equal(self, a1, b1, g1, a2, b2, g2):
+        q1, q2 = make_query(a1, b1, g1), make_query(a2, b2, g2)
+        assert (q1.cache_key() == q2.cache_key()) == (q1 == q2)
+
+    @settings(max_examples=60)
+    @given(alphas, betas, gbps)
+    def test_canonical_link_round_trip_stable(self, alpha, beta, nominal):
+        link = canonical_link(LinkSpec("x", alpha, beta, nominal))
+        again = canonical_link(link)
+        assert (repr(again.alpha), repr(again.beta),
+                repr(again.nominal_gbps)) == \
+               (repr(link.alpha), repr(link.beta), repr(link.nominal_gbps))
+
+    @settings(max_examples=60)
+    @given(alphas, betas, gbps)
+    def test_serialization_round_trip_preserves_key(self, alpha, beta,
+                                                    nominal):
+        import json
+
+        query = make_query(alpha, beta, nominal)
+        again = PlanQuery.from_dict(json.loads(json.dumps(query.to_dict())))
+        assert again.cache_key() == query.cache_key()
