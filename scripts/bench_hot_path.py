@@ -6,11 +6,14 @@ Thin wrapper over ``python -m repro bench`` (see
 step at world_size 4 on a VGG-style model, once with legacy copying
 gradients (the pre-arena code path, reconstructed in the same run) and
 once with zero-copy arena slabs, and writes the comparison — including
-the fused-allocation counters and an end-to-end sequential-vs-parallel
-``train_step`` row — to ``BENCH_hotpath.json``.
+the fused-allocation counters, an end-to-end sequential-vs-parallel
+``train_step`` row, and the per-backend worker-mode comparison
+(``--workers seq,thread,process``: where the GIL costs each method) —
+to ``BENCH_hotpath.json``.
 
 Usage:
-    python scripts/bench_hot_path.py [--workers 4] [--base-width 32]
+    python scripts/bench_hot_path.py [--world-size 4] [--base-width 32]
+                                     [--workers seq,thread,process]
                                      [--output BENCH_hotpath.json]
 Exit code 0 on success.
 """

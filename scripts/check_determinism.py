@@ -1,8 +1,8 @@
 #!/usr/bin/env python
-"""Verify fault-injected, parallel-worker, elastic-churn, bucketed, and
-gossip training are bit-deterministic.
+"""Verify fault-injected, parallel-worker, elastic-churn, bucketed,
+gossip, and process-worker training are bit-deterministic.
 
-Five checks, all diffing final weights bit-exactly:
+Six checks, all diffing final weights bit-exactly:
 
 1. the same fault-injected resilient training job run twice — identical
    FaultPlan, identical seeds — must produce identical weights (hidden
@@ -25,11 +25,17 @@ Five checks, all diffing final weights bit-exactly:
    corrupt-payload) plus churn (departure, return, fresh join via store
    replay) — replayed twice must produce identical honest weights and the
    identical quarantine record (unseeded state in the publish path, the
-   peer scorer, or the donor-less admission replay shows up here).
+   peer scorer, or the donor-less admission replay shows up here);
+6. the same clean training job run sequentially and with process workers
+   (``workers="process"``: child processes writing gradients into
+   shared-memory arena slabs) must produce identical weights for every
+   bucket-capable method — including a BatchNorm model and an elastic
+   eject -> rejoin -> scale-up churn replay (cross-process rng-stream,
+   shard, weight-broadcast, or BatchNorm-replay drift shows up here).
 
 Usage:
     python scripts/check_determinism.py [--steps 6]
-Exit code 0 when all five PASS, 1 otherwise.
+Exit code 0 when all six PASS, 1 otherwise.
 """
 
 import argparse
@@ -89,7 +95,7 @@ def run_clean(steps: int, parallel_workers: bool) -> np.ndarray:
     return model.state_vector()
 
 
-def run_churn(steps: int) -> np.ndarray:
+def run_churn(steps: int, workers: str = "seq") -> np.ndarray:
     """An elastic run: eject -> rejoin -> scale-up, all within ``steps``."""
     from repro.elastic import MembershipController
     from repro.faults import Join, PermanentFailure, Recovery
@@ -109,8 +115,10 @@ def run_churn(steps: int) -> np.ndarray:
         model, SGD(model, lr=0.05, momentum=0.9), aggregator,
         train_data, test_data, batch_size_per_worker=8, seed=13,
         resilience=ResilienceConfig(), membership=membership,
+        workers=workers,
     )
-    trainer.run(epochs=1, steps_per_epoch=steps, method_label="acpsgd")
+    with trainer:
+        trainer.run(epochs=1, steps_per_epoch=steps, method_label="acpsgd")
     changes = [change.kind for change in membership.log.changes]
     if changes != ["eject", "rejoin", "join"]:
         raise RuntimeError(
@@ -119,8 +127,10 @@ def run_churn(steps: int) -> np.ndarray:
     return model.state_vector()
 
 
-def run_bucketed(steps: int, method: str, buffer_bytes) -> np.ndarray:
-    """A clean run, monolithic (buffer_bytes=None) or bucketed."""
+def run_bucketed(
+    steps: int, method: str, buffer_bytes, workers: str = "seq"
+) -> np.ndarray:
+    """A clean run: monolithic (buffer_bytes=None) or bucketed, any backend."""
     from repro.comm import ProcessGroup
 
     train_data, test_data = make_cifar_like(num_train=256, num_test=64, seed=3)
@@ -130,9 +140,10 @@ def run_bucketed(steps: int, method: str, buffer_bytes) -> np.ndarray:
     trainer = DataParallelTrainer(
         model, SGD(model, lr=0.05, momentum=0.9), aggregator,
         train_data, test_data, batch_size_per_worker=8, seed=13,
-        buffer_bytes=buffer_bytes,
+        buffer_bytes=buffer_bytes, workers=workers,
     )
-    trainer.run(epochs=1, steps_per_epoch=steps, method_label=method)
+    with trainer:
+        trainer.run(epochs=1, steps_per_epoch=steps, method_label=method)
     return model.state_vector()
 
 
@@ -215,8 +226,10 @@ def main() -> int:
 
     bucketed_methods = ("ssgd", "signsgd", "topk", "powersgd", "acpsgd")
     mismatched = []
+    sequential_monolithic = {}
     for method in bucketed_methods:
         monolithic = run_bucketed(args.steps, method, buffer_bytes=None)
+        sequential_monolithic[method] = monolithic
         bucketed = run_bucketed(args.steps, method, buffer_bytes=64 * 1024)
         if not np.array_equal(monolithic, bucketed):
             diff = float(np.abs(monolithic - bucketed).max())
@@ -243,6 +256,34 @@ def main() -> int:
         diff = float(np.abs(gossip_first - gossip_second).max())
         print(f"FAIL: gossip replay diverged (max weight |diff| = {diff:g}; "
               f"quarantined {quarantine_first} vs {quarantine_second})")
+        failures += 1
+
+    # Check 6: process workers (shared-memory slabs) vs the sequential
+    # path — per method (reusing check 4's sequential baselines; the
+    # small-VGG model exercises BatchNorm stat replay across processes)
+    # and through the elastic churn schedule (reusing check 3's
+    # sequential-churn baseline).
+    process_mismatched = []
+    for method in bucketed_methods:
+        process = run_bucketed(
+            args.steps, method, buffer_bytes=None, workers="process"
+        )
+        baseline = sequential_monolithic[method]
+        if not np.array_equal(baseline, process):
+            diff = float(np.abs(baseline - process).max())
+            process_mismatched.append(f"{method} (max |diff| = {diff:g})")
+    churn_process = run_churn(churn_steps, workers="process")
+    if not np.array_equal(churn_first, churn_process):
+        diff = float(np.abs(churn_first - churn_process).max())
+        process_mismatched.append(f"elastic churn (max |diff| = {diff:g})")
+    if not process_mismatched:
+        print(f"PASS: process-worker runs of {args.steps} steps (incl. "
+              f"BatchNorm replay and an eject -> rejoin -> scale-up churn "
+              f"replay over {churn_steps} steps) are bit-identical to "
+              f"sequential for {', '.join(bucketed_methods)}")
+    else:
+        print(f"FAIL: process-worker weights diverge from sequential for "
+              f"{'; '.join(process_mismatched)}")
         failures += 1
     return 1 if failures else 0
 

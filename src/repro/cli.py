@@ -401,7 +401,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         report = run_planner_bench(
             unique_queries=args.queries,
             warm_lookups=args.warm_lookups,
-            max_workers=args.workers,
+            max_workers=args.max_workers,
             tune_buffer=args.tune_buffer,
             seed=args.seed,
         )
@@ -430,8 +430,23 @@ def cmd_bench(args: argparse.Namespace) -> int:
         ]
     elif args.no_buffer_sweep:
         buffer_sizes_mb = []
+    worker_modes = None
+    if args.workers:
+        worker_modes = [
+            m.strip() for m in args.workers.split(",")
+            if m.strip() and m.strip() != "none"
+        ]
+        for mode in worker_modes:
+            if mode not in ("seq", "thread", "process"):
+                print(f"unknown worker backend {mode!r} "
+                      "(expected seq, thread, process, or none)")
+                return 2
+        if "process" in worker_modes and "thread" not in worker_modes:
+            # The acceptance criterion is process-vs-thread: measuring
+            # process alone would record a speedup over nothing.
+            worker_modes.insert(worker_modes.index("process"), "thread")
     report = run_hot_path_bench(
-        world_size=args.workers,
+        world_size=args.world_size,
         base_width=args.base_width,
         iters=args.iters,
         warmup=args.warmup,
@@ -439,6 +454,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         methods=methods,
         include_train_step=not args.no_train_step,
         buffer_sizes_mb=buffer_sizes_mb,
+        worker_modes=worker_modes,
     )
     config = report["config"]
     print(f"hot-path bench: {config['model_parameters']} params, "
@@ -459,6 +475,21 @@ def cmd_bench(args: argparse.Namespace) -> int:
         for row in report["buffer_sweep"]:
             print(f"{row['buffer_mbytes']:>10.2f}  {row['num_buckets']:>8}  "
                   f"{row['best_s'] * 1e3:>8.2f}")
+    if "worker_modes" in report:
+        print(f"worker backends ({config['cpu_count']} cpu):")
+        print(f"{'method':>10}  {'backend':>8}  {'step ms':>8}  "
+              f"{'worker ms':>9}  {'aggregate ms':>12}  {'bcast ms':>8}")
+        for method, rows in report["worker_modes"].items():
+            for mode, row in rows.items():
+                if mode == "process_vs_thread_speedup":
+                    continue
+                print(f"{method:>10}  {mode:>8}  {row['best_s'] * 1e3:>8.2f}  "
+                      f"{row['worker_mean_s'] * 1e3:>9.2f}  "
+                      f"{row['aggregate_mean_s'] * 1e3:>12.2f}  "
+                      f"{row['broadcast_mean_s'] * 1e3:>8.2f}")
+            speedup = rows.get("process_vs_thread_speedup")
+            if speedup is not None:
+                print(f"{method:>10}  process vs thread: {speedup:.2f}x")
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2)
@@ -636,7 +667,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser(
         "bench", help="hot-path benchmark: legacy vs zero-copy arena"
     )
-    p_bench.add_argument("--workers", type=int, default=4)
+    p_bench.add_argument("--world-size", type=int, default=4,
+                         help="simulated data-parallel worker count")
+    p_bench.add_argument("--workers", default="",
+                         help="comma-separated backprop backends to compare "
+                              "end-to-end: seq, thread, process (default: "
+                              "all three; 'process' pulls in the thread "
+                              "baseline its speedup is measured against; "
+                              "'none' skips the comparison)")
     p_bench.add_argument("--base-width", type=int, default=32,
                          help="VGG width multiplier (model size knob)")
     p_bench.add_argument("--iters", type=int, default=7,
@@ -662,6 +700,8 @@ def build_parser() -> argparse.ArgumentParser:
                               "rate, p50/p99 latency)")
     p_bench.add_argument("--queries", type=int, default=12,
                          help="[--planner] unique queries in the grid")
+    p_bench.add_argument("--max-workers", type=int, default=4,
+                         help="[--planner] service thread-pool size")
     p_bench.add_argument("--warm-lookups", type=int, default=5000,
                          help="[--planner] warm-cache lookups to time")
     p_bench.add_argument("--tune-buffer", action="store_true",

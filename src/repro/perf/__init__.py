@@ -28,6 +28,19 @@ __all__ = [
     "ArenaGrads",
     "ArenaLayout",
     "GradientArena",
+    "ProcessWorkerPool",
     "ReplicaSet",
+    "WorkerStepTask",
     "iter_modules",
 ]
+
+
+def __getattr__(name: str):
+    # procpool imports the training stack (datasets, loss); loading it
+    # lazily keeps `import repro.perf` light for arena-only users and
+    # avoids a circular import through repro.train.
+    if name in ("ProcessWorkerPool", "WorkerStepTask"):
+        from repro.perf import procpool
+
+        return getattr(procpool, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

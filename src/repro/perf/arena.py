@@ -49,6 +49,7 @@ import numpy as np
 from repro.fusion import partition_buckets
 from repro.nn.module import Module
 from repro.nn.parameter import Parameter
+from repro.perf import shm
 
 
 class ArenaLayout:
@@ -186,6 +187,13 @@ class GradientArena:
         bucket_bytes: optional bucket cap (parameter-order contiguous
             buckets, DDP-style). ``None`` fuses the whole model into one
             bucket.
+        backing: ``"private"`` (default) allocates ordinary per-process
+            numpy slabs; ``"shared"`` backs every slab with its own
+            ``multiprocessing.shared_memory`` segment so worker processes
+            can write gradients in place (see
+            :class:`~repro.perf.procpool.ProcessWorkerPool`). Shared
+            arenas own real OS resources: call :meth:`close` when done —
+            the test suite fails any test that leaks a segment.
     """
 
     dtype = np.float64
@@ -195,23 +203,46 @@ class GradientArena:
         model: Module,
         world_size: int,
         bucket_bytes: Optional[int] = None,
+        backing: str = "private",
     ):
         if world_size < 1:
             raise ValueError(f"world_size must be >= 1, got {world_size}")
+        if backing not in ("private", "shared"):
+            raise ValueError(
+                f"backing must be 'private' or 'shared', got {backing!r}"
+            )
         named = [(name, param.shape) for name, param in model.named_parameters()]
         self.layout = ArenaLayout(
             named, bucket_bytes=bucket_bytes, itemsize=np.dtype(self.dtype).itemsize
         )
+        self.backing = backing
         self.world_size = world_size
-        # One contiguous slab per worker; slabs are distinct allocations so
-        # the ring collective's per-rank buffers never alias each other.
+        self._closed = False
+        # One contiguous slab per worker; slabs are distinct allocations
+        # (or distinct shared segments) so the ring collective's per-rank
+        # buffers never alias each other. Per-slab segments — rather than
+        # one giant segment — let ``ensure_slots`` grow the arena without
+        # invalidating mappings worker processes already hold.
+        self._segments: List[Optional[object]] = []
         self._slabs: List[np.ndarray] = [
-            np.zeros(self.layout.total_elements, dtype=self.dtype)
-            for _ in range(world_size)
+            self._alloc_slab() for _ in range(world_size)
         ]
         self._views: List[Dict[str, np.ndarray]] = [
             self._carve(slab) for slab in self._slabs
         ]
+
+    def _alloc_slab(self) -> np.ndarray:
+        if self.backing == "shared":
+            nbytes = max(1, self.layout.total_elements) * np.dtype(self.dtype).itemsize
+            segment = shm.create_segment(nbytes)
+            slab = np.ndarray(
+                (self.layout.total_elements,), dtype=self.dtype, buffer=segment.buf
+            )
+            slab[:] = 0.0
+            self._segments.append(segment)
+            return slab
+        self._segments.append(None)
+        return np.zeros(self.layout.total_elements, dtype=self.dtype)
 
     def _carve(self, slab: np.ndarray) -> Dict[str, np.ndarray]:
         views: Dict[str, np.ndarray] = {}
@@ -231,10 +262,54 @@ class GradientArena:
         rejoin reuses it without reallocating.
         """
         while len(self._slabs) < count:
-            slab = np.zeros(self.layout.total_elements, dtype=self.dtype)
+            slab = self._alloc_slab()
             self._slabs.append(slab)
             self._views.append(self._carve(slab))
         self.world_size = max(self.world_size, count)
+
+    # ------------------------------------------------------------------
+    # Shared-memory lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def is_shared(self) -> bool:
+        """Whether the slabs live in cross-process shared memory."""
+        return self.backing == "shared"
+
+    def segment_name(self, slot: int) -> str:
+        """OS name of slot ``slot``'s shared segment (shared backing only).
+
+        Worker processes attach by this name; it travels in the per-step
+        task message, so slabs created by elastic growth are discovered
+        lazily without any re-initialization round.
+        """
+        segment = self._segments[slot]
+        if segment is None:
+            raise ValueError(
+                "segment_name requires backing='shared' (private slabs "
+                "have no cross-process identity)"
+            )
+        return segment.name
+
+    def close(self) -> None:
+        """Release the shared segments (idempotent; no-op when private).
+
+        Drops this arena's own slab views first so the owner-side mappings
+        close cleanly, then unlinks every segment. Views handed out
+        earlier (``grads``/``bucket_views``) keep their mapping alive
+        until they die with the process — the unlink only removes the
+        name, exactly like unlinking an open POSIX file.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self.backing != "shared":
+            return
+        self._slabs = []
+        self._views = []
+        for segment in self._segments:
+            if segment is not None:
+                shm.release_segment(segment, unlink=True)
+        self._segments = []
 
     # ------------------------------------------------------------------
     # Worker-facing API

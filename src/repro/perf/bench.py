@@ -19,11 +19,18 @@ deltas — the arena S-SGD row must show zero fused-buffer allocations —
 and an optional end-to-end ``train_step`` comparison (sequential vs
 parallel workers).
 
+The ``worker_modes`` section compares the three backprop backends
+(``seq`` / ``thread`` / ``process``) end-to-end per method, with a
+worker/aggregate/broadcast time breakdown — the measurement that shows
+whether compression compute actually escaped the GIL (see
+``repro.perf.procpool``).
+
 Run it via ``python -m repro bench`` or ``scripts/bench_hot_path.py``.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Callable, Dict, List, Optional
 
@@ -157,6 +164,99 @@ def _bench_train_step(
     return results
 
 
+def _bench_worker_modes(
+    world_size: int,
+    base_width: int,
+    iters: int,
+    warmup: int,
+    seed: int,
+    methods: List[str],
+    worker_modes: List[str],
+) -> Dict[str, object]:
+    """End-to-end ``train_step`` per worker backend, with a breakdown.
+
+    For every (method, backend) pair the row records the total step time
+    plus where it went: ``worker_mean_s`` (backprop + compression-input
+    production — the part the backend parallelizes), ``aggregate_mean_s``
+    (compression kernels + collective, always in the parent), and for the
+    process backend ``broadcast_mean_s`` (the per-step weights memcpy into
+    the shared buffer — its only per-step copy). The thread-vs-process
+    comparison is the GIL story in numbers: compute-bound methods
+    (signsgd, terngrad) only scale when backprop escapes the GIL.
+
+    Speedups are meaningful only with real cores; the report records
+    ``cpu_count`` so a single-core result is not misread as a regression.
+    """
+    rows: Dict[str, object] = {}
+    for method in methods:
+        method_rows: Dict[str, object] = {}
+        for mode in worker_modes:
+            rng = np.random.default_rng(seed)
+            inputs = rng.standard_normal((world_size * 32, 3, 16, 16))
+            labels = rng.integers(0, 10, size=world_size * 32)
+            data = ArrayDataset(inputs, labels)
+            model = make_small_vgg(
+                base_width=base_width, rng=np.random.default_rng(seed)
+            )
+            trainer = DataParallelTrainer(
+                model,
+                SGD(model, lr=0.01),
+                AGGREGATOR_FACTORIES[method](ProcessGroup(world_size)),
+                data,
+                data,
+                batch_size_per_worker=8,
+                seed=seed,
+                workers=mode,
+            )
+            # Shadow the bound method on the instance to time the
+            # aggregation phase without touching the class.
+            inner_aggregate = trainer.aggregator.aggregate
+            aggregate_times: List[float] = []
+
+            def timed_aggregate(per_worker, _inner=inner_aggregate,
+                                _times=aggregate_times):
+                start = time.perf_counter()
+                out = _inner(per_worker)
+                _times.append(time.perf_counter() - start)
+                return out
+
+            trainer.aggregator.aggregate = timed_aggregate
+            try:
+                for _ in range(warmup):
+                    trainer.train_step()
+                ALLOC_STATS.reset()
+                aggregate_times.clear()
+                times = []
+                broadcast = []
+                for _ in range(iters):
+                    start = time.perf_counter()
+                    trainer.train_step()
+                    times.append(time.perf_counter() - start)
+                    if trainer._procpool is not None:
+                        broadcast.append(trainer._procpool.last_broadcast_s)
+            finally:
+                trainer.close()
+            aggregate_mean = float(np.mean(aggregate_times))
+            broadcast_mean = float(np.mean(broadcast)) if broadcast else 0.0
+            method_rows[mode] = {
+                "best_s": min(times),
+                "mean_s": float(np.mean(times)),
+                "worker_mean_s": (
+                    float(np.mean(times)) - aggregate_mean - broadcast_mean
+                ),
+                "aggregate_mean_s": aggregate_mean,
+                "broadcast_mean_s": broadcast_mean,
+                "fused_allocs_per_step": ALLOC_STATS.fused_allocs / iters,
+            }
+        if "thread" in method_rows and "process" in method_rows:
+            method_rows["process_vs_thread_speedup"] = (
+                method_rows["thread"]["best_s"]
+                / method_rows["process"]["best_s"]
+            )
+        rows[method] = method_rows
+    return rows
+
+
 def _bench_buffer_sweep(
     world_size: int,
     base_width: int,
@@ -235,6 +335,7 @@ def run_hot_path_bench(
     methods: Optional[List[str]] = None,
     include_train_step: bool = True,
     buffer_sizes_mb: Optional[List[float]] = None,
+    worker_modes: Optional[List[str]] = None,
 ) -> Dict[str, object]:
     """Run the full benchmark and return the JSON-serializable report."""
     model = make_small_vgg(base_width=base_width, rng=np.random.default_rng(seed))
@@ -285,6 +386,8 @@ def run_hot_path_bench(
             "seed": seed,
             "model_parameters": layout.total_elements,
             "slab_mbytes": arena.nbytes / arena.world_size / 2**20,
+            # Worker-mode speedups only mean something with real cores.
+            "cpu_count": os.cpu_count(),
         },
         "aggregate_step": aggregate_step,
     }
@@ -299,6 +402,18 @@ def run_hot_path_bench(
         report["buffer_sweep"] = _bench_buffer_sweep(
             world_size, base_width, iters, warmup, seed, buffer_sizes_mb
         )
+    if worker_modes is None:
+        worker_modes = ["seq", "thread", "process"]
+    if worker_modes:
+        # Compute-bound methods (sign/ternary quantization) are where the
+        # GIL hurts most; ssgd rides along as the bandwidth-bound control.
+        worker_methods = [
+            m for m in ("ssgd", "signsgd", "terngrad") if m in selected
+        ] or selected[:1]
+        report["worker_modes"] = _bench_worker_modes(
+            world_size, base_width, max(3, iters // 2), 1, seed,
+            worker_methods, worker_modes,
+        )
     if "ssgd" in aggregate_step:
         ssgd = aggregate_step["ssgd"]
         report["criteria"] = {
@@ -308,4 +423,22 @@ def run_hot_path_bench(
             "arena_fused_allocs_per_step": ssgd["arena"]["fused_allocs_per_step"],
             "arena_zero_fused_allocs": ssgd["arena"]["fused_allocs_per_step"] == 0,
         }
+    worker_rows = report.get("worker_modes", {})
+    process_vs_thread = {
+        method: row["process_vs_thread_speedup"]
+        for method, row in worker_rows.items()
+        if "process_vs_thread_speedup" in row
+    }
+    if process_vs_thread:
+        criteria = report.setdefault("criteria", {})
+        criteria["process_vs_thread_speedup"] = process_vs_thread
+        criteria["process_speedup_target"] = 2.0
+        # The >=2x target needs at least two compute-bound methods over
+        # the bar — and physically needs multiple cores (see cpu_count).
+        compute_bound = [
+            method for method in ("signsgd", "terngrad")
+            if process_vs_thread.get(method, 0.0) >= 2.0
+        ]
+        criteria["process_speedup_ok"] = len(compute_bound) >= 2
+        criteria["cpu_count"] = os.cpu_count()
     return report

@@ -47,6 +47,20 @@ class AllocStats:
         self.bucket_reduces = 0
         self.bucket_copies = 0
 
+    def merge(self, delta: dict) -> None:
+        """Fold another process's counter snapshot into this one.
+
+        Process workers count allocations in their own interpreter; the
+        parent merges each child's per-step delta so the process-global
+        counters describe the whole step regardless of which process did
+        the allocating. ``fused_allocs`` is derived, so snapshot keys
+        without a counter field are ignored.
+        """
+        self.pack_copies += delta.get("pack_copies", 0)
+        self.unpack_copies += delta.get("unpack_copies", 0)
+        self.bucket_reduces += delta.get("bucket_reduces", 0)
+        self.bucket_copies += delta.get("bucket_copies", 0)
+
     def snapshot(self) -> dict:
         """Plain-dict copy of all counters (for benchmark reports)."""
         return {

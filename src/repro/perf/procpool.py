@@ -1,0 +1,474 @@
+"""Persistent process workers over shared-memory arena slabs.
+
+The thread backend (:class:`~repro.perf.replicas.ReplicaSet`) overlaps
+worker backprop, but the GIL caps it: numpy kernels release the lock,
+the Python layer code between them does not, so compute-heavy steps
+serialize on one core. This module removes the GIL from the picture
+while keeping the repo's bit-identity contract:
+
+- every worker rank gets a **persistent child process** holding its own
+  model replica, loss head, data shard cache, and per-rank sampling
+  stream (derived from ``(seed, rank)`` exactly as the sequential
+  trainer derives it, so the stream a rank consumes is identical in
+  every backend);
+- gradients never cross a pipe: each child binds its replica's
+  ``Parameter.grad`` slots into the worker's
+  :class:`~repro.perf.arena.GradientArena` slab, which lives in a
+  ``multiprocessing.shared_memory`` segment — backprop writes the
+  fused buffer in place, and the parent runs the existing in-place
+  ring schedule over views of the very same pages;
+- weights travel the other way through one shared **broadcast buffer**:
+  the parent copies the master parameters in before dispatching a step
+  (one memcpy — the in-process analogue of the parameter broadcast),
+  and every child's replica parameters are bound views into it;
+- the two pieces of *state* a worker pass produces besides gradients —
+  BatchNorm batch statistics and the loss scalar — are tiny, and ship
+  back over the pipe to be **replayed in rank order** on the master
+  (the same rank-order replay the thread backend uses), so running
+  buffers stay bit-identical to a sequential pass;
+- per-child :data:`~repro.perf.counters.ALLOC_STATS` deltas ride the
+  same reply and are merged into the parent's counters, keeping the
+  zero-copy assertions truthful in process mode.
+
+Elastic membership composes: a join spawns a fresh child pinned to the
+new rank at the admission boundary (never on the hot path), an ejected
+rank's child simply idles — its rng stream freezes exactly like the
+parent-side ``_rngs`` entry does — and a rejoin resumes it. Slabs
+created by ``ensure_slots`` growth are discovered lazily: every task
+message names the slot's segment, so children attach on first use.
+
+Spawn-vs-fork: ``fork`` (default where available) inherits the initial
+payload for free; ``spawn`` pickles it once at pool construction —
+model template, dataset, seeds — which is why the payload contains no
+live OS resources. Both start methods produce bit-identical
+trajectories; see ``docs/performance.md`` for the trade-offs.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+import traceback
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import multiprocessing
+import numpy as np
+
+from repro.nn.loss import CrossEntropyLoss
+from repro.nn.module import Module
+from repro.nn.norm import BatchNorm2d
+from repro.perf import shm
+from repro.perf.arena import ArenaLayout, GradientArena
+from repro.perf.counters import ALLOC_STATS
+from repro.perf.replicas import ReplicaSet, iter_modules
+
+if TYPE_CHECKING:  # import cycle: repro.train imports the trainer,
+    # which imports this module — the dataset type is annotation-only.
+    from repro.train.datasets import ArrayDataset
+
+
+@dataclass(frozen=True)
+class WorkerStepTask:
+    """One worker's assignment for one step.
+
+    Attributes:
+        rank: the rank id whose pass this is (selects the child, the
+            sampling stream, and — without elastic re-sharding — the
+            data shard).
+        slot: the worker's position in this step's live roster; selects
+            the arena slab the gradients land in.
+        slab_segment: OS name of slot's shared-memory slab segment.
+        shard_index/shard_world: arguments of ``train_data.shard`` for
+            this rank this step. The parent computes them with the same
+            rules the sequential path uses, so shards stay pairwise
+            disjoint and jointly exhaustive under churn.
+    """
+
+    rank: int
+    slot: int
+    slab_segment: str
+    shard_index: int
+    shard_world: int
+
+
+@dataclass
+class WorkerStepResult:
+    """What comes back over the pipe: everything except the gradients."""
+
+    loss: float
+    batch_stats: List[List[Tuple[np.ndarray, np.ndarray]]]
+    alloc_stats: Dict[str, int]
+
+
+def _scrubbed_template(model: Module) -> Module:
+    """A structural deep copy safe to ship to children.
+
+    The master's parameters may carry gradient-ready hooks (the bucketed
+    reducer's bound methods — which reach the aggregator, the process
+    group, and possibly shared-memory segments) and arena grad slots.
+    Deep-copying those would at best duplicate half the trainer and at
+    worst hit an unpicklable ``memoryview``, so they are detached from
+    the *original* for the duration of the copy and restored afterwards.
+    Hook lists are mutated in place (never reassigned) because issued
+    :class:`~repro.nn.parameter.RemovableHandle` objects alias them.
+    """
+    saved = []
+    for _, param in model.named_parameters():
+        saved.append(
+            (param, list(param._hooks), param._grad_slot,
+             param._grad, param._slot_written)
+        )
+        param._hooks.clear()
+        param._grad_slot = None
+        param._grad = None
+        param._slot_written = False
+    try:
+        template = copy.deepcopy(model)
+    finally:
+        for param, hooks, slot, grad, written in saved:
+            param._hooks.extend(hooks)
+            param._grad_slot = slot
+            param._grad = grad
+            param._slot_written = written
+    template.train()
+    return template
+
+
+def _carve_views(
+    buffer: np.ndarray, layout
+) -> Dict[str, np.ndarray]:
+    """Named parameter-shaped views over one fused buffer."""
+    views: Dict[str, np.ndarray] = {}
+    for name in layout.names:
+        lo = layout.offsets[name]
+        hi = lo + layout.size_of(name)
+        views[name] = buffer[lo:hi].reshape(layout.shapes[name])
+    return views
+
+
+def _worker_main(conn, payload: dict) -> None:
+    """Child entry point: serve backprop tasks until told to close.
+
+    Runs one task at a time; all parallelism comes from the parent
+    dispatching to several children at once. Never unlinks a segment —
+    attach-only processes close, owners unlink.
+    """
+    model: Module = payload["model"]
+    train_data: ArrayDataset = payload["train_data"]
+    seed: int = payload["seed"]
+    batch_size: int = payload["batch_size"]
+    accumulation_steps: int = payload["accumulation_steps"]
+    layout = ArenaLayout(
+        [(name, param.shape) for name, param in model.named_parameters()]
+    )
+
+    weights_segment = shm.attach_segment(payload["weights_segment"])
+    weights = np.ndarray(
+        (layout.total_elements,), dtype=np.float64, buffer=weights_segment.buf
+    )
+    for name, param in model.named_parameters():
+        lo = layout.offsets[name]
+        hi = lo + layout.size_of(name)
+        param.data = weights[lo:hi].reshape(layout.shapes[name])
+
+    loss_fn = CrossEntropyLoss()
+    bns = [m for m in iter_modules(model) if isinstance(m, BatchNorm2d)]
+    # joiner_rng(seed, rank) equals spawn_rngs(seed, world)[rank] for any
+    # world that contains rank, so one rule covers initial ranks and
+    # late joiners alike. Imported here: elastic pulls in the trainer
+    # stack, which children otherwise never need.
+    from repro.elastic.membership import joiner_rng
+
+    rngs: Dict[int, np.random.Generator] = {}
+    shards: Dict[Tuple[int, int], ArrayDataset] = {}
+    slabs: Dict[str, Tuple[object, np.ndarray, Dict[str, np.ndarray]]] = {}
+
+    def run_task(task: WorkerStepTask) -> WorkerStepResult:
+        rng = rngs.get(task.rank)
+        if rng is None:
+            rng = rngs[task.rank] = joiner_rng(seed, task.rank)
+        shard_key = (task.shard_index, task.shard_world)
+        shard = shards.get(shard_key)
+        if shard is None:
+            shard = shards[shard_key] = train_data.shard(*shard_key)
+        cached = slabs.get(task.slab_segment)
+        if cached is None:
+            segment = shm.attach_segment(task.slab_segment)
+            slab = np.ndarray(
+                (layout.total_elements,), dtype=np.float64, buffer=segment.buf
+            )
+            cached = slabs[task.slab_segment] = (
+                segment, slab, _carve_views(slab, layout)
+            )
+        _, slab, views = cached
+        for name, param in model.named_parameters():
+            param.attach_grad_slot(views[name])
+        for bn in bns:
+            bn.stat_recorder = []
+        ALLOC_STATS.reset()
+        model.zero_grad()
+        losses = []
+        for _ in range(accumulation_steps):
+            inputs, labels = shard.batch(rng, batch_size)
+            logits = model(inputs)
+            losses.append(loss_fn(logits, labels))
+            model.backward(loss_fn.backward())
+        for name, param in model.named_parameters():
+            if param.grad is None:
+                raise RuntimeError(f"parameter {name!r} received no gradient")
+        if accumulation_steps > 1:
+            # True division in place, matching GradientArena.divide_.
+            slab /= accumulation_steps
+        batch_stats = [list(bn.stat_recorder or []) for bn in bns]
+        for bn in bns:
+            bn.stat_recorder = None
+        return WorkerStepResult(
+            loss=float(np.mean(losses)),
+            batch_stats=batch_stats,
+            alloc_stats=ALLOC_STATS.snapshot(),
+        )
+
+    conn.send(("ready",))
+    while True:
+        message = conn.recv()
+        kind = message[0]
+        if kind == "step":
+            try:
+                result = run_task(message[1])
+                conn.send(("ok", result))
+            except BaseException as exc:  # ship the failure, keep serving
+                conn.send(("error", repr(exc), traceback.format_exc()))
+        elif kind == "close":
+            break
+        else:
+            conn.send(("error", f"unknown message kind {kind!r}", ""))
+    for name, param in model.named_parameters():
+        param.detach_grad_slot()
+        param.data = np.array(param.data)  # drop the weights-view mapping
+    for segment, slab, views in list(slabs.values()):
+        del slab, views
+        shm.release_segment(segment, unlink=False)
+    slabs.clear()
+    del weights
+    shm.release_segment(weights_segment, unlink=False)
+    conn.send(("closed",))
+    conn.close()
+
+
+class ProcessWorkerPool:
+    """One persistent child process per worker rank, slabs shared.
+
+    Args:
+        model: the master model (stays in the parent; children receive a
+            scrubbed structural copy and read weights through the shared
+            broadcast buffer).
+        arena: a ``backing="shared"`` :class:`GradientArena`; children
+            write their gradients straight into its slabs.
+        train_data: the full training set; children derive shards
+            locally (deterministic strided slicing), so elastic
+            re-sharding costs one tuple per task, not a data transfer.
+        seed: the trainer's sampling seed.
+        batch_size / accumulation_steps: the trainer's per-worker batch
+            settings (fixed for the pool's lifetime, like the trainer's).
+        start_method: ``"fork"``, ``"spawn"``, or ``None`` to pick fork
+            when the platform offers it. Spawn is slower to start but
+            works everywhere; trajectories are bit-identical either way.
+        step_timeout: optional per-step ceiling in seconds on waiting
+            for any one child's reply; a deadlocked or dead child then
+            raises instead of hanging the training loop forever.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        arena: GradientArena,
+        train_data: ArrayDataset,
+        *,
+        seed: int,
+        batch_size: int,
+        accumulation_steps: int = 1,
+        start_method: Optional[str] = None,
+        step_timeout: Optional[float] = None,
+    ):
+        if not arena.is_shared:
+            raise ValueError(
+                "ProcessWorkerPool requires a shared-memory arena "
+                "(GradientArena(..., backing='shared'))"
+            )
+        # Same structural screen as the thread backend: Dropout draws one
+        # sequential mask stream that per-worker replicas cannot replay.
+        ReplicaSet(model, 1)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+        self.step_timeout = step_timeout
+        self._model = model
+        self._arena = arena
+        self._master_bns = [
+            m for m in iter_modules(model) if isinstance(m, BatchNorm2d)
+        ]
+        layout = arena.layout
+        self._layout = layout
+        self._weights_segment = shm.create_segment(
+            max(1, layout.total_elements) * 8
+        )
+        self._weights = np.ndarray(
+            (layout.total_elements,),
+            dtype=np.float64,
+            buffer=self._weights_segment.buf,
+        )
+        self._weight_views = _carve_views(self._weights, layout)
+        self._payload = {
+            "model": _scrubbed_template(model),
+            "train_data": train_data,
+            "seed": seed,
+            "batch_size": batch_size,
+            "accumulation_steps": accumulation_steps,
+            "weights_segment": self._weights_segment.name,
+        }
+        self._children: Dict[int, Tuple[object, object]] = {}
+        self._closed = False
+        #: Wall-clock seconds of the most recent weights broadcast and of
+        #: the most recent dispatch->collect window (benchmark probes).
+        self.last_broadcast_s = 0.0
+        self.last_workers_s = 0.0
+
+    # ------------------------------------------------------------------
+    # Child lifecycle
+    # ------------------------------------------------------------------
+    def ensure_ranks(self, ranks: List[int]) -> None:
+        """Spawn children for any ranks not yet served (admission path)."""
+        for rank in ranks:
+            if rank not in self._children:
+                self._spawn(rank)
+
+    def _spawn(self, rank: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._payload),
+            name=f"repro-worker-{rank}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        reply = self._recv(parent_conn, rank)
+        if reply != ("ready",):
+            raise RuntimeError(
+                f"worker process for rank {rank} failed to initialize: {reply}"
+            )
+        self._children[rank] = (parent_conn, process)
+
+    def _recv(self, conn, rank: int):
+        if self.step_timeout is not None and not conn.poll(self.step_timeout):
+            raise RuntimeError(
+                f"worker process for rank {rank} did not reply within "
+                f"{self.step_timeout}s (deadlocked or dead pool?)"
+            )
+        try:
+            return conn.recv()
+        except EOFError:
+            raise RuntimeError(
+                f"worker process for rank {rank} died mid-step"
+            ) from None
+
+    @property
+    def worker_ranks(self) -> List[int]:
+        """Ranks with a live child, in spawn order."""
+        return list(self._children)
+
+    # ------------------------------------------------------------------
+    # Step protocol
+    # ------------------------------------------------------------------
+    def broadcast_weights(self, model: Module) -> None:
+        """Copy the master parameters into the shared broadcast buffer.
+
+        One full-model memcpy per step — the process backend's only
+        per-step copy, standing in for DDP's implicit weight coherence.
+        Values are copied bitwise, so child forwards see exactly the
+        arrays the sequential path would use.
+        """
+        start = time.perf_counter()
+        for name, param in model.named_parameters():
+            np.copyto(self._weight_views[name], param.data)
+        self.last_broadcast_s = time.perf_counter() - start
+
+    def run_step(self, tasks: List[WorkerStepTask]) -> List[WorkerStepResult]:
+        """Dispatch one step's tasks and collect replies in slot order.
+
+        All tasks are sent before any reply is read, so children execute
+        concurrently; failures propagate with the child's traceback.
+        """
+        if self._closed:
+            raise RuntimeError("run_step called on a closed pool")
+        start = time.perf_counter()
+        for task in tasks:
+            conn, _ = self._children[task.rank]
+            conn.send(("step", task))
+        results: List[WorkerStepResult] = []
+        for task in tasks:
+            conn, _ = self._children[task.rank]
+            reply = self._recv(conn, task.rank)
+            if reply[0] == "error":
+                raise RuntimeError(
+                    f"worker process for rank {task.rank} failed: "
+                    f"{reply[1]}\n{reply[2]}"
+                )
+            results.append(reply[1])
+        self.last_workers_s = time.perf_counter() - start
+        return results
+
+    def replay_batch_stats(self, results: List[WorkerStepResult]) -> None:
+        """Apply shipped BatchNorm statistics to the master in rank order.
+
+        Per layer, slot 0's batches land first, then slot 1's, … — the
+        exact update sequence the sequential loop would have produced
+        (identical to :meth:`repro.perf.replicas.ReplicaSet.end_round`).
+        """
+        for layer_index, master_bn in enumerate(self._master_bns):
+            for result in results:
+                for mean, var in result.batch_stats[layer_index]:
+                    master_bn.apply_batch_stats(mean, var)
+
+    def merge_alloc_stats(self, results: List[WorkerStepResult]) -> None:
+        """Fold per-child allocation counters into the parent's.
+
+        Children reset their process-local :data:`ALLOC_STATS` per task
+        and ship the delta, so the parent's counters — the ones the perf
+        assertions and the benchmark read — stay truthful about the
+        whole step no matter which process did the allocating.
+        """
+        for result in results:
+            ALLOC_STATS.merge(result.alloc_stats)
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop every child and release the broadcast buffer (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for rank, (conn, process) in self._children.items():
+            try:
+                conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for rank, (conn, process) in self._children.items():
+            try:
+                if conn.poll(timeout):
+                    conn.recv()  # ("closed",)
+            except (EOFError, OSError):
+                pass
+            conn.close()
+            process.join(timeout)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout)
+        self._children = {}
+        del self._weight_views
+        del self._weights
+        shm.release_segment(self._weights_segment, unlink=True)

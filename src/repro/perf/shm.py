@@ -1,0 +1,123 @@
+"""SharedMemory segment lifecycle: create, attach, release, leak-track.
+
+The process-worker backend re-backs :class:`~repro.perf.arena.GradientArena`
+slabs (and the weights broadcast buffer) with POSIX shared memory so that
+child processes write gradients exactly where the parent's ring schedule
+reads them — zero gradient pickling. Shared memory is the one resource in
+this codebase the garbage collector cannot be trusted with: a segment that
+is never unlinked outlives the interpreter and keeps real pages pinned in
+``/dev/shm``. This module therefore centralizes the lifecycle rules:
+
+- **create** happens only in the owning (parent) process, through
+  :func:`create_segment`, which records the segment in a process-local
+  registry so leaks are detectable (``tests/conftest.py`` fails any test
+  that ends with live segments) and an ``atexit`` hook can unlink whatever
+  a crashed run left behind;
+- **attach** happens in worker children, through :func:`attach_segment` —
+  an attach-only process closes its mapping but never unlinks; the shared
+  ``resource_tracker`` bookkeeping is left to the owner (see the function
+  docstring for why the child must not unregister);
+- **release** is explicit and idempotent: owners unlink, attachers only
+  close. Numpy views over a segment keep the mapping alive, so
+  :func:`release_segment` tolerates ``BufferError`` from ``close()`` —
+  the unlink still removes the name, and the pages are freed when the
+  last view dies with its process.
+"""
+
+from __future__ import annotations
+
+import atexit
+from multiprocessing import shared_memory
+from typing import Dict, Set
+
+
+#: Segments created (and therefore owned) by this process, by name.
+#: Populated by :func:`create_segment`, drained by :func:`release_segment`.
+_OWNED: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def create_segment(nbytes: int) -> shared_memory.SharedMemory:
+    """Create a new shared-memory segment owned by this process.
+
+    The segment is registered in the process-local ownership registry; the
+    creator is responsible for eventually calling :func:`release_segment`
+    with ``unlink=True``. An ``atexit`` hook unlinks anything still
+    registered, so even a run that dies mid-step cannot leak ``/dev/shm``
+    pages past interpreter exit.
+    """
+    if nbytes < 1:
+        raise ValueError(f"segment size must be >= 1 byte, got {nbytes}")
+    segment = shared_memory.SharedMemory(create=True, size=nbytes)
+    _OWNED[segment.name] = segment
+    return segment
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment created by another process.
+
+    Worker children share the parent's ``resource_tracker`` process (both
+    fork and spawn pass the tracker fd down), and the tracker keeps one
+    name-set, not per-process refcounts. Attaching therefore re-registers
+    a name the owner already registered — a harmless set-add — and the
+    owner's eventual ``unlink`` unregisters it exactly once. Attachers
+    must NOT unregister here: with a shared tracker that would erase the
+    owner's crash-cleanup registration (and make the owner's unlink emit
+    a tracker ``KeyError``). Attach-only processes just ``close()``.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+def release_segment(
+    segment: shared_memory.SharedMemory, unlink: bool
+) -> None:
+    """Close (and for owners, unlink) a segment; safe to call twice.
+
+    ``BufferError`` from ``close()`` — live numpy views still reference
+    the mapping — is tolerated: the unlink still removes the name from the
+    namespace, and the physical pages are reclaimed once the last view's
+    process exits. Callers that want a clean close should drop their views
+    first.
+    """
+    try:
+        segment.close()
+    except BufferError:
+        pass
+    if unlink:
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+        _OWNED.pop(segment.name, None)
+
+
+def live_segment_names() -> Set[str]:
+    """Names of segments created by this process and not yet unlinked.
+
+    The leak detector's probe: a test that ends with more live segments
+    than it started with forgot a ``close()``/``release_segment`` call.
+    """
+    return set(_OWNED)
+
+
+def force_release_all() -> int:
+    """Unlink every still-owned segment; returns how many were cleaned.
+
+    Crash cleanup (registered at ``atexit``) and the test-suite leak
+    detector's remediation path — normal code releases its own segments.
+    """
+    cleaned = 0
+    for name in list(_OWNED):
+        segment = _OWNED.pop(name)
+        try:
+            segment.close()
+        except BufferError:
+            pass
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+        cleaned += 1
+    return cleaned
+
+
+atexit.register(force_release_all)

@@ -40,6 +40,7 @@ from repro.optim.aggregators import AllReduceAggregator, GradientAggregator
 from repro.optim.lr_scheduler import WarmupMultiStepSchedule
 from repro.optim.sgd import SGD
 from repro.perf.arena import GradientArena
+from repro.perf.procpool import ProcessWorkerPool, WorkerStepTask
 from repro.perf.replicas import ReplicaSet
 from repro.train.checkpoint import CheckpointError, CheckpointManager
 from repro.train.datasets import ArrayDataset
@@ -74,6 +75,9 @@ class DataParallelTrainer:
         parallel_workers: bool = False,
         membership: Optional["MembershipController"] = None,
         buffer_bytes: Optional[int] = None,
+        workers: Optional[str] = None,
+        worker_start_method: Optional[str] = None,
+        worker_step_timeout: Optional[float] = None,
     ):
         if batch_size_per_worker < 1:
             raise ValueError(
@@ -83,11 +87,28 @@ class DataParallelTrainer:
             raise ValueError(
                 f"accumulation_steps must be >= 1, got {accumulation_steps}"
             )
+        # ``workers`` selects the backprop backend; ``parallel_workers`` is
+        # the legacy boolean alias for the thread backend and still works.
+        if workers is None:
+            workers = "thread" if parallel_workers else "seq"
+        if workers not in ("seq", "thread", "process"):
+            raise ValueError(
+                f"workers must be 'seq', 'thread' or 'process', got {workers!r}"
+            )
+        if workers == "process" and not use_arena:
+            raise ValueError(
+                "workers='process' requires use_arena=True: worker processes "
+                "exchange gradients through the shared-memory arena slabs"
+            )
+        self.workers = workers
+        parallel_workers = workers == "thread"
         if membership is not None and parallel_workers:
             raise ValueError(
-                "membership and parallel_workers are mutually exclusive: the "
+                "membership and thread workers (parallel_workers) are "
+                "mutually exclusive: the "
                 "replica set is sized at construction and cannot follow an "
-                "elastic roster"
+                "elastic roster (workers='process' spawns joiners on demand "
+                "and composes with membership)"
             )
         self.model = model
         self.optimizer = optimizer
@@ -131,7 +152,12 @@ class DataParallelTrainer:
         self.parallel_workers = parallel_workers
         self.buffer_bytes = buffer_bytes
         self._arena: Optional[GradientArena] = (
-            GradientArena(model, self.world_size, bucket_bytes=buffer_bytes)
+            GradientArena(
+                model,
+                self.world_size,
+                bucket_bytes=buffer_bytes,
+                backing="shared" if workers == "process" else "private",
+            )
             if use_arena
             else None
         )
@@ -142,6 +168,7 @@ class DataParallelTrainer:
         )
         self._replicas: Optional[ReplicaSet] = None
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._procpool: Optional[ProcessWorkerPool] = None
         self._worker_loss_fns: List[CrossEntropyLoss] = [self.loss_fn]
         if parallel_workers and self.world_size > 1:
             self._replicas = ReplicaSet(model, self.world_size)
@@ -151,6 +178,18 @@ class DataParallelTrainer:
             self._pool = ThreadPoolExecutor(
                 max_workers=self.world_size,
                 thread_name_prefix="repro-worker",
+            )
+        elif workers == "process":
+            assert self._arena is not None
+            self._procpool = ProcessWorkerPool(
+                model,
+                self._arena,
+                train_data,
+                seed=seed,
+                batch_size=self.batch_size,
+                accumulation_steps=accumulation_steps,
+                start_method=worker_start_method,
+                step_timeout=worker_step_timeout,
             )
         # --- resilience state (inert when resilience is None) ---
         self.resilience = resilience
@@ -251,6 +290,54 @@ class DataParallelTrainer:
         per_worker = [grads for _, grads in results]
         return losses, per_worker
 
+    def _process_worker_gradients(
+        self, ranks: List[int]
+    ) -> Tuple[List[float], List[Dict[str, np.ndarray]]]:
+        """Run the live workers' passes in persistent child processes.
+
+        The parent copies the master weights into the shared broadcast
+        buffer, dispatches one task per live rank (children for newly
+        admitted ranks are spawned first — an admission-boundary cost,
+        never a steady-state one), and the children write their gradients
+        straight into the shared arena slabs. Only the loss scalars,
+        BatchNorm batch statistics, and allocation-counter deltas travel
+        back over the pipes; the statistics are replayed onto the master
+        in rank order, so the trajectory stays bit-identical to the
+        sequential loop while backprop uses every core.
+        """
+        pool = self._procpool
+        assert pool is not None and self._arena is not None
+        pool.ensure_ranks(ranks)
+        pool.broadcast_weights(self.model)
+        tasks = []
+        for slot, rank in enumerate(ranks):
+            if self.membership is None:
+                # Fixed sharding: each rank keeps its construction-time
+                # shard (ejections just drop a shard), mirroring
+                # ``train_shards``.
+                shard_index, shard_world = rank, self.world_size
+            else:
+                # Elastic re-sharding by roster position, mirroring
+                # ``_sync_roster``.
+                shard_index, shard_world = slot, len(ranks)
+            tasks.append(
+                WorkerStepTask(
+                    rank=rank,
+                    slot=slot,
+                    slab_segment=self._arena.segment_name(slot),
+                    shard_index=shard_index,
+                    shard_world=shard_world,
+                )
+            )
+        results = pool.run_step(tasks)
+        pool.replay_batch_stats(results)
+        pool.merge_alloc_stats(results)
+        losses = [result.loss for result in results]
+        per_worker = [
+            self._arena.grads(slot) for slot in range(len(ranks))
+        ]
+        return losses, per_worker
+
     def _live_ranks(self) -> List[int]:
         """The ranks participating in this step.
 
@@ -302,17 +389,24 @@ class DataParallelTrainer:
         see :mod:`repro.train.resilience` for the ladder.
         """
         ranks = self._live_ranks()
-        parallel = self._pool is not None and len(ranks) > 1
+        # Process mode routes *every* step through the pool — even a
+        # single-rank step — because the per-rank sampling streams live in
+        # the children; a parent-side pass would consume a stale stream.
+        process = self._procpool is not None
+        parallel = process or (self._pool is not None and len(ranks) > 1)
         # The reducer runs the clean path bucket by bucket. Hook-driven
         # (eager, WFBP) firing needs sequential workers — the final
         # worker's backward is the firing pass — and no resilience, whose
         # finite-checks must see the local gradients before any
         # communication. The resilient path still buckets, deferred, via
-        # ``_aggregate``.
+        # ``_aggregate``. Parallel backends (threads and processes alike)
+        # bucket deferred for the same reason.
         reducer = self._reducer if self.resilience is None else None
         if reducer is not None:
             reducer.begin_step(len(ranks), eager=not parallel)
-        if parallel:
+        if process:
+            losses, per_worker = self._process_worker_gradients(ranks)
+        elif parallel:
             losses, per_worker = self._parallel_worker_gradients(ranks)
         else:
             losses = []
@@ -481,6 +575,31 @@ class DataParallelTrainer:
                 f"training diverged: exceeded max_rollbacks="
                 f"{cfg.max_rollbacks} restorations"
             )
+
+    def close(self) -> None:
+        """Release worker pools and shared-memory segments (idempotent).
+
+        Only the process backend owns real OS resources (child processes,
+        ``/dev/shm`` segments), so sequential and thread trainers may skip
+        this — but shared arenas **must** be closed or the test suite's
+        leak detector will flag the run. ``with DataParallelTrainer(...)
+        as trainer:`` does it automatically.
+        """
+        if self._procpool is not None:
+            self._procpool.close()
+            self._procpool = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._arena is not None and self._arena.is_shared:
+            self._arena.unbind(self.model)
+            self._arena.close()
+
+    def __enter__(self) -> "DataParallelTrainer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def evaluate(self, max_batches: int = 0, batch_size: int = 256) -> float:
         """Test-set accuracy (full set unless ``max_batches`` limits it)."""

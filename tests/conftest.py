@@ -1,10 +1,80 @@
-"""Shared pytest fixtures."""
+"""Shared pytest fixtures and suite-wide resource guards."""
+
+import os
+import signal
+import threading
 
 import numpy as np
 import pytest
+
+from repro.perf import shm
 
 
 @pytest.fixture
 def rng():
     """A fresh deterministic generator per test."""
     return np.random.default_rng(12345)
+
+
+@pytest.fixture(autouse=True)
+def fail_on_leaked_shared_memory():
+    """Fail any test that leaks a ``SharedMemory`` segment.
+
+    Shared segments outlive the interpreter unless explicitly unlinked, so
+    "the GC will get it" is a real bug, not untidiness: a leaking test run
+    pins ``/dev/shm`` pages until reboot. Every segment this process
+    creates is registered in :mod:`repro.perf.shm`'s ownership registry;
+    a test that ends owning more segments than it started with forgot a
+    ``close()`` (``GradientArena.close``, ``ProcessWorkerPool.close``, or
+    ``DataParallelTrainer.close`` / ``with trainer:``). The leak is
+    force-released *and* the test fails, so one offender cannot poison
+    the leak check of every test after it.
+    """
+    before = shm.live_segment_names()
+    yield
+    leaked = shm.live_segment_names() - before
+    if leaked:
+        shm.force_release_all()
+        pytest.fail(
+            f"test leaked {len(leaked)} SharedMemory segment(s): "
+            f"{sorted(leaked)} — close the owning arena/pool/trainer "
+            "(e.g. `with trainer:` or trainer.close())"
+        )
+
+
+@pytest.fixture(autouse=True)
+def per_test_timeout():
+    """Optional per-test wall-clock guard (``REPRO_TEST_TIMEOUT`` seconds).
+
+    Process-worker tests can deadlock rather than fail when a pipe
+    protocol bug leaves the parent waiting on a child (or vice versa);
+    on CI that hangs the whole job until the runner is killed. Setting
+    ``REPRO_TEST_TIMEOUT=120`` arms a SIGALRM that turns such a hang into
+    an ordinary test failure. Off by default — local debugging sessions
+    should not be interrupted — and inert on platforms without SIGALRM
+    or off the main thread, where the alarm cannot be delivered safely.
+    """
+    budget = os.environ.get("REPRO_TEST_TIMEOUT", "")
+    usable = (
+        budget.isdigit()
+        and int(budget) > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded REPRO_TEST_TIMEOUT={budget}s (deadlocked "
+            "worker pool or pipe protocol?)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(int(budget))
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

@@ -51,9 +51,10 @@ class TestAutotune:
 class TestBench:
     def test_hot_path_bench_smoke(self, tmp_path, capsys):
         report_path = tmp_path / "bench.json"
-        code = main(["bench", "--workers", "2", "--base-width", "2",
+        code = main(["bench", "--world-size", "2", "--base-width", "2",
                      "--iters", "2", "--warmup", "1",
                      "--methods", "ssgd,randomk", "--no-train-step",
+                     "--workers", "none",
                      "--output", str(report_path)])
         assert code == 0
         out = capsys.readouterr().out
@@ -63,6 +64,37 @@ class TestBench:
         assert set(report["aggregate_step"]) == {"ssgd", "randomk"}
         crit = report["criteria"]
         assert crit["arena_fused_allocs_per_step"] == 0
+
+    def test_worker_mode_bench_records_breakdown(self, tmp_path, capsys):
+        """`--workers process` compares backends and records the criteria
+        (the thread baseline is pulled in automatically)."""
+        report_path = tmp_path / "bench.json"
+        code = main(["bench", "--world-size", "2", "--base-width", "2",
+                     "--iters", "2", "--warmup", "1",
+                     "--methods", "ssgd,signsgd,terngrad",
+                     "--no-train-step", "--no-buffer-sweep",
+                     "--workers", "process",
+                     "--output", str(report_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "process vs thread" in out
+        with open(report_path) as handle:
+            report = json.load(handle)
+        modes = report["worker_modes"]
+        assert set(modes) == {"ssgd", "signsgd", "terngrad"}
+        for row in modes.values():
+            assert set(row) >= {"thread", "process",
+                                "process_vs_thread_speedup"}
+            assert row["process"]["broadcast_mean_s"] > 0
+        crit = report["criteria"]
+        assert set(crit["process_vs_thread_speedup"]) == {
+            "ssgd", "signsgd", "terngrad"
+        }
+        assert crit["cpu_count"] >= 1
+
+    def test_rejects_unknown_worker_backend(self, capsys):
+        assert main(["bench", "--workers", "bogus"]) == 2
+        assert "unknown worker backend" in capsys.readouterr().out
 
 
 class TestTrain:
