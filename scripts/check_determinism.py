@@ -1,8 +1,9 @@
 #!/usr/bin/env python
 """Verify fault-injected, parallel-worker, elastic-churn, bucketed,
-gossip, and process-worker training are bit-deterministic.
+gossip, process-worker, and worker-crash-recovery training are
+bit-deterministic.
 
-Six checks, all diffing final weights bit-exactly:
+Seven checks, all diffing final weights bit-exactly:
 
 1. the same fault-injected resilient training job run twice — identical
    FaultPlan, identical seeds — must produce identical weights (hidden
@@ -31,11 +32,20 @@ Six checks, all diffing final weights bit-exactly:
    shared-memory arena slabs) must produce identical weights for every
    bucket-capable method — including a BatchNorm model and an elastic
    eject -> rejoin -> scale-up churn replay (cross-process rng-stream,
-   shard, weight-broadcast, or BatchNorm-replay drift shows up here).
+   shard, weight-broadcast, or BatchNorm-replay drift shows up here);
+7. a supervised run whose worker child is SIGKILLed mid-step must
+   recover bit-identically: under the ``"restart"`` policy the child is
+   respawned, its sampling stream replayed, and the step retried — the
+   weights must match the fault-free run exactly; under the ``"eject"``
+   policy the rank is ejected at the boundary and later readmitted — the
+   process-worker run must match a sequential twin simulating the same
+   WorkerFault schedule, and both must log the same eject -> rejoin
+   membership record (respawn-state, retry-replay, or stale-slab drift
+   shows up here).
 
 Usage:
     python scripts/check_determinism.py [--steps 6]
-Exit code 0 when all six PASS, 1 otherwise.
+Exit code 0 when all seven PASS, 1 otherwise.
 """
 
 import argparse
@@ -184,6 +194,40 @@ def run_gossip(windows: int):
     return cluster.honest_peers()[0].state_vector(), dict(report.quarantined)
 
 
+def run_supervised(steps: int, workers: str, on_failure, membership_on: bool):
+    """A supervised run with a worker child SIGKILLed mid-step (rank 1,
+    step 1). Returns (weights, membership log kinds or None)."""
+    from repro.elastic import MembershipController
+    from repro.faults import SupervisionPolicy, WorkerFault
+
+    plan = (
+        FaultPlan(seed=7, worker_faults=(WorkerFault("crash", rank=1, step=1),))
+        if on_failure is not None else FaultPlan(seed=7)
+    )
+    train_data, test_data = make_cifar_like(num_train=256, num_test=64, seed=3)
+    model = make_small_vgg(base_width=4, rng=np.random.default_rng(5))
+    group = ResilientProcessGroup(2, injector=FaultInjector(plan))
+    membership = MembershipController(group) if membership_on else None
+    policy = (
+        SupervisionPolicy(on_failure=on_failure, respawn_delay_steps=2)
+        if on_failure is not None else None
+    )
+    trainer = DataParallelTrainer(
+        model, SGD(model, lr=0.05, momentum=0.9),
+        make_aggregator("ssgd", group),
+        train_data, test_data, batch_size_per_worker=8, seed=13,
+        workers=workers, membership=membership, supervision=policy,
+        worker_step_timeout=30.0,
+    )
+    with trainer:
+        trainer.run(epochs=1, steps_per_epoch=steps, method_label="ssgd")
+    kinds = (
+        [change.kind for change in membership.log.changes]
+        if membership_on else None
+    )
+    return model.state_vector(), kinds
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--steps", type=int, default=6)
@@ -284,6 +328,39 @@ def main() -> int:
     else:
         print(f"FAIL: process-worker weights diverge from sequential for "
               f"{'; '.join(process_mismatched)}")
+        failures += 1
+
+    # Check 7: a worker child SIGKILLed mid-step (crash WorkerFault at
+    # rank 1, step 1) must recover bit-identically under both
+    # supervision rungs.
+    supervision_failed = []
+    clean, _ = run_supervised(args.steps, "process", None, False)
+    restarted, _ = run_supervised(args.steps, "process", "restart", False)
+    if not np.array_equal(clean, restarted):
+        diff = float(np.abs(clean - restarted).max())
+        supervision_failed.append(
+            f"restart diverged from fault-free (max |diff| = {diff:g})"
+        )
+    eject_steps = max(args.steps, 5)  # eject + scheduled rejoin need room
+    ejected, eject_log = run_supervised(eject_steps, "process", "eject", True)
+    twin, twin_log = run_supervised(eject_steps, "seq", "eject", True)
+    if not np.array_equal(ejected, twin):
+        diff = float(np.abs(ejected - twin).max())
+        supervision_failed.append(
+            f"eject diverged from sequential twin (max |diff| = {diff:g})"
+        )
+    if not eject_log == twin_log == ["eject", "rejoin"]:
+        supervision_failed.append(
+            f"eject -> rejoin record wrong: {eject_log} vs {twin_log}"
+        )
+    if not supervision_failed:
+        print(f"PASS: worker-crash recovery over {args.steps} steps (child "
+              "SIGKILLed mid-step) is bit-identical — restart matches the "
+              "fault-free run, eject -> respawn -> rejoin matches the "
+              "sequential twin")
+    else:
+        print(f"FAIL: worker-crash recovery drifted: "
+              f"{'; '.join(supervision_failed)}")
         failures += 1
     return 1 if failures else 0
 

@@ -16,6 +16,10 @@ Subcommands:
   them is adversarial, and the peer scorer quarantines every attacker;
 - ``faults`` — straggler/drop sensitivity of each method's iteration time
   (the "what does a 3-sigma straggler do to ACP-SGD vs S-SGD" question);
+- ``chaos`` — seeded randomized chaos campaigns across worker-process
+  supervision, elastic eject/rejoin, and gossip-over-faulty-store runs,
+  asserting bit-identity, zero shm leaks, and reconciling fault stats
+  under a global deadlock timeout;
 - ``plan`` — one-shot deployment recommendation (``--json`` emits the
   versioned schema the planning service serves);
 - ``serve`` — capacity-planning service loop: JSONL queries on stdin (or
@@ -392,6 +396,42 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.chaos import SCENARIOS, run_campaigns
+
+    scenarios = (
+        [s.strip() for s in args.scenarios.split(",") if s.strip()]
+        if args.scenarios
+        else list(SCENARIOS)
+    )
+
+    def on_timeout(signum, frame):
+        raise TimeoutError(
+            f"chaos run exceeded the global {args.timeout}s budget — "
+            f"a campaign deadlocked"
+        )
+
+    armed = hasattr(signal, "SIGALRM") and args.timeout > 0
+    if armed:
+        previous = signal.signal(signal.SIGALRM, on_timeout)
+        signal.alarm(args.timeout)
+    try:
+        report = run_campaigns(
+            scenarios=scenarios,
+            campaigns=args.campaigns,
+            seed=args.seed,
+            log=print,
+        )
+    finally:
+        if armed:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
+    print(report.render().splitlines()[-1])
+    return 0 if report.passed else 1
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     import json
 
@@ -663,6 +703,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write structured results to this JSON file "
                              "instead of printing tables")
     p_eval.set_defaults(func=cmd_evaluate)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="seeded chaos campaigns across the robustness subsystems",
+    )
+    p_chaos.add_argument("--campaigns", type=int, default=2,
+                         help="campaigns per scenario (each draws its own "
+                              "config from the seed)")
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="root seed; campaign k derives from (seed, k)")
+    p_chaos.add_argument("--scenarios", default="",
+                         help="comma-separated subset of: workers, elastic, "
+                              "gossip (default: all)")
+    p_chaos.add_argument("--timeout", type=int, default=600,
+                         help="global SIGALRM budget in seconds — a hang "
+                              "anywhere fails loudly instead of deadlocking "
+                              "(0 disables)")
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_bench = sub.add_parser(
         "bench", help="hot-path benchmark: legacy vs zero-copy arena"

@@ -120,6 +120,9 @@ class MembershipController:
         self.log = MembershipLog()
         self._events = list(plan.membership_events())
         self._cursor = 0
+        # Dynamically scheduled rejoins (the worker supervisor's
+        # respawn-and-rejoin requests): (boundaries remaining, rank).
+        self._dynamic: List[List[int]] = []
         self._trainer = None
 
     def bind(self, trainer) -> None:
@@ -133,7 +136,29 @@ class MembershipController:
     @property
     def pending_events(self) -> int:
         """Scheduled membership events not yet committed."""
-        return len(self._events) - self._cursor
+        return len(self._events) - self._cursor + len(self._dynamic)
+
+    def schedule_rejoin(self, rank: int, after_boundaries: int) -> None:
+        """Request a dynamic readmission of ``rank`` (supervisor path).
+
+        Plan events are known up front; a worker crash is not — the
+        supervisor discovers it mid-step and asks for the rank back
+        *here*. The rejoin commits at the ``after_boundaries``-th
+        :meth:`begin_step` from now, through the same admission protocol
+        as a plan :class:`~repro.faults.plan.Recovery`. With
+        ``after_boundaries=1`` it commits at the very boundary the
+        ejection does (eject-then-readmit: the roster never visibly
+        shrinks); larger values leave the world smaller for
+        ``after_boundaries - 1`` steps. Counting boundaries — not wall
+        clock — keeps the schedule bit-reproducible across backends.
+        """
+        if after_boundaries < 1:
+            raise ValueError(
+                f"after_boundaries must be >= 1, got {after_boundaries}"
+            )
+        if rank < 0:
+            raise ValueError(f"rank must be >= 0, got {rank}")
+        self._dynamic.append([after_boundaries, rank])
 
     def begin_step(self) -> List[int]:
         """Commit due ejections and admissions; returns the live roster.
@@ -161,6 +186,19 @@ class MembershipController:
                 self._admit(event.rank, rejoin=True)
             elif isinstance(event, Join):
                 self._admit(self.group.allocate_rank(), rejoin=False)
+        if self._dynamic:
+            due: List[int] = []
+            remaining: List[List[int]] = []
+            for boundaries, rank in self._dynamic:
+                if boundaries <= 1:
+                    due.append(rank)
+                else:
+                    remaining.append([boundaries - 1, rank])
+            self._dynamic = remaining
+            for rank in sorted(due):
+                if rank in self.group.live_ranks:
+                    continue
+                self._admit(rank, rejoin=True)
         return list(self.group.live_ranks)
 
     # ------------------------------------------------------------------

@@ -11,17 +11,25 @@ package supplies the missing fault model for the reproduction:
 - :mod:`repro.faults.resilient` — :class:`ResilientProcessGroup`, the
   self-healing group with checksum/finite detection, retry + exponential
   backoff, ring -> naive fallback, and rank ejection with rescaled
-  averaging.
+  averaging;
+- :mod:`repro.faults.supervisor` — worker-*process* supervision: the
+  typed :class:`WorkerDeadError` / :class:`WorkerTimeoutError` hierarchy
+  the process pool raises, and the :class:`SupervisionPolicy` /
+  :class:`WorkerSupervisor` pair that turns child death into a restart or
+  a membership event instead of a dead run.
 
 Trainer-level recovery (skip-step, compression fallback, checkpoint
 rollback) lives in :mod:`repro.train.resilience`; the analytical
 straggler/failure timing model for the simulator lives in
-:mod:`repro.sim.faults`. See ``docs/fault_tolerance.md`` for the taxonomy
-and the determinism guarantees.
+:mod:`repro.sim.faults`; the cross-subsystem chaos harness lives in
+:mod:`repro.chaos` (``python -m repro chaos``). See
+``docs/fault_tolerance.md`` for the taxonomy and the determinism
+guarantees.
 """
 
 from repro.faults.plan import (
     PEER_FAULT_KINDS,
+    WORKER_FAULT_KINDS,
     AttemptFaults,
     FaultEvent,
     FaultInjector,
@@ -31,6 +39,7 @@ from repro.faults.plan import (
     PermanentFailure,
     Recovery,
     TransientFailure,
+    WorkerFault,
     corrupt_payload,
 )
 from repro.faults.resilient import (
@@ -38,9 +47,17 @@ from repro.faults.resilient import (
     ResilienceStats,
     ResilientProcessGroup,
 )
+from repro.faults.supervisor import (
+    SupervisionPolicy,
+    WorkerDeadError,
+    WorkerError,
+    WorkerSupervisor,
+    WorkerTimeoutError,
+)
 
 __all__ = [
     "PEER_FAULT_KINDS",
+    "WORKER_FAULT_KINDS",
     "AttemptFaults",
     "FaultEvent",
     "FaultInjector",
@@ -50,8 +67,14 @@ __all__ = [
     "PermanentFailure",
     "Recovery",
     "TransientFailure",
+    "WorkerFault",
     "corrupt_payload",
     "BackoffPolicy",
     "ResilienceStats",
     "ResilientProcessGroup",
+    "SupervisionPolicy",
+    "WorkerDeadError",
+    "WorkerError",
+    "WorkerSupervisor",
+    "WorkerTimeoutError",
 ]

@@ -29,6 +29,9 @@ _CORRUPT_MODES = ("nan", "bitflip")
 #: Adversarial peer behaviours the gossip mode can schedule.
 PEER_FAULT_KINDS = ("corrupt-payload", "free-rider", "sign-flip", "lagging")
 
+#: Worker-process failure modes the supervisor must survive.
+WORKER_FAULT_KINDS = ("crash", "hang", "slow")
+
 #: Seed-tuple sentinel decoupling the backoff-jitter stream from the
 #: per-rank fault stream (ranks are always >= 0, so no collision).
 _JITTER_STREAM = 2**31 - 1
@@ -180,6 +183,53 @@ class PeerFault:
 
 
 @dataclass(frozen=True)
+class WorkerFault:
+    """One scheduled worker-process failure.
+
+    Unlike wire faults (which strike *collective calls*) and peer faults
+    (which strike *published updates*), worker faults strike the *compute*:
+    the worker executing ``rank``'s backprop misbehaves at training step
+    ``step``. Faults are self-applied — a process child reads the plan and
+    injects the failure into itself at the top of the task, *before any
+    batch draw*, so a respawned child replaying the rank's rng history
+    lands exactly where the dead one would have been. The sequential
+    backend simulates the same failure at the same point, which is what
+    makes ``workers="process"`` recovery comparable bit-for-bit against a
+    sequential baseline.
+
+    Attributes:
+        kind: one of :data:`WORKER_FAULT_KINDS` —
+            ``"crash"`` (the child SIGKILLs itself: pipe EOF, no exit
+            handler, no cleanup — the harshest death available),
+            ``"hang"`` (the child stops responding; only the parent's
+            per-step timeout can detect it), and
+            ``"slow"`` (the child sleeps ``delay_s`` then completes —
+            a straggler that must *not* trip supervision when the delay
+            stays under the step timeout).
+        rank: the struck worker's rank id.
+        step: 0-based trainer step index at which the fault fires.
+        delay_s: sleep for ``"slow"`` workers (ignored by other kinds).
+    """
+
+    kind: str
+    rank: int
+    step: int
+    delay_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKER_FAULT_KINDS:
+            raise ValueError(
+                f"kind must be one of {WORKER_FAULT_KINDS}, got {self.kind!r}"
+            )
+        if self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+        if self.step < 0:
+            raise ValueError(f"step must be >= 0, got {self.step}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Seeded description of the fault environment.
 
@@ -204,6 +254,9 @@ class FaultPlan:
             mode (:class:`PeerFault`); in gossip runs ``permanent`` /
             ``recoveries`` / ``joins`` events are interpreted with
             ``call_index`` meaning *window index*.
+        worker_faults: scheduled worker-process failures
+            (:class:`WorkerFault`), self-applied by process children and
+            simulated by the sequential backend at the same step.
     """
 
     seed: int = 0
@@ -217,6 +270,7 @@ class FaultPlan:
     recoveries: Tuple[Recovery, ...] = ()
     joins: Tuple[Join, ...] = ()
     peer_faults: Tuple[PeerFault, ...] = ()
+    worker_faults: Tuple[WorkerFault, ...] = ()
 
     def __post_init__(self) -> None:
         for rate_name in ("drop_rate", "corrupt_rate", "straggler_rate"):
@@ -238,6 +292,16 @@ class FaultPlan:
         object.__setattr__(self, "recoveries", tuple(self.recoveries))
         object.__setattr__(self, "joins", tuple(self.joins))
         object.__setattr__(self, "peer_faults", tuple(self.peer_faults))
+        object.__setattr__(self, "worker_faults", tuple(self.worker_faults))
+        by_cell: Set[Tuple[int, int]] = set()
+        for fault in self.worker_faults:
+            cell = (fault.rank, fault.step)
+            if cell in by_cell:
+                raise ValueError(
+                    f"multiple worker faults for rank {fault.rank} at step "
+                    f"{fault.step}; schedule at most one per (rank, step)"
+                )
+            by_cell.add(cell)
 
     def rank_rng(self, call_index: int, attempt: int, rank: int) -> np.random.Generator:
         """Deterministic generator for one (call, attempt, rank) cell."""
@@ -264,6 +328,18 @@ class FaultPlan:
     def adversarial_ranks(self) -> Set[int]:
         """Founding ranks with at least one scheduled peer fault."""
         return {fault.rank for fault in self.peer_faults}
+
+    def worker_fault_at(self, rank: int, step: int) -> Optional[WorkerFault]:
+        """The worker fault scheduled for ``rank`` at trainer step ``step``.
+
+        At most one per (rank, step) — enforced at construction — so both
+        the child applying it and the supervisor reconciling against it see
+        the same unambiguous schedule.
+        """
+        for fault in self.worker_faults:
+            if fault.rank == rank and fault.step == step:
+                return fault
+        return None
 
     def rank_down(self, call_index: int, attempt: int, rank: int) -> bool:
         """Whether a scheduled (non-random) outage silences this rank now."""

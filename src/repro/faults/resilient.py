@@ -124,6 +124,12 @@ class ResilienceStats:
     timeouts: int = 0
     ring_fallback_calls: int = 0
     degraded_calls: int = 0
+    #: Worker-process supervision (see :mod:`repro.faults.supervisor`):
+    #: child deaths detected, step-timeout hangs detected, and children
+    #: respawned (retry-in-place or re-seeded after an admission crash).
+    worker_crashes: int = 0
+    worker_timeouts: int = 0
+    worker_restarts: int = 0
     ejected_ranks: List[int] = field(default_factory=list)
     rejoined_ranks: List[int] = field(default_factory=list)
     joined_ranks: List[int] = field(default_factory=list)
@@ -158,6 +164,9 @@ class ResilienceStats:
             f"timeouts              {self.timeouts}",
             f"naive-fallback calls  {self.ring_fallback_calls}",
             f"degraded calls        {self.degraded_calls}",
+            f"worker crashes        {self.worker_crashes}",
+            f"worker timeouts       {self.worker_timeouts}",
+            f"worker restarts       {self.worker_restarts}",
             f"ejections             {self.ejections} {self.ejected_ranks or '[]'}",
             f"rejoins               {self.rejoins} {self.rejoined_ranks or '[]'}",
             f"joins                 {self.joins} {self.joined_ranks or '[]'}",
@@ -277,6 +286,20 @@ class ResilientProcessGroup(ProcessGroup):
         """Next never-used rank id for a :class:`~repro.faults.plan.Join`."""
         self._max_rank += 1
         return self._max_rank
+
+    def mark_worker_failed(self, rank: int) -> None:
+        """Treat ``rank`` as dead from *outside* evidence (a crashed child).
+
+        The communication layer marks ranks dead from wire evidence; the
+        worker supervisor marks them dead from process evidence (pipe EOF,
+        exitcode, step timeout). Either way the consequences are the same:
+        the rank contributes to no further collective this step (excluded
+        cost-free, averages rescale to the survivors) and the ejection
+        commits at the next :meth:`begin_step` boundary. Idempotent.
+        """
+        if rank not in self.live_ranks:
+            raise ValueError(f"rank {rank} is not in the live roster")
+        self._dead.add(rank)
 
     @property
     def call_index(self) -> int:

@@ -15,6 +15,9 @@ Entry points:
   peers through the window loop (the ``python -m repro gossip`` backend).
 - :class:`UpdateStore` / :class:`InMemoryStore` / :class:`FilesystemStore`
   — the communication fabric.
+- :class:`FaultyStore` / :class:`StoreFaultConfig` — seeded store-level
+  fault injection (drops, replication lag, torn fetches, outages) over
+  any backend, for the chaos harness and the robustness tests.
 - :class:`PeerScorer` / :class:`ScorerConfig` — the Byzantine screen.
 - :mod:`repro.sim.gossip` — window-length and staleness pricing on the
   calibrated link models.
@@ -27,6 +30,12 @@ from repro.gossip.scorer import (
     PeerRecord,
     PeerScorer,
     ScorerConfig,
+)
+from repro.gossip.faulty import (
+    FaultyStore,
+    StoreFaultConfig,
+    StoreFaultStats,
+    StoreUnavailableError,
 )
 from repro.gossip.store import FilesystemStore, InMemoryStore, UpdateStore
 from repro.gossip.trainer import (
@@ -46,6 +55,10 @@ __all__ = [
     "PeerRecord",
     "PeerScorer",
     "ScorerConfig",
+    "FaultyStore",
+    "StoreFaultConfig",
+    "StoreFaultStats",
+    "StoreUnavailableError",
     "FilesystemStore",
     "InMemoryStore",
     "UpdateStore",

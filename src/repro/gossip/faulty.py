@@ -1,0 +1,224 @@
+"""A seeded fault-injecting decorator over any :class:`UpdateStore`.
+
+The gossip stack's defenses (CRC screens, staleness stamps, quarantine
+scoring) were built against *peer* misbehaviour — but in a real
+deployment the store itself is the flakiest component: an object store
+times out, a PUT vanishes, a GET returns half an object, replication
+lags a write behind the window that needed it. :class:`FaultyStore`
+wraps any backend with exactly those failure modes, drawn from a seeded
+stream so every campaign replays bit-identically:
+
+- **dropped publishes** — the PUT is silently lost; other peers see the
+  publisher as absent for the window (indistinguishable from churn,
+  which is the point);
+- **delayed publishes** — the PUT succeeds but only becomes *visible*
+  ``delay_windows`` windows later (replication lag): it misses its own
+  window's aggregation and surfaces for late catch-up fetches;
+- **torn fetches** — the GET returns a strict prefix of the blob, which
+  the CRC screen must reject exactly like a corrupt-payload peer;
+- **unavailability windows** — every operation against a scheduled
+  window raises :class:`StoreUnavailableError`; the cluster degrades
+  (lost publish, empty fetch) instead of deadlocking.
+
+Every draw is keyed by ``(seed, window, crc32(peer_id), stream)`` — not
+by call order — so retried and repeated operations see the same fate,
+and two clusters over the same plan stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.gossip.store import UpdateStore
+
+#: Seed-tuple sentinels keeping the publish and fetch fate streams
+#: independent (the same convention as the trainer's fault streams).
+_PUBLISH_STREAM = 2**31 - 11
+_FETCH_STREAM = 2**31 - 12
+
+
+class StoreUnavailableError(RuntimeError):
+    """The store's backend is down for this window (timeout, 5xx, ...)."""
+
+    def __init__(self, op: str, window: int):
+        super().__init__(
+            f"update store unavailable for {op} in window {window}"
+        )
+        self.op = op
+        self.window = window
+
+
+@dataclass(frozen=True)
+class StoreFaultConfig:
+    """What goes wrong, how often, and when.
+
+    Attributes:
+        seed: root of the fate streams; same seed => same faults.
+        drop_publish_rate: probability a publish is silently lost.
+        delay_publish_rate: probability a publish is delivered late
+            (mutually exclusive with a drop: the drop die is rolled
+            first, then the delay die on the survivors).
+        delay_windows: visibility lag of a delayed publish, in windows.
+        torn_fetch_rate: per-(window, peer) probability a fetched blob
+            comes back as a strict prefix of the published bytes.
+        outage_windows: window indices during which every publish/fetch
+            raises :class:`StoreUnavailableError`.
+    """
+
+    seed: int = 0
+    drop_publish_rate: float = 0.0
+    delay_publish_rate: float = 0.0
+    delay_windows: int = 1
+    torn_fetch_rate: float = 0.0
+    outage_windows: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("drop_publish_rate", "delay_publish_rate",
+                     "torn_fetch_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.drop_publish_rate + self.delay_publish_rate > 1.0:
+            raise ValueError(
+                "drop_publish_rate + delay_publish_rate must be <= 1"
+            )
+        if self.delay_windows < 1:
+            raise ValueError(
+                f"delay_windows must be >= 1, got {self.delay_windows}"
+            )
+        object.__setattr__(
+            self, "outage_windows", tuple(self.outage_windows)
+        )
+        if any(window < 0 for window in self.outage_windows):
+            raise ValueError("outage_windows must all be >= 0")
+
+
+@dataclass
+class StoreFaultStats:
+    """What the wrapper actually did, for reports and chaos invariants."""
+
+    dropped_publishes: int = 0
+    delayed_publishes: int = 0
+    delivered_late: int = 0
+    torn_fetches: int = 0
+    unavailable_ops: int = 0
+
+    def render(self) -> str:
+        return "\n".join([
+            f"dropped publishes : {self.dropped_publishes}",
+            f"delayed publishes : {self.delayed_publishes}",
+            f"delivered late    : {self.delivered_late}",
+            f"torn fetches      : {self.torn_fetches}",
+            f"unavailable ops   : {self.unavailable_ops}",
+        ])
+
+
+def _peer_key(peer_id: str) -> int:
+    """A stable, platform-independent integer for seed tuples."""
+    return zlib.crc32(peer_id.encode("utf-8"))
+
+
+class FaultyStore(UpdateStore):
+    """Inject seeded store faults in front of any backend.
+
+    The wrapper is a pure decorator: it owns no blobs except the
+    in-flight delayed publishes, so wrapping and unwrapping the same
+    backend mid-run is safe, and ``inner`` can be shared (the backend
+    sees only well-formed operations).
+    """
+
+    def __init__(self, inner: UpdateStore, config: StoreFaultConfig):
+        self.inner = inner
+        self.config = config
+        self.stats = StoreFaultStats()
+        #: Delayed blobs by visibility window: release -> [(window,
+        #: peer_id, blob), ...] in publish order.
+        self._delayed: Dict[int, List[Tuple[int, str, bytes]]] = {}
+        #: Highest window any operation has referenced; delayed blobs
+        #: whose release window has been reached flush into ``inner``.
+        self._clock = -1
+
+    # ------------------------------------------------------------------
+    # Fate draws
+    # ------------------------------------------------------------------
+    def _rng(self, stream: int, window: int, peer_id: str) -> np.random.Generator:
+        return np.random.default_rng(
+            (self.config.seed, window, _peer_key(peer_id), stream)
+        )
+
+    def _advance(self, window: int) -> None:
+        """Move the visibility clock; flush delayed publishes now due."""
+        if window <= self._clock:
+            return
+        self._clock = window
+        for release in sorted(self._delayed):
+            if release > window:
+                break
+            for original_window, peer_id, blob in self._delayed.pop(release):
+                self.inner.publish(original_window, peer_id, blob)
+                self.stats.delivered_late += 1
+
+    # ------------------------------------------------------------------
+    # UpdateStore interface
+    # ------------------------------------------------------------------
+    def publish(self, window: int, peer_id: str, blob: bytes) -> None:
+        if window in self.config.outage_windows:
+            self.stats.unavailable_ops += 1
+            raise StoreUnavailableError("publish", window)
+        self._advance(window)
+        cfg = self.config
+        if cfg.drop_publish_rate or cfg.delay_publish_rate:
+            fate = float(self._rng(_PUBLISH_STREAM, window, peer_id).random())
+            if fate < cfg.drop_publish_rate:
+                self.stats.dropped_publishes += 1
+                return
+            if fate < cfg.drop_publish_rate + cfg.delay_publish_rate:
+                self.stats.delayed_publishes += 1
+                self._delayed.setdefault(
+                    window + cfg.delay_windows, []
+                ).append((window, peer_id, bytes(blob)))
+                return
+        self.inner.publish(window, peer_id, blob)
+
+    def fetch(self, window: int) -> Dict[str, bytes]:
+        if window in self.config.outage_windows:
+            self.stats.unavailable_ops += 1
+            raise StoreUnavailableError("fetch", window)
+        self._advance(window)
+        fetched = self.inner.fetch(window)
+        if not self.config.torn_fetch_rate:
+            return fetched
+        out: Dict[str, bytes] = {}
+        for peer_id, blob in fetched.items():
+            rng = self._rng(_FETCH_STREAM, window, peer_id)
+            if blob and float(rng.random()) < self.config.torn_fetch_rate:
+                # A strict prefix: at least 0, at most len-1 bytes — the
+                # length is drawn from the same keyed stream, so the same
+                # fetch always tears the same way.
+                keep = int(rng.integers(0, len(blob)))
+                out[peer_id] = blob[:keep]
+                self.stats.torn_fetches += 1
+            else:
+                out[peer_id] = blob
+        return out
+
+    def windows(self) -> List[int]:
+        return self.inner.windows()
+
+    def gc(self, keep_from: int) -> int:
+        # In-flight delayed blobs for collected windows will never be
+        # wanted again: drop them instead of resurrecting dead windows.
+        for release in list(self._delayed):
+            kept = [
+                entry for entry in self._delayed[release]
+                if entry[0] >= keep_from
+            ]
+            if kept:
+                self._delayed[release] = kept
+            else:
+                del self._delayed[release]
+        return self.inner.gc(keep_from)

@@ -166,7 +166,19 @@ class FilesystemStore(UpdateStore):
     def gc(self, keep_from: int) -> int:
         removed = 0
         for window in self.windows():
+            directory = self._window_dir(window)
             if window < keep_from:
-                shutil.rmtree(self._window_dir(window), ignore_errors=True)
+                shutil.rmtree(directory, ignore_errors=True)
                 removed += 1
+                continue
+            # A publisher that crashed between mkstemp and os.replace
+            # leaves its ``.tmp`` behind. ``fetch`` already ignores the
+            # strays (only ``.bin`` files are real); gc reclaims them so
+            # a long run's store footprint stays bounded by live blobs.
+            for name in os.listdir(directory):
+                if name.endswith(".tmp"):
+                    try:
+                        os.remove(os.path.join(directory, name))
+                    except OSError:
+                        pass  # already gone (concurrent gc) — fine
         return removed

@@ -45,6 +45,7 @@ from repro.compression.topk import exact_topk_mask
 from repro.elastic.membership import joiner_rng
 from repro.elastic.open_admission import allocate_peer_index, catch_up_plan
 from repro.faults.plan import FaultPlan, Join
+from repro.gossip.faulty import StoreUnavailableError
 from repro.gossip.scorer import Contribution, PeerScorer, ScorerConfig
 from repro.gossip.store import InMemoryStore, UpdateStore
 from repro.nn.loss import CrossEntropyLoss
@@ -527,11 +528,22 @@ class GossipCluster:
         self.store.publish(window, peer.peer_id, blob)
 
     def _decode_window(self, window: int) -> List[Contribution]:
-        """Decode (once) everything the store holds for ``window``."""
+        """Decode (once) everything the store holds for ``window``.
+
+        A store outage (:class:`~repro.gossip.faulty.StoreUnavailableError`)
+        decodes as an *empty* window — every peer simply coasts on its
+        local momentum, exactly as if nobody had published — rather than
+        killing the run. The empty decode is cached: within one window
+        the store's fate is a single fact, not a per-peer retry.
+        """
         if window not in self._decoded:
+            try:
+                fetched = self.store.fetch(window)
+            except StoreUnavailableError:
+                fetched = {}
             self._decoded[window] = [
                 decode_update(peer_id, blob, self.layout.total)
-                for peer_id, blob in self.store.fetch(window).items()
+                for peer_id, blob in fetched.items()
             ]
         return self._decoded[window]
 
@@ -547,7 +559,13 @@ class GossipCluster:
         if not active:
             raise RuntimeError(f"window {window}: no active peer left")
         for peer in active:
-            self._publish(peer, window)
+            try:
+                self._publish(peer, window)
+            except StoreUnavailableError:
+                # The PUT failed; the peer's local step still happened.
+                # Other peers see an absence — the same face a dropped
+                # publish or a churned-out peer shows.
+                continue
         contributions = self._decode_window(window)
         for peer in active:
             weights = peer.scorer.weigh_window(window, contributions)

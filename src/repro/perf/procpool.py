@@ -42,19 +42,41 @@ payload for free; ``spawn`` pickles it once at pool construction —
 model template, dataset, seeds — which is why the payload contains no
 live OS resources. Both start methods produce bit-identical
 trajectories; see ``docs/performance.md`` for the trade-offs.
+
+Supervision: children die and hang. The pool *detects* — pipe EOF or a
+dead ``exitcode`` raises :class:`~repro.faults.WorkerDeadError`, a
+blown ``step_timeout`` with the child still alive raises
+:class:`~repro.faults.WorkerTimeoutError` — and offers the recovery
+verbs (:meth:`ProcessWorkerPool.discard`, automatic rng-stream replay
+on respawn); *policy* lives in :mod:`repro.faults.supervisor` and the
+trainer. The pool records every completed task's ``(shard_index,
+shard_world)`` per rank, so a respawned child fast-forwards the rank's
+sampling stream through exactly the draws the dead child consumed —
+the invariant that keeps crash recovery bit-identical. Scheduled
+:class:`~repro.faults.WorkerFault` injections are *self-applied* by
+children (before any batch draw) from the pool's ``fault_plan``, so
+supervision is testable deterministically.
 """
 
 from __future__ import annotations
 
 import copy
+import os
+import signal
 import time
 import traceback
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 import multiprocessing
 import numpy as np
 
+from repro.faults.plan import FaultPlan, WorkerFault
+from repro.faults.supervisor import (
+    WorkerDeadError,
+    WorkerError,
+    WorkerTimeoutError,
+)
 from repro.nn.loss import CrossEntropyLoss
 from repro.nn.module import Module
 from repro.nn.norm import BatchNorm2d
@@ -83,6 +105,11 @@ class WorkerStepTask:
             this rank this step. The parent computes them with the same
             rules the sequential path uses, so shards stay pairwise
             disjoint and jointly exhaustive under churn.
+        step: 0-based trainer step index — the key scheduled
+            :class:`~repro.faults.WorkerFault` injections fire on.
+        suppress_fault: set on a supervised retry so the respawned child
+            does not re-apply the fault that killed its predecessor
+            (worker faults are one-shot, like a transient crash).
     """
 
     rank: int
@@ -90,6 +117,8 @@ class WorkerStepTask:
     slab_segment: str
     shard_index: int
     shard_world: int
+    step: int = 0
+    suppress_fault: bool = False
 
 
 @dataclass
@@ -147,23 +176,38 @@ def _carve_views(
     return views
 
 
-def _worker_main(conn, payload: dict) -> None:
+def _self_destruct() -> None:
+    """Die the hardest available death (no handlers, no cleanup)."""
+    if hasattr(signal, "SIGKILL"):
+        os.kill(os.getpid(), signal.SIGKILL)
+    os._exit(1)  # non-POSIX fallback: still skips every exit handler
+
+
+def _worker_main(conn, payload: dict, init_crash: bool = False) -> None:
     """Child entry point: serve backprop tasks until told to close.
 
     Runs one task at a time; all parallelism comes from the parent
     dispatching to several children at once. Never unlinks a segment —
     attach-only processes close, owners unlink.
+
+    ``init_crash`` makes the child SIGKILL itself *after* attaching the
+    broadcast buffer but before reporting ready — the worst moment to
+    die during admission (a segment is attached, nothing is cleaned up),
+    which is exactly what the crash-safety tests want to exercise.
     """
     model: Module = payload["model"]
     train_data: ArrayDataset = payload["train_data"]
     seed: int = payload["seed"]
     batch_size: int = payload["batch_size"]
     accumulation_steps: int = payload["accumulation_steps"]
+    fault_plan: Optional[FaultPlan] = payload.get("fault_plan")
     layout = ArenaLayout(
         [(name, param.shape) for name, param in model.named_parameters()]
     )
 
     weights_segment = shm.attach_segment(payload["weights_segment"])
+    if init_crash:
+        _self_destruct()
     weights = np.ndarray(
         (layout.total_elements,), dtype=np.float64, buffer=weights_segment.buf
     )
@@ -184,7 +228,51 @@ def _worker_main(conn, payload: dict) -> None:
     shards: Dict[Tuple[int, int], ArrayDataset] = {}
     slabs: Dict[str, Tuple[object, np.ndarray, Dict[str, np.ndarray]]] = {}
 
+    def apply_worker_fault(task: WorkerStepTask) -> None:
+        """Self-apply the plan's scheduled fault for this (rank, step).
+
+        Fires *before any batch draw*, so a crashed task consumes nothing
+        from the rank's sampling stream — the property that lets a
+        respawned child replay the completed-task history and land
+        exactly where the fault-free run would be.
+        """
+        if fault_plan is None or task.suppress_fault:
+            return
+        fault: Optional[WorkerFault] = fault_plan.worker_fault_at(
+            task.rank, task.step
+        )
+        if fault is None:
+            return
+        if fault.kind == "crash":
+            _self_destruct()
+        elif fault.kind == "hang":
+            while True:  # only the parent's step timeout ends this
+                time.sleep(0.05)
+        elif fault.kind == "slow":
+            time.sleep(fault.delay_s)
+
+    def fast_forward(rank: int, history: List[Tuple[int, int]]) -> None:
+        """Replay a dead predecessor's completed batch draws.
+
+        Consumes exactly the draws the previous child for ``rank`` made —
+        same shard geometry, same order, same bounds — so the stream
+        state after replay is bit-identical to the stream the parent
+        would hold in sequential mode. No forward pass runs: only the
+        rng advances.
+        """
+        rng = rngs.get(rank)
+        if rng is None:
+            rng = rngs[rank] = joiner_rng(seed, rank)
+        for shard_index, shard_world in history:
+            shard_key = (shard_index, shard_world)
+            shard = shards.get(shard_key)
+            if shard is None:
+                shard = shards[shard_key] = train_data.shard(*shard_key)
+            for _ in range(accumulation_steps):
+                shard.batch(rng, batch_size)
+
     def run_task(task: WorkerStepTask) -> WorkerStepResult:
+        apply_worker_fault(task)
         rng = rngs.get(task.rank)
         if rng is None:
             rng = rngs[task.rank] = joiner_rng(seed, task.rank)
@@ -239,6 +327,9 @@ def _worker_main(conn, payload: dict) -> None:
                 conn.send(("ok", result))
             except BaseException as exc:  # ship the failure, keep serving
                 conn.send(("error", repr(exc), traceback.format_exc()))
+        elif kind == "replay":
+            fast_forward(message[1], message[2])
+            conn.send(("replayed",))
         elif kind == "close":
             break
         else:
@@ -275,8 +366,14 @@ class ProcessWorkerPool:
             when the platform offers it. Spawn is slower to start but
             works everywhere; trajectories are bit-identical either way.
         step_timeout: optional per-step ceiling in seconds on waiting
-            for any one child's reply; a deadlocked or dead child then
-            raises instead of hanging the training loop forever.
+            for any one child's reply; a dead child then raises
+            :class:`~repro.faults.WorkerDeadError` and a deadlocked one
+            :class:`~repro.faults.WorkerTimeoutError` instead of hanging
+            the training loop forever.
+        fault_plan: optional :class:`~repro.faults.FaultPlan` whose
+            ``worker_faults`` the children self-apply at the scheduled
+            (rank, step) cells — deterministic chaos for the supervision
+            tests.
     """
 
     def __init__(
@@ -290,7 +387,13 @@ class ProcessWorkerPool:
         accumulation_steps: int = 1,
         start_method: Optional[str] = None,
         step_timeout: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
+        # ``close()`` must be safe on a partially constructed pool, so the
+        # attributes it reads exist before anything that can raise or leak.
+        self._children: Dict[int, Tuple[object, object]] = {}
+        self._closed = False
+        self._weights_segment = None
         if not arena.is_shared:
             raise ValueError(
                 "ProcessWorkerPool requires a shared-memory arena "
@@ -315,22 +418,35 @@ class ProcessWorkerPool:
         self._weights_segment = shm.create_segment(
             max(1, layout.total_elements) * 8
         )
-        self._weights = np.ndarray(
-            (layout.total_elements,),
-            dtype=np.float64,
-            buffer=self._weights_segment.buf,
-        )
-        self._weight_views = _carve_views(self._weights, layout)
-        self._payload = {
-            "model": _scrubbed_template(model),
-            "train_data": train_data,
-            "seed": seed,
-            "batch_size": batch_size,
-            "accumulation_steps": accumulation_steps,
-            "weights_segment": self._weights_segment.name,
-        }
-        self._children: Dict[int, Tuple[object, object]] = {}
-        self._closed = False
+        try:
+            self._weights = np.ndarray(
+                (layout.total_elements,),
+                dtype=np.float64,
+                buffer=self._weights_segment.buf,
+            )
+            self._weight_views = _carve_views(self._weights, layout)
+            self._payload = {
+                "model": _scrubbed_template(model),
+                "train_data": train_data,
+                "seed": seed,
+                "batch_size": batch_size,
+                "accumulation_steps": accumulation_steps,
+                "weights_segment": self._weights_segment.name,
+                "fault_plan": fault_plan,
+            }
+        except BaseException:
+            # Construction failed after the segment was created: release
+            # it here, because no caller ever gets a handle to close().
+            self.close()
+            raise
+        #: Completed-task history per rank: the (shard_index, shard_world)
+        #: geometry of every batch-drawing task the rank's child finished.
+        #: A respawned child replays it to fast-forward the rank's
+        #: sampling stream to exactly where the dead child left it.
+        self._history: Dict[int, List[Tuple[int, int]]] = {}
+        #: Ranks whose next ``_spawn`` should die mid-seed (test/chaos
+        #: seam for child-crash-during-admission coverage).
+        self._spawn_crashes: Dict[int, int] = {}
         #: Wall-clock seconds of the most recent weights broadcast and of
         #: the most recent dispatch->collect window (benchmark probes).
         self.last_broadcast_s = 0.0
@@ -346,34 +462,108 @@ class ProcessWorkerPool:
                 self._spawn(rank)
 
     def _spawn(self, rank: int) -> None:
+        init_crash = self._spawn_crashes.get(rank, 0) > 0
+        if init_crash:
+            self._spawn_crashes[rank] -= 1
         parent_conn, child_conn = self._ctx.Pipe()
         process = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, self._payload),
+            args=(child_conn, self._payload, init_crash),
             name=f"repro-worker-{rank}",
             daemon=True,
         )
         process.start()
         child_conn.close()
-        reply = self._recv(parent_conn, rank)
-        if reply != ("ready",):
-            raise RuntimeError(
-                f"worker process for rank {rank} failed to initialize: {reply}"
-            )
+        try:
+            reply = self._recv(parent_conn, rank, process, phase="spawn")
+            if reply != ("ready",):
+                raise WorkerError(
+                    rank,
+                    f"worker process for rank {rank} failed to initialize: "
+                    f"{reply!r}",
+                )
+            history = self._history.get(rank)
+            if history:
+                # A predecessor served this rank: fast-forward the fresh
+                # child's sampling stream through the completed draws.
+                parent_conn.send(("replay", rank, list(history)))
+                reply = self._recv(parent_conn, rank, process, phase="replay")
+                if reply != ("replayed",):
+                    raise WorkerError(
+                        rank,
+                        f"worker process for rank {rank} failed to replay "
+                        f"its stream history: {reply!r}",
+                    )
+        except WorkerError:
+            # Never leave a half-initialized child behind: close the pipe
+            # and reap (or kill) the process before propagating.
+            try:
+                parent_conn.close()
+            except OSError:
+                pass
+            if process.is_alive():
+                process.kill()
+            process.join(5.0)
+            raise
         self._children[rank] = (parent_conn, process)
 
-    def _recv(self, conn, rank: int):
+    def _recv(self, conn, rank: int, process=None, phase: str = "step"):
+        if process is None and rank in self._children:
+            process = self._children[rank][1]
         if self.step_timeout is not None and not conn.poll(self.step_timeout):
-            raise RuntimeError(
-                f"worker process for rank {rank} did not reply within "
-                f"{self.step_timeout}s (deadlocked or dead pool?)"
-            )
+            if process is not None and not process.is_alive():
+                process.join(1.0)
+                raise WorkerDeadError(rank, process.exitcode, phase=phase)
+            raise WorkerTimeoutError(rank, self.step_timeout)
         try:
             return conn.recv()
-        except EOFError:
-            raise RuntimeError(
-                f"worker process for rank {rank} died mid-step"
-            ) from None
+        except (EOFError, OSError):
+            exitcode = None
+            if process is not None:
+                process.join(5.0)
+                exitcode = process.exitcode
+            raise WorkerDeadError(rank, exitcode, phase=phase) from None
+
+    def discard(self, rank: int, timeout: float = 5.0) -> None:
+        """Forget ``rank``'s child: kill it if alive, reap it, close the
+        pipe (idempotent — discarding an unknown rank is a no-op).
+
+        The crash-safe half of supervision: a SIGKILLed child never ran
+        its cleanup, but it only ever *attached* segments — the parent
+        owns them through the :mod:`repro.perf.shm` registry, so reaping
+        the process and dropping the pipe reclaims everything the child
+        held (its mappings die with it; the slab stays valid under the
+        parent's ownership). The rank's task history is kept so a future
+        respawn replays the sampling stream.
+        """
+        entry = self._children.pop(rank, None)
+        if entry is None:
+            return
+        conn, process = entry
+        try:
+            conn.close()
+        except OSError:
+            pass
+        if process.is_alive():
+            process.kill()  # SIGKILL: a *hung* child won't honor terminate
+        process.join(timeout)
+
+    def respawn(self, rank: int) -> None:
+        """Replace ``rank``'s child with a fresh one, stream fast-forwarded."""
+        self.discard(rank)
+        self._spawn(rank)
+
+    def inject_spawn_crash(self, rank: int, times: int = 1) -> None:
+        """Arm ``times`` mid-seed deaths for ``rank``'s next spawn(s).
+
+        Deterministic injection seam for the child-crashes-during-
+        admission scenario: the next ``_spawn`` for ``rank`` dies by
+        SIGKILL after attaching the broadcast buffer, before reporting
+        ready.
+        """
+        if times < 1:
+            raise ValueError(f"times must be >= 1, got {times}")
+        self._spawn_crashes[rank] = self._spawn_crashes.get(rank, 0) + times
 
     @property
     def worker_ranks(self) -> List[int]:
@@ -396,28 +586,56 @@ class ProcessWorkerPool:
             np.copyto(self._weight_views[name], param.data)
         self.last_broadcast_s = time.perf_counter() - start
 
-    def run_step(self, tasks: List[WorkerStepTask]) -> List[WorkerStepResult]:
+    def run_step(
+        self, tasks: List[WorkerStepTask], capture_errors: bool = False
+    ) -> List[Union[WorkerStepResult, WorkerError]]:
         """Dispatch one step's tasks and collect replies in slot order.
 
         All tasks are sent before any reply is read, so children execute
-        concurrently; failures propagate with the child's traceback.
+        concurrently. A worker failure (death, hang past the step
+        timeout) raises the typed :class:`~repro.faults.WorkerError` it
+        classified to — or, with ``capture_errors=True`` (the supervised
+        path), lands *as that error object* in the result list so every
+        worker's outcome is collected before any recovery decision.
+        Task-level exceptions inside a healthy child always raise, with
+        the child's traceback: they are bugs, not process faults.
         """
         if self._closed:
             raise RuntimeError("run_step called on a closed pool")
         start = time.perf_counter()
+        send_failures: Dict[int, WorkerError] = {}
         for task in tasks:
-            conn, _ = self._children[task.rank]
-            conn.send(("step", task))
-        results: List[WorkerStepResult] = []
+            conn, process = self._children[task.rank]
+            try:
+                conn.send(("step", task))
+            except (BrokenPipeError, OSError):
+                process.join(1.0)
+                error = WorkerDeadError(task.rank, process.exitcode)
+                if not capture_errors:
+                    raise error from None
+                send_failures[task.rank] = error
+        results: List[Union[WorkerStepResult, WorkerError]] = []
         for task in tasks:
+            if task.rank in send_failures:
+                results.append(send_failures[task.rank])
+                continue
             conn, _ = self._children[task.rank]
-            reply = self._recv(conn, task.rank)
+            try:
+                reply = self._recv(conn, task.rank)
+            except WorkerError as error:
+                if not capture_errors:
+                    raise
+                results.append(error)
+                continue
             if reply[0] == "error":
                 raise RuntimeError(
                     f"worker process for rank {task.rank} failed: "
                     f"{reply[1]}\n{reply[2]}"
                 )
             results.append(reply[1])
+            self._history.setdefault(task.rank, []).append(
+                (task.shard_index, task.shard_world)
+            )
         self.last_workers_s = time.perf_counter() - start
         return results
 
@@ -430,6 +648,8 @@ class ProcessWorkerPool:
         """
         for layer_index, master_bn in enumerate(self._master_bns):
             for result in results:
+                if not isinstance(result, WorkerStepResult):
+                    continue  # supervised step: a failed worker computed nothing
                 for mean, var in result.batch_stats[layer_index]:
                     master_bn.apply_batch_stats(mean, var)
 
@@ -442,33 +662,58 @@ class ProcessWorkerPool:
         whole step no matter which process did the allocating.
         """
         for result in results:
-            ALLOC_STATS.merge(result.alloc_stats)
+            if isinstance(result, WorkerStepResult):
+                ALLOC_STATS.merge(result.alloc_stats)
 
     # ------------------------------------------------------------------
     # Teardown
     # ------------------------------------------------------------------
     def close(self, timeout: float = 5.0) -> None:
-        """Stop every child and release the broadcast buffer (idempotent)."""
-        if self._closed:
+        """Stop every child and release the broadcast buffer.
+
+        Idempotent and crash-safe by contract: a double close is a no-op,
+        a close after a child was SIGKILLed (broken pipes, zombie
+        processes) still reaps everything, and a close on a partially
+        constructed pool (construction failed mid-``__init__``) releases
+        whatever actually exists without raising. The broadcast segment
+        is the pool's only owned shm resource; it is released exactly
+        once through the :mod:`repro.perf.shm` ownership registry.
+        """
+        if getattr(self, "_closed", True) and getattr(
+            self, "_weights_segment", None
+        ) is None:
             return
         self._closed = True
-        for rank, (conn, process) in self._children.items():
+        for rank, (conn, process) in list(self._children.items()):
             try:
                 conn.send(("close",))
             except (BrokenPipeError, OSError):
-                pass
-        for rank, (conn, process) in self._children.items():
+                pass  # already dead: reaped below
+        for rank, (conn, process) in list(self._children.items()):
             try:
                 if conn.poll(timeout):
                     conn.recv()  # ("closed",)
             except (EOFError, OSError):
                 pass
-            conn.close()
+            try:
+                conn.close()
+            except OSError:
+                pass
             process.join(timeout)
             if process.is_alive():
                 process.terminate()
                 process.join(timeout)
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout)
         self._children = {}
-        del self._weight_views
-        del self._weights
-        shm.release_segment(self._weights_segment, unlink=True)
+        # Drop every view into the segment before releasing it; attribute
+        # existence is conditional when construction failed early.
+        if hasattr(self, "_weight_views"):
+            del self._weight_views
+        if hasattr(self, "_weights"):
+            del self._weights
+        segment = getattr(self, "_weights_segment", None)
+        if segment is not None:
+            self._weights_segment = None
+            shm.release_segment(segment, unlink=True)

@@ -57,6 +57,15 @@ class FaultModel:
           of resending the transfer itself.
         rank_down_s: seconds from iteration start during which a rank is
           down; collectives cannot start before it recovers.
+        worker_crash_prob: per-rank per-iteration probability that the
+          rank's worker *process* dies mid-step and is respawned in
+          place (the supervisor's ``"restart"`` rung): the crashed pass
+          re-runs after the respawn, so — under lockstep synchrony —
+          the iteration's compute doubles and every collective waits
+          out the respawn.
+        worker_respawn_s: cost of one child respawn (process start +
+          sampling-stream replay), paid per crash before collectives
+          may begin.
     """
 
     straggler_prob: float = 0.0
@@ -64,6 +73,8 @@ class FaultModel:
     drop_rate: float = 0.0
     retry_timeout_s: float = 0.01
     rank_down_s: float = 0.0
+    worker_crash_prob: float = 0.0
+    worker_respawn_s: float = 0.05
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.straggler_prob <= 1.0:
@@ -82,6 +93,15 @@ class FaultModel:
             )
         if self.rank_down_s < 0:
             raise ValueError(f"rank_down_s must be >= 0, got {self.rank_down_s}")
+        if not 0.0 <= self.worker_crash_prob <= 1.0:
+            raise ValueError(
+                f"worker_crash_prob must be in [0, 1], "
+                f"got {self.worker_crash_prob}"
+            )
+        if self.worker_respawn_s < 0:
+            raise ValueError(
+                f"worker_respawn_s must be >= 0, got {self.worker_respawn_s}"
+            )
 
     def sample_compute_slowdown(
         self, world_size: int, rng: np.random.Generator
@@ -95,6 +115,14 @@ class FaultModel:
         )
         return float(severities.max())
 
+    def sample_worker_crashes(
+        self, world_size: int, rng: np.random.Generator
+    ) -> int:
+        """How many worker processes die (and respawn) this iteration."""
+        if self.worker_crash_prob <= 0.0:
+            return 0
+        return int((rng.random(world_size) < self.worker_crash_prob).sum())
+
     def sample_retransmits(self, rng: np.random.Generator) -> int:
         """Geometric retransmission count for one transfer (capped)."""
         retries = 0
@@ -107,6 +135,15 @@ class FaultModel:
     ) -> List[Task]:
         """One faulty replay of ``tasks``: scaled compute, retried comm."""
         slowdown = self.sample_compute_slowdown(world_size, rng)
+        # Worker-crash draws are gated on the knob (not just zero-prob
+        # draws) so seeded traces from crash-free models replay exactly
+        # as they did before the knob existed.
+        crashes = self.sample_worker_crashes(world_size, rng)
+        if crashes:
+            # The supervised restart rung: the dead rank's pass re-runs
+            # after the respawn, and synchrony gates everyone on it.
+            slowdown *= 2.0
+        respawn_delay = crashes * self.worker_respawn_s
         out: List[Task] = []
         for task in tasks:
             work = task.work
@@ -117,8 +154,10 @@ class FaultModel:
                 retries = self.sample_retransmits(rng)
                 if retries:
                     work += retries * (task.work + self.retry_timeout_s)
-                if self.rank_down_s > 0.0:
-                    start_after = max(start_after, self.rank_down_s)
+                if self.rank_down_s > 0.0 or respawn_delay > 0.0:
+                    start_after = max(
+                        start_after, self.rank_down_s, respawn_delay
+                    )
             out.append(
                 Task(task.task_id, task.stream, work, task.deps,
                      tag=task.tag, contends=task.contends,

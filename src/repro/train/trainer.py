@@ -29,18 +29,28 @@ from __future__ import annotations
 
 import tempfile
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.elastic.membership import MembershipController, joiner_rng
+from repro.faults.supervisor import (
+    SupervisionPolicy,
+    WorkerError,
+    WorkerSupervisor,
+)
 from repro.nn.loss import CrossEntropyLoss
 from repro.nn.module import Module
 from repro.optim.aggregators import AllReduceAggregator, GradientAggregator
 from repro.optim.lr_scheduler import WarmupMultiStepSchedule
 from repro.optim.sgd import SGD
 from repro.perf.arena import GradientArena
-from repro.perf.procpool import ProcessWorkerPool, WorkerStepTask
+from repro.perf.procpool import (
+    ProcessWorkerPool,
+    WorkerStepResult,
+    WorkerStepTask,
+)
 from repro.perf.replicas import ReplicaSet
 from repro.train.checkpoint import CheckpointError, CheckpointManager
 from repro.train.datasets import ArrayDataset
@@ -78,6 +88,7 @@ class DataParallelTrainer:
         workers: Optional[str] = None,
         worker_start_method: Optional[str] = None,
         worker_step_timeout: Optional[float] = None,
+        supervision: Optional[SupervisionPolicy] = None,
     ):
         if batch_size_per_worker < 1:
             raise ValueError(
@@ -119,6 +130,47 @@ class DataParallelTrainer:
         self.membership = membership
         if membership is not None:
             membership.bind(self)
+        # --- worker-process supervision (inert when supervision is None) ---
+        self._supervisor: Optional[WorkerSupervisor] = None
+        if supervision is not None:
+            if workers not in ("seq", "process"):
+                raise ValueError(
+                    "supervision requires workers='process' (real child "
+                    "processes) or workers='seq' (the simulated twin the "
+                    f"determinism checks diff against); got workers={workers!r}"
+                )
+            if not use_arena:
+                raise ValueError(
+                    "supervision requires use_arena=True: a failed worker's "
+                    "slot contributes its (stale) arena slab to the step"
+                )
+            if supervision.on_failure == "eject" and membership is None:
+                raise ValueError(
+                    "supervision on_failure='eject' requires a "
+                    "MembershipController: ejections and scheduled rejoins "
+                    "commit through its admission protocol"
+                )
+            plan = None
+            if membership is not None:
+                plan = membership.plan
+            else:
+                injector = getattr(aggregator.group, "injector", None)
+                if injector is not None:
+                    plan = injector.plan
+            if (workers == "process" and worker_step_timeout is None
+                    and plan is not None
+                    and any(f.kind == "hang" for f in plan.worker_faults)):
+                raise ValueError(
+                    "the fault plan schedules 'hang' worker faults but "
+                    "worker_step_timeout is not set: a hung child is only "
+                    "observable through the step timeout, so the run would "
+                    "stall forever"
+                )
+            self._supervisor = WorkerSupervisor(
+                supervision,
+                plan=plan,
+                stats=getattr(aggregator.group, "stats", None),
+            )
         # Shards and sampling streams are keyed by *rank id*. Without a
         # membership controller the assignment is fixed at construction
         # (an ejected rank's shard is simply dropped); with one, the data
@@ -190,6 +242,11 @@ class DataParallelTrainer:
                 accumulation_steps=accumulation_steps,
                 start_method=worker_start_method,
                 step_timeout=worker_step_timeout,
+                fault_plan=(
+                    self._supervisor.plan
+                    if self._supervisor is not None
+                    else None
+                ),
             )
         # --- resilience state (inert when resilience is None) ---
         self.resilience = resilience
@@ -200,6 +257,11 @@ class DataParallelTrainer:
         self._divergent_streak = 0
         self._step_count = 0
         self._checkpoints: Optional[CheckpointManager] = None
+
+    @property
+    def supervisor(self) -> Optional[WorkerSupervisor]:
+        """The armed worker supervisor, or ``None`` (stats live on it)."""
+        return self._supervisor
 
     def _worker_gradients(
         self,
@@ -307,7 +369,7 @@ class DataParallelTrainer:
         """
         pool = self._procpool
         assert pool is not None and self._arena is not None
-        pool.ensure_ranks(ranks)
+        self._ensure_ranks_supervised(pool, ranks)
         pool.broadcast_weights(self.model)
         tasks = []
         for slot, rank in enumerate(ranks):
@@ -327,16 +389,140 @@ class DataParallelTrainer:
                     slab_segment=self._arena.segment_name(slot),
                     shard_index=shard_index,
                     shard_world=shard_world,
+                    step=self._step_count,
                 )
             )
-        results = pool.run_step(tasks)
+        results = pool.run_step(
+            tasks, capture_errors=self._supervisor is not None
+        )
+        failures = [
+            (index, result)
+            for index, result in enumerate(results)
+            if isinstance(result, WorkerError)
+        ]
+        if failures:
+            results = self._recover_process(pool, tasks, results, failures)
         pool.replay_batch_stats(results)
         pool.merge_alloc_stats(results)
-        losses = [result.loss for result in results]
+        losses = [
+            result.loss
+            for result in results
+            if isinstance(result, WorkerStepResult)
+        ]
         per_worker = [
             self._arena.grads(slot) for slot in range(len(ranks))
         ]
         return losses, per_worker
+
+    # ------------------------------------------------------------------
+    # Worker-process supervision
+    # ------------------------------------------------------------------
+    def _ensure_ranks_supervised(
+        self, pool: ProcessWorkerPool, ranks: List[int]
+    ) -> None:
+        """Spawn missing children, paying for admission-time crashes.
+
+        A child that dies while seeding (before reporting ready) raises a
+        typed :class:`WorkerError` out of ``ensure_ranks``. Under
+        supervision each such death costs one respawn from the budget and
+        the spawn is retried, so a transient admission crash never kills
+        the run; without a supervisor the typed error propagates.
+        """
+        while True:
+            try:
+                pool.ensure_ranks(ranks)
+                return
+            except WorkerError as error:
+                if self._supervisor is None:
+                    raise
+                self._supervisor.record_failure(error)
+                self._supervisor.consume_restart(error)
+
+    def _simulated_worker_failure(self, rank: int) -> Optional[WorkerError]:
+        """The failure a child would have suffered — the seq twin's view.
+
+        Only the sequential backend simulates: the process backend's
+        children self-apply the same plan, so simulating there would
+        double-fire every fault.
+        """
+        if self._supervisor is None or self.workers != "seq":
+            return None
+        fault = self._supervisor.scheduled_fault(rank, self._step_count)
+        if fault is None:
+            return None
+        return WorkerSupervisor.simulated_failure(fault)
+
+    def _recover_seq(self, error: WorkerError) -> bool:
+        """Handle a simulated failure; ``True`` = compute the pass anyway.
+
+        ``"restart"`` pays one respawn and computes in place — exactly
+        what the process backend's respawn-and-retry converges to, since
+        a crashed task consumes no batch draws. ``"eject"`` marks the
+        rank failed and skips its pass, degrading the step the way a
+        dead child does.
+        """
+        supervisor = self._supervisor
+        assert supervisor is not None
+        supervisor.record_failure(error)
+        if supervisor.policy.on_failure == "restart":
+            supervisor.consume_restart(error)
+            return True
+        self._eject_worker(error.rank)
+        return False
+
+    def _eject_worker(self, rank: int) -> None:
+        """Mark ``rank`` for boundary ejection; maybe schedule its rejoin."""
+        self.aggregator.group.mark_worker_failed(rank)
+        assert self._supervisor is not None
+        delay = self._supervisor.policy.respawn_delay_steps
+        if delay is not None and self.membership is not None:
+            self.membership.schedule_rejoin(rank, delay)
+
+    def _recover_process(
+        self,
+        pool: ProcessWorkerPool,
+        tasks: List[WorkerStepTask],
+        results: list,
+        failures: List[Tuple[int, WorkerError]],
+    ) -> list:
+        """Recover from real child failures after the step collected.
+
+        ``"restart"``: discard the dead/hung child, respawn it (sampling
+        stream fast-forwarded through the rank's completed-task history)
+        and re-run the failed task *within this step* with the fault
+        suppressed — the retried pass consumes exactly the draws the
+        fault-free run would have, so the trajectory stays bit-identical
+        to fault-free. A repeat failure of the same task raises.
+
+        ``"eject"``: discard the child and mark the rank failed; its
+        slot's stale slab feeds the (survivor-rescaled) aggregation and
+        the ejection commits at the next boundary.
+        """
+        supervisor = self._supervisor
+        assert supervisor is not None
+        retry_indices: List[int] = []
+        for index, error in failures:
+            supervisor.record_failure(error)
+            pool.discard(error.rank)
+            if supervisor.policy.on_failure == "restart":
+                supervisor.consume_restart(error)
+                retry_indices.append(index)
+            else:
+                self._eject_worker(error.rank)
+        if retry_indices:
+            retry_tasks = [
+                replace(tasks[index], suppress_fault=True)
+                for index in retry_indices
+            ]
+            self._ensure_ranks_supervised(
+                pool, [task.rank for task in retry_tasks]
+            )
+            retried = pool.run_step(retry_tasks)  # a repeat failure raises
+            for index, result in zip(retry_indices, retried):
+                results[index] = result
+        if not any(isinstance(r, WorkerStepResult) for r in results):
+            raise failures[0][1]
+        return results
 
     def _live_ranks(self) -> List[int]:
         """The ranks participating in this step.
@@ -403,7 +589,13 @@ class DataParallelTrainer:
         # bucket deferred for the same reason.
         reducer = self._reducer if self.resilience is None else None
         if reducer is not None:
-            reducer.begin_step(len(ranks), eager=not parallel)
+            # Supervision also forces deferred buckets: an ejected final
+            # worker never runs the firing backward pass, so hook-driven
+            # buckets could never complete the step.
+            reducer.begin_step(
+                len(ranks),
+                eager=not parallel and self._supervisor is None,
+            )
         if process:
             losses, per_worker = self._process_worker_gradients(ranks)
         elif parallel:
@@ -411,12 +603,24 @@ class DataParallelTrainer:
         else:
             losses = []
             per_worker = []
+            seq_failures: List[WorkerError] = []
             for slot, rank in enumerate(ranks):
                 if reducer is not None:
                     reducer.begin_worker(slot)
+                failure = self._simulated_worker_failure(rank)
+                if failure is not None and not self._recover_seq(failure):
+                    # Ejected: the slot contributes its stale slab —
+                    # exactly what the process backend aggregates when
+                    # the dead child never wrote this step.
+                    seq_failures.append(failure)
+                    assert self._arena is not None
+                    per_worker.append(self._arena.grads(slot))
+                    continue
                 loss, grads = self._worker_gradients(rank, slot)
                 losses.append(loss)
                 per_worker.append(grads)
+            if not losses:
+                raise seq_failures[0]
         mean_loss = float(np.mean(losses))
         self._step_count += 1
         if self.resilience is None:

@@ -1,0 +1,87 @@
+"""The chaos harness: seeded campaigns, honest verdicts, no leaks.
+
+Full multi-scenario campaigns run in the CI ``chaos`` job (``python -m
+repro chaos``); the tests here keep the harness itself honest — report
+rendering, input validation, the campaign seeding contract, and that a
+single cheap campaign runs green end-to-end and leaves the shm registry
+empty (enforced test-wide by the conftest guard).
+"""
+
+import pytest
+
+from repro.chaos import (
+    SCENARIOS,
+    CampaignResult,
+    ChaosReport,
+    run_campaigns,
+)
+
+pytestmark = pytest.mark.faults
+
+
+class TestReportRendering:
+    def test_pass_and_fail_verdicts(self):
+        green = CampaignResult("workers", 0, "world=2", duration_s=0.5)
+        red = CampaignResult(
+            "gossip", 1, "peers=3", failures=["weights diverged"],
+            duration_s=1.25,
+        )
+        assert green.passed and not red.passed
+        assert "[PASS] workers #0" in green.render()
+        rendered = red.render()
+        assert "[FAIL] gossip #1" in rendered
+        assert "weights diverged" in rendered
+
+    def test_report_aggregates(self):
+        report = ChaosReport(results=[
+            CampaignResult("workers", 0, "a"),
+            CampaignResult("elastic", 0, "b", failures=["boom"]),
+        ])
+        assert not report.passed
+        assert report.failures == 1
+        assert "2 campaigns, 1 failed" in report.render()
+        assert "all invariants held" not in report.render()
+
+    def test_all_green_banner(self):
+        report = ChaosReport(results=[CampaignResult("workers", 0, "a")])
+        assert report.passed
+        assert report.render().endswith("0 failed — all invariants held")
+
+
+class TestValidation:
+    def test_rejects_zero_campaigns(self):
+        with pytest.raises(ValueError, match="campaigns"):
+            run_campaigns(campaigns=0)
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(ValueError, match="unknown scenarios"):
+            run_campaigns(scenarios=("workers", "bogus"))
+
+    def test_scenario_registry_is_complete(self):
+        assert SCENARIOS == ("workers", "elastic", "gossip")
+
+
+class TestCampaigns:
+    def test_gossip_campaign_runs_green(self):
+        # The cheapest scenario: single-process, no worker children.
+        report = run_campaigns(scenarios=("gossip",), campaigns=1, seed=0)
+        assert len(report.results) == 1
+        (result,) = report.results
+        assert result.scenario == "gossip"
+        assert result.passed, result.render()
+
+    def test_workers_campaign_runs_green_and_logs(self):
+        # Seed 42's first workers campaign draws crash/slow faults (no
+        # hangs), so it completes without paying a timeout detection.
+        lines = []
+        report = run_campaigns(
+            scenarios=("workers",), campaigns=1, seed=42, log=lines.append
+        )
+        assert report.passed, report.render()
+        assert any("workers #0" in line for line in lines)
+
+    def test_campaign_config_is_seed_deterministic(self):
+        first = run_campaigns(scenarios=("gossip",), campaigns=1, seed=7)
+        second = run_campaigns(scenarios=("gossip",), campaigns=1, seed=7)
+        assert first.results[0].config == second.results[0].config
+        assert first.results[0].failures == second.results[0].failures
