@@ -1,9 +1,9 @@
 #!/usr/bin/env python
 """Verify fault-injected, parallel-worker, elastic-churn, bucketed,
-gossip, process-worker, and worker-crash-recovery training are
-bit-deterministic.
+gossip, process-worker, worker-crash-recovery, and topology-aware
+training are bit-deterministic.
 
-Seven checks, all diffing final weights bit-exactly:
+Eight checks, all diffing final weights bit-exactly:
 
 1. the same fault-injected resilient training job run twice — identical
    FaultPlan, identical seeds — must produce identical weights (hidden
@@ -41,11 +41,18 @@ Seven checks, all diffing final weights bit-exactly:
    process-worker run must match a sequential twin simulating the same
    WorkerFault schedule, and both must log the same eject -> rejoin
    membership record (respawn-state, retry-replay, or stale-slab drift
-   shows up here).
+   shows up here);
+8. the same clean training job run over the flat ring and over the
+   topology-aware hierarchical all-reduce
+   (``DataParallelTrainer(..., topology=...)``) must produce identical
+   weights for every bucket-capable method, monolithic and bucketed, on
+   a degenerate single-node topology and a 2-node x 2-GPU one (any
+   re-association of the reduction in the two-level schedule shows up
+   here).
 
 Usage:
     python scripts/check_determinism.py [--steps 6]
-Exit code 0 when all seven PASS, 1 otherwise.
+Exit code 0 when all eight PASS, 1 otherwise.
 """
 
 import argparse
@@ -138,19 +145,21 @@ def run_churn(steps: int, workers: str = "seq") -> np.ndarray:
 
 
 def run_bucketed(
-    steps: int, method: str, buffer_bytes, workers: str = "seq"
+    steps: int, method: str, buffer_bytes, workers: str = "seq",
+    world: int = 2, topology=None,
 ) -> np.ndarray:
-    """A clean run: monolithic (buffer_bytes=None) or bucketed, any backend."""
+    """A clean run: monolithic (buffer_bytes=None) or bucketed, any backend,
+    flat ring or (with ``topology``) hierarchical two-level all-reduce."""
     from repro.comm import ProcessGroup
 
     train_data, test_data = make_cifar_like(num_train=256, num_test=64, seed=3)
     model = make_small_vgg(base_width=4, rng=np.random.default_rng(5))
     kwargs = {"rank": 2} if method in ("powersgd", "acpsgd") else {}
-    aggregator = make_aggregator(method, ProcessGroup(2), **kwargs)
+    aggregator = make_aggregator(method, ProcessGroup(world), **kwargs)
     trainer = DataParallelTrainer(
         model, SGD(model, lr=0.05, momentum=0.9), aggregator,
         train_data, test_data, batch_size_per_worker=8, seed=13,
-        buffer_bytes=buffer_bytes, workers=workers,
+        buffer_bytes=buffer_bytes, workers=workers, topology=topology,
     )
     with trainer:
         trainer.run(epochs=1, steps_per_epoch=steps, method_label=method)
@@ -361,6 +370,50 @@ def main() -> int:
     else:
         print(f"FAIL: worker-crash recovery drifted: "
               f"{'; '.join(supervision_failed)}")
+        failures += 1
+
+    # Check 8: the topology-aware hierarchical all-reduce must be
+    # bit-identical to the flat ring — monolithic and bucketed — for every
+    # bucket-capable method, on a single 2-GPU node (degenerate hierarchy)
+    # and on 2 nodes x 2 GPUs (real two-level schedule). The canonical-fold
+    # contract of repro.comm.hierarchical is what this enforces.
+    from repro.comm import ClusterTopology
+    from repro.comm.cost_model import ETHERNET_10G
+    from repro.comm.topology import NVLINK2
+
+    topology_mismatched = []
+    for world, nodes in ((2, 1), (4, 2)):
+        topology = ClusterTopology(
+            num_nodes=nodes, gpus_per_node=world // nodes,
+            intra_link=NVLINK2, inter_link=ETHERNET_10G,
+        )
+        for method in bucketed_methods:
+            if world == 2:
+                flat = sequential_monolithic[method]
+            else:
+                flat = run_bucketed(
+                    args.steps, method, buffer_bytes=None, world=world
+                )
+            for buffer_bytes, label in ((None, "monolithic"),
+                                        (64 * 1024, "bucketed")):
+                hier = run_bucketed(
+                    args.steps, method, buffer_bytes=buffer_bytes,
+                    world=world, topology=topology,
+                )
+                if not np.array_equal(flat, hier):
+                    diff = float(np.abs(flat - hier).max())
+                    topology_mismatched.append(
+                        f"{method} {label} {nodes}x{world // nodes} "
+                        f"(max |diff| = {diff:g})"
+                    )
+    if not topology_mismatched:
+        print(f"PASS: hierarchical (topology-aware) all-reduce runs of "
+              f"{args.steps} steps are bit-identical to the flat ring for "
+              f"{', '.join(bucketed_methods)} (monolithic + bucketed, "
+              "1x2 and 2x2 topologies)")
+    else:
+        print(f"FAIL: hierarchical all-reduce diverges from the flat ring "
+              f"for {'; '.join(topology_mismatched)}")
         failures += 1
     return 1 if failures else 0
 

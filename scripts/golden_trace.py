@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Capture or check the golden simulator traces.
+
+``capture`` runs every scenario in ``tests/golden_scenarios.py`` and
+writes the per-task start/end times (IEEE-754 hex, so comparison is
+bit-exact) to ``tests/data/golden_traces.json``. ``check`` re-runs the
+scenarios and fails on any drift. The committed golden file was captured
+from the engine *before* the ``repro.sched`` refactor; ``check`` passing
+therefore proves the legacy ``Engine`` adapter reproduces the original
+records bit-for-bit.
+
+Usage::
+
+    PYTHONPATH=src:tests python scripts/golden_trace.py capture
+    PYTHONPATH=src:tests python scripts/golden_trace.py check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tests"))
+
+from golden_scenarios import iter_scenarios, run_scenario  # noqa: E402
+
+GOLDEN_FILE = os.path.join(REPO_ROOT, "tests", "data", "golden_traces.json")
+
+
+def capture() -> None:
+    traces = {}
+    for name, tasks, engine_kwargs in iter_scenarios():
+        traces[name] = run_scenario(tasks, engine_kwargs)
+        print(f"captured {name}: {len(traces[name])} records")
+    os.makedirs(os.path.dirname(GOLDEN_FILE), exist_ok=True)
+    with open(GOLDEN_FILE, "w") as handle:
+        json.dump(traces, handle, indent=0, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {len(traces)} scenarios to {GOLDEN_FILE}")
+
+
+def check() -> int:
+    with open(GOLDEN_FILE) as handle:
+        golden = json.load(handle)
+    failures = []
+    seen = set()
+    for name, tasks, engine_kwargs in iter_scenarios():
+        seen.add(name)
+        if name not in golden:
+            failures.append(f"{name}: missing from golden file (re-capture?)")
+            continue
+        actual = run_scenario(tasks, engine_kwargs)
+        expected = golden[name]
+        if actual != expected:
+            drift = [
+                task_id
+                for task_id in sorted(set(actual) | set(expected))
+                if actual.get(task_id) != expected.get(task_id)
+            ]
+            failures.append(
+                f"{name}: {len(drift)} drifted records, first: {drift[:3]}"
+            )
+        else:
+            print(f"ok {name}: {len(actual)} records bit-identical")
+    stale = sorted(set(golden) - seen)
+    if stale:
+        failures.append(f"stale golden scenarios: {stale}")
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("mode", choices=("capture", "check"))
+    args = parser.parse_args()
+    if args.mode == "capture":
+        capture()
+        return 0
+    return check()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

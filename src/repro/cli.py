@@ -45,6 +45,9 @@ from repro.sim.strategies import ALL_METHODS, ClusterSpec, SystemConfig
 MB = 1024 * 1024
 
 
+_INTRA_LINKS = ("NVLink2", "PCIe3x16")
+
+
 def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--model", default="BERT-Base",
                         help="ResNet-50 | ResNet-152 | BERT-Base | BERT-Large | ...")
@@ -53,10 +56,37 @@ def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--rank", type=int, default=32,
                         help="low-rank compression rank")
     parser.add_argument("--batch-size", type=int, default=None)
+    parser.add_argument("--nodes", type=int, default=0,
+                        help="model a two-level topology of this many nodes "
+                             "(--gpus must divide evenly; 0 = flat ring "
+                             "over --link)")
+    parser.add_argument("--intra-link", default="NVLink2",
+                        choices=_INTRA_LINKS,
+                        help="intra-node GPU link for --nodes topologies")
+
+
+def _topology_from(args: argparse.Namespace):
+    """The ClusterTopology requested via --nodes/--intra-link, or None."""
+    if not getattr(args, "nodes", 0):
+        return None
+    from repro.comm.topology import NVLINK2, PCIE3_X16, ClusterTopology
+
+    if args.gpus % args.nodes != 0:
+        raise SystemExit(
+            f"--gpus {args.gpus} is not divisible by --nodes {args.nodes}"
+        )
+    intra = NVLINK2 if args.intra_link == "NVLink2" else PCIE3_X16
+    return ClusterTopology(
+        num_nodes=args.nodes,
+        gpus_per_node=args.gpus // args.nodes,
+        intra_link=intra,
+        inter_link=SIM_LINKS[args.link],
+    )
 
 
 def _cluster_from(args: argparse.Namespace) -> ClusterSpec:
-    return ClusterSpec(world_size=args.gpus, link=SIM_LINKS[args.link])
+    return ClusterSpec(world_size=args.gpus, link=SIM_LINKS[args.link],
+                       topology=_topology_from(args))
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -324,6 +354,7 @@ def cmd_plan(args: argparse.Namespace) -> int:
     result = plan(
         args.model, gpus=args.gpus, link=args.link, rank=args.rank,
         batch_size=args.batch_size, tune_buffer=not args.no_tune,
+        topology=_topology_from(args),
     )
     if args.json:
         import json
@@ -434,6 +465,24 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     import json
+
+    if args.sim:
+        from repro.sched.bench import render_sim_report, run_sim_bench
+
+        report = run_sim_bench(
+            num_tasks=args.sim_tasks, streams=args.sim_streams,
+            seed=args.seed,
+        )
+        print(render_sim_report(report))
+        output = args.output
+        if output == "BENCH_hotpath.json":  # hot-path default; retarget
+            output = "BENCH_sim.json"
+        if output:
+            with open(output, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2)
+                handle.write("\n")
+            print(f"wrote report to {output}")
+        return 0
 
     if args.planner:
         from repro.serve.bench import render_report, run_planner_bench
@@ -756,6 +805,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="benchmark the planning service instead of "
                               "the training hot path (cold/warm q/s, hit "
                               "rate, p50/p99 latency)")
+    p_bench.add_argument("--sim", action="store_true",
+                         help="benchmark the scheduler-core event loop on "
+                              "a large gated task DAG instead (asserts "
+                              "determinism and near-linear gate-queue "
+                              "scaling -> BENCH_sim.json)")
+    p_bench.add_argument("--sim-tasks", type=int, default=20000,
+                         help="[--sim] tasks in the benchmark DAG")
+    p_bench.add_argument("--sim-streams", type=int, default=8,
+                         help="[--sim] parallel resource streams")
     p_bench.add_argument("--queries", type=int, default=12,
                          help="[--planner] unique queries in the grid")
     p_bench.add_argument("--max-workers", type=int, default=4,

@@ -28,6 +28,14 @@ from repro.comm.collectives import (
     reduce,
     reduce_scatter,
 )
+from repro.comm.hierarchical import (
+    all_reduce_hierarchical,
+    all_reduce_hierarchical_,
+    all_reduce_hierarchical_segment,
+    all_reduce_hierarchical_segment_,
+    hierarchical_steps,
+    hierarchical_traffic,
+)
 from repro.comm.process_group import ProcessGroup
 from repro.comm.cost_model import (
     LinkSpec,
@@ -67,6 +75,12 @@ __all__ = [
     "gather",
     "reduce",
     "reduce_scatter",
+    "all_reduce_hierarchical",
+    "all_reduce_hierarchical_",
+    "all_reduce_hierarchical_segment",
+    "all_reduce_hierarchical_segment_",
+    "hierarchical_steps",
+    "hierarchical_traffic",
     "ProcessGroup",
     "LinkSpec",
     "ETHERNET_1G",

@@ -8,11 +8,12 @@ how the test suite validates the complexity column of Table II.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.comm import collectives
+from repro.comm import collectives, hierarchical
+from repro.comm.topology import ClusterTopology
 
 
 class ProcessGroup:
@@ -35,7 +36,11 @@ class ProcessGroup:
     #: this False, forcing the aggregators back onto the copying path.
     supports_inplace = True
 
-    def __init__(self, world_size: int):
+    def __init__(
+        self,
+        world_size: int,
+        topology: Optional[ClusterTopology] = None,
+    ):
         if world_size < 1:
             raise ValueError(f"world_size must be >= 1, got {world_size}")
         self.world_size = world_size
@@ -43,6 +48,24 @@ class ProcessGroup:
         # Reusable snapshot block for the in-place ring; grows to the
         # largest call ever made and is then allocation-free per step.
         self._ring_scratch = collectives.RingScratch()
+        self.topology: Optional[ClusterTopology] = None
+        if topology is not None:
+            self.set_topology(topology)
+
+    def set_topology(self, topology: Optional[ClusterTopology]) -> None:
+        """Route all-reduces over a two-level node topology (or back to flat).
+
+        With a topology set, :meth:`all_reduce` / :meth:`all_reduce_` and
+        their segment variants execute the hierarchical schedule of
+        :mod:`repro.comm.hierarchical` — bit-identical values, two-level
+        traffic accounting. ``None`` restores the flat ring.
+        """
+        if topology is not None and topology.world_size != self.world_size:
+            raise ValueError(
+                f"topology world size {topology.world_size} != "
+                f"group world size {self.world_size}"
+            )
+        self.topology = topology
 
     def _check_world(self, buffers: Sequence[np.ndarray]) -> None:
         if len(buffers) != self.world_size:
@@ -53,9 +76,18 @@ class ProcessGroup:
     def all_reduce(
         self, buffers: Sequence[np.ndarray], average: bool = False
     ) -> List[np.ndarray]:
-        """Ring all-reduce (sum, or mean when ``average`` is set)."""
+        """Ring all-reduce (sum, or mean when ``average`` is set).
+
+        With a topology set (see :meth:`set_topology`), runs the two-level
+        hierarchical schedule instead — same results bit-for-bit.
+        """
         self._check_world(buffers)
-        results, stats = collectives.all_reduce_ring(buffers)
+        if self.topology is not None:
+            results, stats = hierarchical.all_reduce_hierarchical(
+                buffers, self.topology
+            )
+        else:
+            results, stats = collectives.all_reduce_ring(buffers)
         self.history.append(stats)
         if average:
             results = [res / self.world_size for res in results]
@@ -76,9 +108,14 @@ class ProcessGroup:
         arena slabs of :class:`repro.perf.arena.GradientArena`.
         """
         self._check_world(buffers)
-        stats = collectives.all_reduce_ring_inplace(
-            buffers, scratch=self._ring_scratch
-        )
+        if self.topology is not None:
+            stats = hierarchical.all_reduce_hierarchical_(
+                buffers, self.topology, scratch=self._ring_scratch
+            )
+        else:
+            stats = collectives.all_reduce_ring_inplace(
+                buffers, scratch=self._ring_scratch
+            )
         self.history.append(stats)
         if average:
             for buf in buffers:
@@ -102,9 +139,14 @@ class ProcessGroup:
         :func:`repro.comm.collectives.all_reduce_ring_segment_`).
         """
         self._check_world(buffers)
-        results, stats = collectives.all_reduce_ring_segment(
-            buffers, seg_start, total_length
-        )
+        if self.topology is not None:
+            results, stats = hierarchical.all_reduce_hierarchical_segment(
+                buffers, seg_start, total_length, self.topology
+            )
+        else:
+            results, stats = collectives.all_reduce_ring_segment(
+                buffers, seg_start, total_length
+            )
         self.history.append(stats)
         if average:
             results = [res / self.world_size for res in results]
@@ -125,9 +167,15 @@ class ProcessGroup:
         through it.
         """
         self._check_world(buffers)
-        stats = collectives.all_reduce_ring_segment_(
-            buffers, seg_start, total_length, scratch=self._ring_scratch
-        )
+        if self.topology is not None:
+            stats = hierarchical.all_reduce_hierarchical_segment_(
+                buffers, seg_start, total_length, self.topology,
+                scratch=self._ring_scratch,
+            )
+        else:
+            stats = collectives.all_reduce_ring_segment_(
+                buffers, seg_start, total_length, scratch=self._ring_scratch
+            )
         self.history.append(stats)
         if average:
             for buf in buffers:

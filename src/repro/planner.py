@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.comm.cost_model import LinkSpec
+from repro.comm.topology import ClusterTopology
 from repro.models import get_model_spec
 from repro.models.registry import PAPER_RANKS
 from repro.sim.autotune import TuneResult, autotune_buffer_size
@@ -105,6 +106,7 @@ def plan(
     tune_buffer: bool = True,
     methods: Optional[Sequence[str]] = None,
     topk_ratio: float = 0.001,
+    topology: Optional[ClusterTopology] = None,
 ) -> Plan:
     """Assess every method and recommend one for this deployment.
 
@@ -128,6 +130,11 @@ def plan(
             :data:`_CANDIDATES`). S-SGD is always simulated as the
             speedup baseline even when excluded from the assessments.
         topk_ratio: Top-k keep fraction (paper: 0.001).
+        topology: optional two-level node topology; when given (its world
+            size must equal ``gpus``) all-reduce durations are priced by
+            the best of the flat and hierarchical schedules (see
+            :mod:`repro.comm.topology`), so the recommendation accounts
+            for fast intra-node links.
     """
     if isinstance(link, LinkSpec):
         link_spec = link
@@ -148,7 +155,7 @@ def plan(
     spec = get_model_spec(model_name)
     rank = rank if rank is not None else PAPER_RANKS[model_name]
     batch = batch_size if batch_size is not None else spec.default_batch_size
-    cluster = ClusterSpec(gpus, link_spec)
+    cluster = ClusterSpec(gpus, link_spec, topology=topology)
 
     def assess(method: str) -> MethodAssessment:
         breakdown = simulate_iteration(

@@ -1,0 +1,126 @@
+"""Collective task-graph builders over a two-level cluster topology.
+
+These builders express the flat and hierarchical all-reduce schedules of
+:mod:`repro.comm.topology` as task DAGs over per-node resources, placed
+by the topology-aware scheduler. Running them through
+:class:`~repro.sched.engine.EventLoop` reproduces the analytic
+``flat_allreduce_time`` / ``hierarchical_allreduce_time`` makespans (and
+hence the flat-vs-hierarchical crossover) from first principles — per
+phase, per node, per link — instead of from one closed-form expression,
+which is what lets the same machinery answer questions the formula
+cannot (stragglers on one node, pools wider than one NIC, overlapping
+several collectives).
+
+Resource naming convention (one member per node, index = node):
+``node{i}:intra`` for the node's GPU-to-GPU link, ``node{i}:nic`` for
+its NIC. :func:`node_pools` builds the matching pools.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.comm.cost_model import allreduce_time
+from repro.comm.topology import ClusterTopology, _ring_phase_time
+from repro.sched.engine import EventLoop
+from repro.sched.graph import Task, TaskGraph
+from repro.sched.resources import ResourcePool
+from repro.sched.scheduler import TopologyPlacement
+
+#: Pool names used by the collective builders.
+INTRA_POOL = "intra"
+NIC_POOL = "nic"
+
+SCHEMES = ("flat", "hierarchical")
+
+
+def node_pools(topology: ClusterTopology) -> Tuple[ResourcePool, ResourcePool]:
+    """The per-node intra-link and NIC pools for a topology."""
+    nodes = range(topology.num_nodes)
+    return (
+        ResourcePool(INTRA_POOL, tuple(f"node{i}:intra" for i in nodes)),
+        ResourcePool(NIC_POOL, tuple(f"node{i}:nic" for i in nodes)),
+    )
+
+
+def build_allreduce_graph(
+    nbytes: float,
+    topology: ClusterTopology,
+    scheme: str = "hierarchical",
+    prefix: str = "",
+) -> TaskGraph:
+    """One all-reduce of ``nbytes`` as a placed task DAG.
+
+    ``"flat"``: a single ring over all GPUs — reduce-scatter then
+    all-gather, every step crossing the inter-node link, each node's NIC
+    busy for both phases.
+
+    ``"hierarchical"``: per-node intra reduce-scatter on the fast link,
+    an inter-node ring over the leaders (all local shards cross in
+    parallel but share each NIC, so each NIC carries the full buffer's
+    inter-ring traffic), then per-node intra all-gather. The inter phase
+    is a collective: it starts only once *every* node's reduce-scatter
+    is done.
+
+    Tasks carry node hints and pool-level streams; the returned graph is
+    already placed onto ``node{i}:intra`` / ``node{i}:nic`` by
+    :class:`~repro.sched.scheduler.TopologyPlacement`.
+    """
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+    if scheme not in SCHEMES:
+        raise ValueError(f"unknown scheme {scheme!r}; available: {SCHEMES}")
+
+    nodes = topology.num_nodes
+    graph = TaskGraph()
+    hints: Dict[str, int] = {}
+
+    def comm(task_id: str, work: float, deps: Tuple[str, ...],
+             pool: str, node: int) -> str:
+        task_id = prefix + task_id
+        graph.add(Task(task_id, pool, work,
+                       tuple(prefix + dep for dep in deps),
+                       tag="comm", contends=False))
+        hints[task_id] = node
+        return task_id
+
+    if scheme == "flat":
+        phase = _ring_phase_time(
+            nbytes, topology.world_size, topology.inter_link
+        )
+        rs_ids = tuple(
+            comm(f"flat_rs[n{i}]", phase, (), NIC_POOL, i)
+            for i in range(nodes)
+        )
+        bare_rs = tuple(tid[len(prefix):] for tid in rs_ids)
+        for i in range(nodes):
+            comm(f"flat_ag[n{i}]", phase, bare_rs, NIC_POOL, i)
+    else:
+        intra_phase = _ring_phase_time(
+            nbytes, topology.gpus_per_node, topology.intra_link
+        )
+        inter = allreduce_time(nbytes, nodes, topology.inter_link)
+        rs_ids = tuple(
+            comm(f"hier_rs[n{i}]", intra_phase, (), INTRA_POOL, i)
+            for i in range(nodes)
+        )
+        bare_rs = tuple(tid[len(prefix):] for tid in rs_ids)
+        for i in range(nodes):
+            comm(f"hier_inter[n{i}]", inter, bare_rs, NIC_POOL, i)
+        for i in range(nodes):
+            comm(f"hier_ag[n{i}]", intra_phase, (f"hier_inter[n{i}]",),
+                 INTRA_POOL, i)
+
+    placement = TopologyPlacement(topology, hints)
+    return placement.assign(graph, node_pools(topology))
+
+
+def simulate_allreduce_makespan(
+    nbytes: float,
+    topology: ClusterTopology,
+    scheme: str = "hierarchical",
+) -> float:
+    """Makespan of one all-reduce DAG through the event loop."""
+    graph = build_allreduce_graph(nbytes, topology, scheme)
+    records = EventLoop().run(graph)
+    return max((record.end for record in records.values()), default=0.0)

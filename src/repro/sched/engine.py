@@ -1,0 +1,179 @@
+"""The one event loop: processor-sharing simulation of a task graph.
+
+:class:`EventLoop` runs a :class:`~repro.sched.graph.TaskGraph` (or a
+plain task sequence) over any set of named resources, with
+
+- per-resource scheduling *disciplines* resolved through
+  :mod:`repro.sched.scheduler` (``"fifo"`` default, ``"priority"``, or
+  any object exposing ``select``),
+- a :class:`~repro.sched.resources.ResourceModel` supplying pairwise
+  contention rates (the legacy two-GPU slowdown is one pair),
+- ``start_after`` time gates consumed from a **sorted queue** as the
+  clock advances: the legacy engine rescanned every task per horizon
+  iteration (O(tasks) per event, quadratic overall); here the pending
+  gates are sorted once and a monotone cursor yields the next gate in
+  O(1). A task can never complete before its own gate, so entries the
+  clock has passed are dead forever and the cursor never backtracks —
+  records are identical, large gated DAGs run measurably faster
+  (``python -m repro bench --sim``).
+
+Semantics are bit-compatible with the original ``repro.sim.engine``
+loop (the golden-trace suite enforces this): zero-work tasks cascade at
+the current instant, completion uses the same ``1e-15`` epsilon, rate
+changes happen only at task completions or gate expirations, and the
+clock jumps over fully-gated regions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.sched.graph import Task, TaskGraph, TaskRecord
+from repro.sched.resources import ResourceModel
+from repro.sched.scheduler import FifoScheduler, resolve_discipline
+
+
+class EventLoop:
+    """Run a task graph to completion and return per-task records.
+
+    Args:
+        resources: pairwise contention model (default: no contention —
+            every resource always runs at full speed).
+        disciplines: per-resource discipline, as a registry name
+            (``"fifo"``/``"priority"``) or a scheduler object. Resources
+            not listed use ``default_discipline``.
+        default_discipline: discipline for unlisted resources.
+    """
+
+    def __init__(
+        self,
+        resources: Optional[ResourceModel] = None,
+        disciplines: Optional[Mapping[str, Union[str, object]]] = None,
+        default_discipline: Union[str, object] = "fifo",
+    ) -> None:
+        self.resources = resources if resources is not None else ResourceModel()
+        self.disciplines = {
+            stream: resolve_discipline(spec, stream)
+            for stream, spec in (disciplines or {}).items()
+        }
+        self._default = resolve_discipline(default_discipline, "<default>")
+
+    def run(
+        self, graph: Union[TaskGraph, Sequence[Task]]
+    ) -> Dict[str, TaskRecord]:
+        """Simulate the graph; returns records keyed by task_id.
+
+        Raises:
+            ValueError: duplicate ids, unknown dependencies, or a
+                deadlock (circular dependencies / FIFO head blocked
+                forever).
+        """
+        graph = TaskGraph.coerce(graph)
+        tasks = graph.tasks
+
+        queues: Dict[str, List[Task]] = {}
+        for task in tasks:  # submission order
+            queues.setdefault(task.stream, []).append(task)
+        heads: Dict[str, int] = {stream: 0 for stream in queues}
+        current: Dict[str, Optional[Task]] = {stream: None for stream in queues}
+        schedulers = {
+            stream: self.disciplines.get(stream, self._default)
+            for stream in queues
+        }
+
+        remaining: Dict[str, float] = {t.task_id: t.work for t in tasks}
+        started: Dict[str, float] = {}
+        done: Dict[str, float] = {}
+        now = 0.0
+
+        # Satellite: pending start_after gates, sorted once. gate_idx only
+        # moves forward — a task cannot finish before its own gate, so any
+        # entry with start_after <= now is spent for the rest of the run.
+        gated: Tuple[Task, ...] = tuple(sorted(
+            (t for t in tasks if t.start_after > 0.0),
+            key=lambda t: t.start_after,
+        ))
+        gate_idx = 0
+
+        def ready(task: Task) -> bool:
+            return (
+                all(dep in done for dep in task.deps)
+                and now >= task.start_after
+            )
+
+        def select(stream: str) -> Optional[Task]:
+            """The task this resource would run now (non-preemptive)."""
+            if current[stream] is not None:
+                return current[stream]
+            task, heads[stream] = schedulers[stream].select(
+                queues[stream], heads[stream], done, ready
+            )
+            return task
+
+        total = len(tasks)
+        while len(done) < total:
+            # Complete zero-work selectable tasks immediately (may cascade).
+            progressed = True
+            while progressed:
+                progressed = False
+                for stream in queues:
+                    task = select(stream)
+                    if task is not None and remaining[task.task_id] == 0.0:
+                        started.setdefault(task.task_id, now)
+                        done[task.task_id] = now
+                        current[stream] = None
+                        progressed = True
+            if len(done) == total:
+                break
+
+            # Determine active tasks.
+            active: Dict[str, Task] = {}
+            for stream in queues:
+                task = select(stream)
+                if task is not None:
+                    active[stream] = task
+                    current[stream] = task
+
+            while gate_idx < len(gated) and gated[gate_idx].start_after <= now:
+                gate_idx += 1
+
+            if not active:
+                # Everything runnable is time-gated: jump the clock to the
+                # earliest future gate whose dependencies are met.
+                jumped = False
+                for idx in range(gate_idx, len(gated)):
+                    candidate = gated[idx]
+                    if all(dep in done for dep in candidate.deps):
+                        now = candidate.start_after
+                        jumped = True
+                        break
+                if jumped:
+                    continue
+                pending = [t.task_id for t in tasks if t.task_id not in done]
+                raise ValueError(f"deadlock: no runnable task among {pending}")
+
+            rates = self.resources.rates(active)
+
+            # Advance to the earliest completion, but never past a pending
+            # task's start_after gate (an idle resource must be able to
+            # pick it up the moment it becomes eligible).
+            horizon = min(
+                remaining[task.task_id] / rates[stream]
+                for stream, task in active.items()
+            )
+            if gate_idx < len(gated):
+                horizon = min(horizon, gated[gate_idx].start_after - now)
+            for stream, task in active.items():
+                started.setdefault(task.task_id, now)
+                remaining[task.task_id] -= rates[stream] * horizon
+            now += horizon
+            for stream, task in list(active.items()):
+                if remaining[task.task_id] <= 1e-15:
+                    remaining[task.task_id] = 0.0
+                    done[task.task_id] = now
+                    current[stream] = None
+
+        return {
+            task.task_id: TaskRecord(task, started[task.task_id], done[task.task_id])
+            for task in tasks
+        }

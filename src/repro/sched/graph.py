@@ -1,0 +1,222 @@
+"""Typed task graphs: the unit of work the scheduling core runs.
+
+A :class:`Task` names a unit of simulated work on a *resource* (a GPU
+stream, a NIC, one node's PCIe complex — any string); a
+:class:`TaskGraph` is an ordered, validated collection of tasks with
+dependency edges. Graphs are what the strategy/pipeline/fault *builders*
+produce and what :class:`repro.sched.engine.EventLoop` consumes; they
+also support the structural transforms those builders need (prefixing
+for iteration chaining, dependency rewrites, per-task mapping) so no
+caller has to reconstruct ``Task`` tuples by hand.
+
+Submission order is semantically significant — FIFO disciplines replay
+it and priority disciplines use it to break ties — so every transform
+preserves it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+
+@dataclass
+class Task:
+    """One unit of simulated work.
+
+    Attributes:
+        task_id: unique name.
+        stream: resource this task runs on. The legacy engine used the
+            fixed trio ``gpu_main``/``gpu_side``/``nic``; the scheduling
+            core accepts any name (including a :class:`~repro.sched
+            .resources.ResourcePool` name to be resolved by a placement
+            scheduler).
+        work: seconds of work at full rate (>= 0).
+        deps: task_ids that must complete before this task may start.
+        tag: breakdown category — ``"forward"``, ``"backward"``,
+            ``"compression"``, ``"comm"`` or ``"other"``.
+        contends: whether this task competes for shared execution
+            resources. FLOP-heavy kernels (BP layers, compression GEMMs)
+            contend; launch-latency-bound work (tall-skinny QR, which
+            barely occupies the SMs) runs concurrently without mutual
+            slowdown. Contention between two resources applies only when
+            *both* current tasks contend.
+        priority: scheduling priority, used only on streams configured
+            with the ``"priority"`` discipline (higher runs first among
+            ready tasks). Models tensor-priority communication schedulers
+            (ByteScheduler / the paper's reference [3]).
+        start_after: wall-clock time before which this task may not
+            start, even if its dependencies are done. Models externally
+            imposed delays — a rank that is down until recovery, a
+            retransmit timeout — without inflating the task's own work.
+    """
+
+    task_id: str
+    stream: str
+    work: float
+    deps: Tuple[str, ...] = ()
+    tag: str = "other"
+    contends: bool = True
+    priority: int = 0
+    start_after: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise ValueError(f"task {self.task_id!r} has negative work {self.work}")
+        if self.start_after < 0:
+            raise ValueError(
+                f"task {self.task_id!r} has negative start_after {self.start_after}"
+            )
+
+
+@dataclass
+class TaskRecord:
+    """Execution record of one task."""
+
+    task: Task
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class TaskGraph:
+    """An ordered collection of :class:`Task` with dependency edges.
+
+    Duplicate ids are rejected at insertion; dangling dependency edges
+    are rejected by :meth:`validate` (run automatically by the event
+    loop), matching the legacy engine's two-pass validation order.
+    """
+
+    def __init__(self, tasks: Iterable[Task] = ()) -> None:
+        self._tasks: List[Task] = []
+        self._by_id: Dict[str, Task] = {}
+        self.extend(tasks)
+
+    # -- construction -------------------------------------------------
+    def add(self, task: Task) -> None:
+        if task.task_id in self._by_id:
+            raise ValueError(f"duplicate task id {task.task_id!r}")
+        self._by_id[task.task_id] = task
+        self._tasks.append(task)
+
+    def extend(self, tasks: Iterable[Task]) -> None:
+        for task in tasks:
+            self.add(task)
+
+    def validate(self) -> None:
+        """Reject dependency edges that point at no task in the graph."""
+        for task in self._tasks:
+            for dep in task.deps:
+                if dep not in self._by_id:
+                    raise ValueError(
+                        f"task {task.task_id!r} depends on unknown {dep!r}"
+                    )
+
+    @classmethod
+    def coerce(cls, obj: Union["TaskGraph", Sequence[Task]]) -> "TaskGraph":
+        """Accept a graph or a plain task sequence (the legacy API)."""
+        graph = obj if isinstance(obj, cls) else cls(obj)
+        graph.validate()
+        return graph
+
+    # -- inspection ---------------------------------------------------
+    @property
+    def tasks(self) -> Tuple[Task, ...]:
+        """All tasks in submission order."""
+        return tuple(self._tasks)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks)
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self._by_id
+
+    def get(self, task_id: str) -> Optional[Task]:
+        return self._by_id.get(task_id)
+
+    def resources(self) -> Tuple[str, ...]:
+        """Distinct resource names, in first-use order."""
+        seen: Dict[str, None] = {}
+        for task in self._tasks:
+            seen.setdefault(task.stream, None)
+        return tuple(seen)
+
+    def critical_path_work(self) -> float:
+        """Longest dependency chain by summed ``work`` (a makespan floor)."""
+        self.validate()
+        finish: Dict[str, float] = {}
+        for task in self._topological():
+            upstream = max((finish[dep] for dep in task.deps), default=0.0)
+            finish[task.task_id] = upstream + task.work
+        return max(finish.values(), default=0.0)
+
+    def _topological(self) -> List[Task]:
+        indegree = {t.task_id: len(t.deps) for t in self._tasks}
+        children: Dict[str, List[str]] = {t.task_id: [] for t in self._tasks}
+        for task in self._tasks:
+            for dep in task.deps:
+                children[dep].append(task.task_id)
+        frontier = [t.task_id for t in self._tasks if indegree[t.task_id] == 0]
+        order: List[Task] = []
+        while frontier:
+            task_id = frontier.pop()
+            order.append(self._by_id[task_id])
+            for child in children[task_id]:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    frontier.append(child)
+        if len(order) != len(self._tasks):
+            cyclic = sorted(tid for tid, deg in indegree.items() if deg > 0)
+            raise ValueError(f"dependency cycle through {cyclic}")
+        return order
+
+    # -- transforms (all preserve submission order) -------------------
+    def prefixed(self, prefix: str) -> "TaskGraph":
+        """Clone with every id (and dependency edge) prefixed."""
+        return TaskGraph(
+            replace(
+                task,
+                task_id=prefix + task.task_id,
+                deps=tuple(prefix + dep for dep in task.deps),
+            )
+            for task in self._tasks
+        )
+
+    def with_deps(self, deps: Mapping[str, Tuple[str, ...]]) -> "TaskGraph":
+        """Clone with the listed tasks' dependency tuples *replaced*."""
+        unknown = [task_id for task_id in deps if task_id not in self._by_id]
+        if unknown:
+            raise ValueError(f"with_deps: unknown task ids {unknown}")
+        return TaskGraph(
+            replace(task, deps=deps[task.task_id])
+            if task.task_id in deps else task
+            for task in self._tasks
+        )
+
+    def map_tasks(self, fn: Callable[[Task], Task]) -> "TaskGraph":
+        """Clone with ``fn`` applied to every task (fault perturbation)."""
+        return TaskGraph(fn(task) for task in self._tasks)
+
+    def merged(self, *others: "TaskGraph") -> "TaskGraph":
+        """Concatenate graphs (duplicate ids across parts are rejected)."""
+        graph = TaskGraph(self._tasks)
+        for other in others:
+            graph.extend(other.tasks)
+        return graph

@@ -27,9 +27,12 @@ from repro.serve.query import (
     PlanQuery,
     canonical_float,
     canonical_link,
+    canonical_topology,
     dumps_canonical,
     link_from_dict,
     link_to_dict,
+    topology_from_dict,
+    topology_to_dict,
 )
 from repro.serve.schema import (
     assessment_from_dict,
@@ -56,10 +59,13 @@ __all__ = [
     "assessment_to_dict",
     "canonical_float",
     "canonical_link",
+    "canonical_topology",
     "compute_plan_payload",
     "dumps_canonical",
     "link_from_dict",
     "link_to_dict",
+    "topology_from_dict",
+    "topology_to_dict",
     "plan_from_dict",
     "plan_payload",
     "plan_to_dict",

@@ -22,11 +22,13 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.comm.cost_model import LinkSpec
+from repro.comm.topology import ClusterTopology
 
 #: Version tag stamped on every serialized query and plan. Bump on any
 #: field change; readers reject documents from other versions instead of
 #: silently mis-parsing them.
-SCHEMA_VERSION = "repro.plan/1"
+#: /2: added the optional ``topology`` field (two-level node topology).
+SCHEMA_VERSION = "repro.plan/2"
 
 # Methods the planner (and therefore the service) knows how to assess.
 # Mirrors repro.planner._CANDIDATES; imported lazily there to keep this
@@ -89,6 +91,37 @@ def link_from_dict(doc: Dict[str, object]) -> LinkSpec:
     ))
 
 
+def canonical_topology(topology: ClusterTopology) -> ClusterTopology:
+    """Return ``topology`` with both link levels canonicalized."""
+    return ClusterTopology(
+        num_nodes=int(topology.num_nodes),
+        gpus_per_node=int(topology.gpus_per_node),
+        intra_link=canonical_link(topology.intra_link),
+        inter_link=canonical_link(topology.inter_link),
+    )
+
+
+def topology_to_dict(topology: ClusterTopology) -> Dict[str, object]:
+    """JSON-safe form of a (canonicalized) topology."""
+    topology = canonical_topology(topology)
+    return {
+        "num_nodes": topology.num_nodes,
+        "gpus_per_node": topology.gpus_per_node,
+        "intra_link": link_to_dict(topology.intra_link),
+        "inter_link": link_to_dict(topology.inter_link),
+    }
+
+
+def topology_from_dict(doc: Dict[str, object]) -> ClusterTopology:
+    """Inverse of :func:`topology_to_dict`."""
+    return canonical_topology(ClusterTopology(
+        num_nodes=int(doc["num_nodes"]),  # type: ignore[arg-type]
+        gpus_per_node=int(doc["gpus_per_node"]),  # type: ignore[arg-type]
+        intra_link=link_from_dict(doc["intra_link"]),  # type: ignore[arg-type]
+        inter_link=link_from_dict(doc["inter_link"]),  # type: ignore[arg-type]
+    ))
+
+
 def dumps_canonical(doc: object) -> str:
     """Deterministic JSON: sorted keys, no whitespace, ASCII only.
 
@@ -115,6 +148,11 @@ class PlanQuery:
         methods: candidate grid the planner assesses.
         topk_ratio: Top-k keep fraction for the grid's ``topk`` entry.
         tune_buffer: run the fusion-buffer autotuner for the winner.
+        topology: optional two-level node topology (canonicalized; its
+            world size must equal ``gpus``). When set, the planner prices
+            all-reduces by the best of the flat and hierarchical
+            schedules. ``None`` (flat ``link`` only) remains a distinct
+            query from any explicit topology.
     """
 
     model: str
@@ -125,6 +163,7 @@ class PlanQuery:
     methods: Tuple[str, ...] = QUERY_METHODS
     topk_ratio: float = 0.001
     tune_buffer: bool = True
+    topology: Optional[ClusterTopology] = None
 
     def __post_init__(self) -> None:
         if self.gpus < 1:
@@ -160,6 +199,15 @@ class PlanQuery:
             self, "topk_ratio", canonical_float(self.topk_ratio, "topk_ratio")
         )
         object.__setattr__(self, "tune_buffer", bool(self.tune_buffer))
+        if self.topology is not None:
+            if self.topology.world_size != self.gpus:
+                raise ValueError(
+                    f"topology world size {self.topology.world_size} != "
+                    f"gpus {self.gpus}"
+                )
+            object.__setattr__(
+                self, "topology", canonical_topology(self.topology)
+            )
 
     def to_dict(self) -> Dict[str, object]:
         """Versioned JSON-safe form (shared by the CLI and the service)."""
@@ -173,6 +221,8 @@ class PlanQuery:
             "methods": list(self.methods),
             "topk_ratio": self.topk_ratio,
             "tune_buffer": self.tune_buffer,
+            "topology": (None if self.topology is None
+                         else topology_to_dict(self.topology)),
         }
 
     @classmethod
@@ -194,6 +244,8 @@ class PlanQuery:
             methods=tuple(doc.get("methods", QUERY_METHODS)),  # type: ignore[arg-type]
             topk_ratio=float(doc.get("topk_ratio", 0.001)),  # type: ignore[arg-type]
             tune_buffer=bool(doc.get("tune_buffer", True)),
+            topology=(None if doc.get("topology") is None
+                      else topology_from_dict(doc["topology"])),  # type: ignore[arg-type]
         )
 
     def cache_key(self) -> str:

@@ -101,6 +101,7 @@ def compute_plan_payload(query: PlanQuery) -> str:
         tune_buffer=query.tune_buffer,
         methods=query.methods,
         topk_ratio=query.topk_ratio,
+        topology=query.topology,
     )
     return plan_payload(result)
 
@@ -134,8 +135,13 @@ class PlannerService:
         self._computes = 0
         self._coalesced = 0
         #: Links this service can resolve by name in JSONL queries:
-        #: the simulator presets plus anything registered by recalibrate().
+        #: the network presets, the intra-node presets (for topology
+        #: queries), plus anything registered by recalibrate().
+        from repro.comm.topology import NVLINK2, PCIE3_X16
+
         self.links: Dict[str, LinkSpec] = dict(SIM_LINKS)
+        self.links[NVLINK2.name] = NVLINK2
+        self.links[PCIE3_X16.name] = PCIE3_X16
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -380,13 +386,26 @@ def serve_jsonl(
             continue
         try:
             doc = json.loads(raw)
+
+            def named_link(value):
+                # A bare-string link resolves against the service's
+                # registry (presets + recalibrated fits).
+                if not isinstance(value, str):
+                    return value
+                link = service.resolve_link(value)
+                return {"name": value, "alpha": link.alpha,
+                        "beta": link.beta,
+                        "nominal_gbps": link.nominal_gbps}
+
             if isinstance(doc.get("link"), str):
                 doc = dict(doc)
-                doc["link"] = {
-                    **{"name": doc["link"]},
-                    **{k: getattr(service.resolve_link(doc["link"]), k)
-                       for k in ("alpha", "beta", "nominal_gbps")},
-                }
+                doc["link"] = named_link(doc["link"])
+            if isinstance(doc.get("topology"), dict):
+                doc = dict(doc)
+                topo = dict(doc["topology"])
+                topo["intra_link"] = named_link(topo.get("intra_link"))
+                topo["inter_link"] = named_link(topo.get("inter_link"))
+                doc["topology"] = topo
             batch.append(PlanQuery.from_dict(doc))
         except Exception as exc:  # noqa: BLE001 — reported per line
             errors[position] = f"{type(exc).__name__}: {exc}"

@@ -1,20 +1,32 @@
-"""Processor-sharing discrete-event engine.
+"""Legacy engine facade over the :mod:`repro.sched` scheduling core.
 
-Simulates FIFO task streams over named resources. Two GPU streams
-(``gpu_main`` and ``gpu_side``) interfere: while both are busy, each
-progresses at ``contention_rate`` of full speed (the paper's compute
-resource competition between back-propagation and Power-SGD*'s hook
-compression, §III-C / Fig. 4(b)). The ``nic`` resource is independent.
+Historically this module owned the whole discrete-event loop, hard-coded
+to three streams. The loop now lives in
+:class:`repro.sched.engine.EventLoop` over arbitrary named resources and
+pluggable schedulers; this module keeps the original API — ``Task``,
+``TaskRecord``, ``Engine``, and the three canonical stream names — as a
+thin adapter so every existing caller and trace stays bit-identical
+(``scripts/golden_trace.py`` enforces this against records captured from
+the pre-refactor engine).
 
-Streams are strict FIFO: a stream's head task may wait on dependencies, and
-tasks behind it cannot overtake — matching CUDA stream and NCCL queue
-semantics.
+Semantics, unchanged: two GPU streams (``gpu_main`` and ``gpu_side``)
+interfere — while both are busy with contending work, each progresses at
+``contention_rate`` of full speed (the paper's compute resource
+competition between back-propagation and Power-SGD*'s hook compression,
+§III-C / Fig. 4(b)). The ``nic`` resource is independent. Streams are
+strict FIFO unless given the ``"priority"`` discipline: a stream's head
+task may wait on dependencies, and tasks behind it cannot overtake —
+matching CUDA stream and NCCL queue semantics.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
+
+from repro.sched.engine import EventLoop
+from repro.sched.graph import Task, TaskGraph, TaskRecord
+from repro.sched.resources import ResourceModel
+from repro.sched.scheduler import DISCIPLINES
 
 GPU_MAIN = "gpu_main"
 GPU_SIDE = "gpu_side"
@@ -22,67 +34,23 @@ NIC = "nic"
 
 _CONTENDING = (GPU_MAIN, GPU_SIDE)
 
-
-@dataclass
-class Task:
-    """One unit of simulated work.
-
-    Attributes:
-        task_id: unique name.
-        stream: resource this task runs on (``gpu_main``/``gpu_side``/``nic``).
-        work: seconds of work at full rate (>= 0).
-        deps: task_ids that must complete before this task may start.
-        tag: breakdown category — ``"forward"``, ``"backward"``,
-            ``"compression"``, ``"comm"`` or ``"other"``.
-        contends: whether this task competes for GPU execution resources.
-            FLOP-heavy kernels (BP layers, compression GEMMs) contend;
-            launch-latency-bound work (tall-skinny QR, which barely occupies
-            the SMs) runs concurrently without mutual slowdown. Contention
-            between the two GPU streams applies only when *both* current
-            tasks contend.
-        priority: scheduling priority, used only on streams configured with
-            the ``"priority"`` discipline (higher runs first among ready
-            tasks). Models tensor-priority communication schedulers
-            (ByteScheduler / the paper's reference [3]).
-        start_after: wall-clock time before which this task may not start,
-            even if its dependencies are done. Models externally imposed
-            delays — a rank that is down until recovery, a retransmit
-            timeout — without inflating the task's own work.
-    """
-
-    task_id: str
-    stream: str
-    work: float
-    deps: Tuple[str, ...] = ()
-    tag: str = "other"
-    contends: bool = True
-    priority: int = 0
-    start_after: float = 0.0
-
-    def __post_init__(self) -> None:
-        if self.work < 0:
-            raise ValueError(f"task {self.task_id!r} has negative work {self.work}")
-        if self.start_after < 0:
-            raise ValueError(
-                f"task {self.task_id!r} has negative start_after {self.start_after}"
-            )
-
-
-@dataclass
-class TaskRecord:
-    """Execution record of one task."""
-
-    task: Task
-    start: float
-    end: float
-
-    @property
-    def duration(self) -> float:
-        return self.end - self.start
+__all__ = [
+    "GPU_MAIN",
+    "GPU_SIDE",
+    "NIC",
+    "Task",
+    "TaskGraph",
+    "TaskRecord",
+    "Engine",
+]
 
 
 class Engine:
     """Run a task graph to completion and return per-task records.
+
+    Thin adapter: validates the legacy configuration surface, then
+    delegates to one :class:`~repro.sched.engine.EventLoop` with the
+    two-GPU contention pair.
 
     Args:
         contention_rate: GPU-stream mutual slowdown (see module docstring).
@@ -105,10 +73,14 @@ class Engine:
         self.contention_rate = contention_rate
         self.disciplines = dict(disciplines or {})
         for stream, discipline in self.disciplines.items():
-            if discipline not in ("fifo", "priority"):
+            if discipline not in DISCIPLINES:
                 raise ValueError(
                     f"unknown discipline {discipline!r} for stream {stream!r}"
                 )
+        self._loop = EventLoop(
+            resources=ResourceModel.gpu_contention(contention_rate),
+            disciplines=self.disciplines,
+        )
 
     def run(self, tasks: Sequence[Task]) -> Dict[str, TaskRecord]:
         """Simulate ``tasks``; returns records keyed by task_id.
@@ -117,136 +89,4 @@ class Engine:
             ValueError: duplicate ids, unknown dependencies, or a deadlock
                 (circular dependencies / FIFO head blocked forever).
         """
-        by_id: Dict[str, Task] = {}
-        for task in tasks:
-            if task.task_id in by_id:
-                raise ValueError(f"duplicate task id {task.task_id!r}")
-            by_id[task.task_id] = task
-        for task in tasks:
-            for dep in task.deps:
-                if dep not in by_id:
-                    raise ValueError(
-                        f"task {task.task_id!r} depends on unknown {dep!r}"
-                    )
-
-        queues: Dict[str, List[Task]] = {}
-        for task in tasks:  # submission order
-            queues.setdefault(task.stream, []).append(task)
-        heads: Dict[str, int] = {stream: 0 for stream in queues}
-        current: Dict[str, Optional[Task]] = {stream: None for stream in queues}
-
-        remaining: Dict[str, float] = {t.task_id: t.work for t in tasks}
-        started: Dict[str, float] = {}
-        done: Dict[str, float] = {}
-        now = 0.0
-
-        def ready(task: Task) -> bool:
-            return (
-                all(dep in done for dep in task.deps)
-                and now >= task.start_after
-            )
-
-        def select(stream: str) -> Optional[Task]:
-            """The task this stream would run now (non-preemptive)."""
-            if current[stream] is not None:
-                return current[stream]
-            queue = queues[stream]
-            if self.disciplines.get(stream, "fifo") == "fifo":
-                # Skip completed prefix, then strict head-of-line.
-                idx = heads[stream]
-                while idx < len(queue) and queue[idx].task_id in done:
-                    idx += 1
-                heads[stream] = idx
-                if idx < len(queue) and ready(queue[idx]):
-                    return queue[idx]
-                return None
-            # Priority: any dependency-ready, not-done task; highest
-            # priority first, submission order breaking ties.
-            best: Optional[Task] = None
-            for candidate in queue:
-                if candidate.task_id in done:
-                    continue
-                if not ready(candidate):
-                    continue
-                if best is None or candidate.priority > best.priority:
-                    best = candidate
-            return best
-
-        total = len(tasks)
-        while len(done) < total:
-            # Complete zero-work selectable tasks immediately (may cascade).
-            progressed = True
-            while progressed:
-                progressed = False
-                for stream in queues:
-                    task = select(stream)
-                    if task is not None and remaining[task.task_id] == 0.0:
-                        started.setdefault(task.task_id, now)
-                        done[task.task_id] = now
-                        current[stream] = None
-                        progressed = True
-            if len(done) == total:
-                break
-
-            # Determine active tasks and rates.
-            active: Dict[str, Task] = {}
-            for stream in queues:
-                task = select(stream)
-                if task is not None:
-                    active[stream] = task
-                    current[stream] = task
-            if not active:
-                # Everything runnable is time-gated: jump the clock to the
-                # earliest start_after among dependency-ready tasks.
-                gate_times = [
-                    t.start_after
-                    for t in tasks
-                    if t.task_id not in done
-                    and all(dep in done for dep in t.deps)
-                    and t.start_after > now
-                ]
-                if gate_times:
-                    now = min(gate_times)
-                    continue
-                pending = [t.task_id for t in tasks if t.task_id not in done]
-                raise ValueError(f"deadlock: no runnable task among {pending}")
-
-            both_gpus = all(stream in active for stream in _CONTENDING)
-            contending = both_gpus and all(
-                active[stream].contends for stream in _CONTENDING
-            )
-            rates: Dict[str, float] = {}
-            for stream in active:
-                if contending and stream in _CONTENDING:
-                    rates[stream] = self.contention_rate
-                else:
-                    rates[stream] = 1.0
-
-            # Advance to the earliest completion, but never past a pending
-            # task's start_after gate (an idle stream must be able to pick
-            # it up the moment it becomes eligible).
-            horizon = min(
-                remaining[task.task_id] / rates[stream]
-                for stream, task in active.items()
-            )
-            gates = [
-                task.start_after - now
-                for task in tasks
-                if task.task_id not in done and task.start_after > now
-            ]
-            if gates:
-                horizon = min(horizon, min(gates))
-            for stream, task in active.items():
-                started.setdefault(task.task_id, now)
-                remaining[task.task_id] -= rates[stream] * horizon
-            now += horizon
-            for stream, task in list(active.items()):
-                if remaining[task.task_id] <= 1e-15:
-                    remaining[task.task_id] = 0.0
-                    done[task.task_id] = now
-                    current[stream] = None
-
-        return {
-            task.task_id: TaskRecord(task, started[task.task_id], done[task.task_id])
-            for task in tasks
-        }
+        return self._loop.run(tasks)

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.models.spec import ModelSpec
+from repro.sched import TaskGraph
 from repro.sim.calibration import SimConfig
 from repro.sim.engine import Engine, Task
 from repro.sim.results import breakdown_from_records
@@ -130,10 +131,15 @@ class FaultModel:
             retries += 1
         return retries
 
-    def perturb(
-        self, tasks: Sequence[Task], world_size: int, rng: np.random.Generator
-    ) -> List[Task]:
-        """One faulty replay of ``tasks``: scaled compute, retried comm."""
+    def perturb_graph(
+        self, graph: TaskGraph, world_size: int, rng: np.random.Generator
+    ) -> TaskGraph:
+        """One faulty replay of ``graph``: scaled compute, retried comm.
+
+        The per-task draws happen in submission order (``map_tasks``
+        preserves it), so seeded traces are stable across the list and
+        graph APIs.
+        """
         slowdown = self.sample_compute_slowdown(world_size, rng)
         # Worker-crash draws are gated on the knob (not just zero-prob
         # draws) so seeded traces from crash-free models replay exactly
@@ -144,8 +150,8 @@ class FaultModel:
             # after the respawn, and synchrony gates everyone on it.
             slowdown *= 2.0
         respawn_delay = crashes * self.worker_respawn_s
-        out: List[Task] = []
-        for task in tasks:
+
+        def perturb_one(task: Task) -> Task:
             work = task.work
             start_after = task.start_after
             if task.tag in _COMPUTE_TAGS:
@@ -158,12 +164,18 @@ class FaultModel:
                     start_after = max(
                         start_after, self.rank_down_s, respawn_delay
                     )
-            out.append(
-                Task(task.task_id, task.stream, work, task.deps,
-                     tag=task.tag, contends=task.contends,
-                     priority=task.priority, start_after=start_after)
-            )
-        return out
+            return Task(task.task_id, task.stream, work, task.deps,
+                        tag=task.tag, contends=task.contends,
+                        priority=task.priority, start_after=start_after)
+
+        return graph.map_tasks(perturb_one)
+
+    def perturb(
+        self, tasks: Sequence[Task], world_size: int, rng: np.random.Generator
+    ) -> List[Task]:
+        """Task-list view of :meth:`perturb_graph` (legacy API)."""
+        graph = tasks if isinstance(tasks, TaskGraph) else TaskGraph(tasks)
+        return list(self.perturb_graph(graph, world_size, rng).tasks)
 
 
 @dataclass(frozen=True)

@@ -4,6 +4,11 @@ Textual counterpart of the paper's Fig. 1 / Fig. 4 schedule illustrations:
 one row per resource, characters bucketed by time, letters keyed to the
 task category. Lets the README / experiment output *show* WFBP overlap and
 Power-SGD*'s contention without any plotting dependency.
+
+Rows are derived from the records themselves, so any resource set works —
+the legacy ``gpu``/``side``/``nic`` trio keeps its order and labels, and
+arbitrary resources from the :mod:`repro.sched` core (per-node links of a
+hierarchical all-reduce, say) get one row each in first-use order.
 """
 
 from __future__ import annotations
@@ -12,8 +17,8 @@ from typing import Dict, List
 
 from repro.sim.engine import GPU_MAIN, GPU_SIDE, NIC, TaskRecord
 
-_ROW_ORDER = (GPU_MAIN, GPU_SIDE, NIC)
-_ROW_LABELS = {GPU_MAIN: "gpu", GPU_SIDE: "side", NIC: "nic"}
+_LEGACY_ORDER = (GPU_MAIN, GPU_SIDE, NIC)
+_LEGACY_LABELS = {GPU_MAIN: "gpu", GPU_SIDE: "side", NIC: "nic"}
 _TAG_CHARS = {
     "forward": "F",
     "backward": "B",
@@ -21,6 +26,27 @@ _TAG_CHARS = {
     "comm": "=",
     "other": "o",
 }
+
+
+def _row_streams(records: Dict[str, TaskRecord]) -> List[str]:
+    """Streams to render: legacy trio first (side only when busy), then
+    any other resources in first-use order."""
+    present: Dict[str, bool] = {}  # stream -> has positive-duration work
+    for record in records.values():
+        busy = present.get(record.task.stream, False)
+        present[record.task.stream] = busy or record.duration > 0
+    rows: List[str] = []
+    for stream in _LEGACY_ORDER:
+        if stream not in present:
+            continue
+        if stream == GPU_SIDE and not present[stream]:
+            continue  # hide the side stream when unused
+        rows.append(stream)
+    for record in records.values():
+        stream = record.task.stream
+        if stream not in _LEGACY_ORDER and stream not in rows:
+            rows.append(stream)
+    return rows
 
 
 def render_gantt(records: Dict[str, TaskRecord], width: int = 78) -> str:
@@ -43,13 +69,17 @@ def render_gantt(records: Dict[str, TaskRecord], width: int = 78) -> str:
         return "(empty timeline)"
     cell = end / width
 
+    streams = _row_streams(records)
+    labels = {
+        stream: _LEGACY_LABELS.get(stream, stream) for stream in streams
+    }
+    label_w = max(4, max((len(label) for label in labels.values()), default=4))
+
     lines: List[str] = []
-    for stream in _ROW_ORDER:
+    for stream in streams:
         stream_records = [
             r for r in records.values() if r.task.stream == stream and r.duration > 0
         ]
-        if not stream_records and stream == GPU_SIDE:
-            continue  # hide the side stream when unused
         # Accumulate busy time per cell per tag.
         occupancy = [dict() for _ in range(width)]
         for record in stream_records:
@@ -68,11 +98,12 @@ def render_gantt(records: Dict[str, TaskRecord], width: int = 78) -> str:
             else:
                 tag = max(cell_occ, key=cell_occ.get)
                 row.append(_TAG_CHARS.get(tag, "?"))
-        lines.append(f"{_ROW_LABELS[stream]:>4} |{''.join(row)}|")
+        lines.append(f"{labels[stream]:>{label_w}} |{''.join(row)}|")
     lines.append(
-        f"{'':>4}  0ms{'':{max(1, width - 14)}}{end * 1e3:.0f}ms"
+        f"{'':>{label_w}}  0ms{'':{max(1, width - 14)}}{end * 1e3:.0f}ms"
     )
     lines.append(
-        "      F=forward B=backward C=compress ==comm (busiest per cell)"
+        " " * (label_w + 2)
+        + "F=forward B=backward C=compress ==comm (busiest per cell)"
     )
     return "\n".join(lines)

@@ -5,8 +5,10 @@ training, the communication tail of iteration ``t`` (the shallow layers'
 buckets, which become ready last) overlaps iteration ``t+1``'s forward
 pass of the *deep* layers, because layer ``l``'s next forward only needs
 layer ``l``'s own update to have arrived. This module chains several
-iterations with exactly that per-layer dependency structure and reports
-the marginal (steady-state) per-iteration time.
+iterations with exactly that per-layer dependency structure — as graph
+transforms over :class:`repro.sched.TaskGraph` (prefixing plus
+dependency rewrites) — and reports the marginal (steady-state)
+per-iteration time.
 
 Only the per-layer-parameter dependency is modeled for S-SGD and ACP-SGD
 (whose collectives are non-blocking); the original Power-SGD's blocking
@@ -15,16 +17,17 @@ two-phase pipeline serializes at the iteration boundary by construction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.models.spec import ModelSpec
+from repro.sched import TaskGraph
 from repro.sim.calibration import SimConfig
 from repro.sim.engine import Engine, Task
 from repro.sim.strategies import (
     ClusterSpec,
     SystemConfig,
-    build_iteration_tasks,
+    build_iteration_graph,
 )
 
 _PIPELINED_METHODS = ("ssgd", "acpsgd")
@@ -53,30 +56,16 @@ class SteadyStateResult:
         return self.single_iteration / self.steady_iteration
 
 
-def _retag(tasks: List[Task], iteration: int) -> List[Task]:
+def _retag(tasks: Sequence[Task], iteration: int) -> List[Task]:
     """Clone tasks with iteration-scoped ids."""
-    prefix = f"it{iteration}:"
-    out = []
-    for task in tasks:
-        out.append(
-            Task(
-                prefix + task.task_id,
-                task.stream,
-                task.work,
-                tuple(prefix + dep for dep in task.deps),
-                tag=task.tag,
-                contends=task.contends,
-                priority=task.priority,
-            )
-        )
-    return out
+    return list(TaskGraph(tasks).prefixed(f"it{iteration}:").tasks)
 
 
-def _chain(
-    per_iteration: List[List[Task]],
+def _chain_graphs(
+    per_iteration: Sequence[TaskGraph],
     comm_barrier: bool,
-) -> List[Task]:
-    """Concatenate iteration task lists with cross-iteration dependencies.
+) -> TaskGraph:
+    """Merge iteration graphs with cross-iteration dependencies.
 
     The first forward task of iteration ``i+1`` depends on iteration ``i``'s
     last *compute* task always (the optimizer step), and — when
@@ -87,14 +76,15 @@ def _chain(
     task, which preserves the "shallow buckets gate early forwards, deep
     buckets can lag" structure.
     """
-    chained: List[Task] = []
+    chained = TaskGraph()
     prev_comm_ids: List[str] = []
     prev_last_compute: Optional[str] = None
-    for iteration, tasks in enumerate(per_iteration):
-        tasks = _retag(tasks, iteration)
+    for iteration, graph in enumerate(per_iteration):
+        graph = graph.prefixed(f"it{iteration}:")
+        tasks = graph.tasks
         forward = [t for t in tasks if t.tag == "forward"]
         if iteration > 0:
-            extra_deps: Dict[str, tuple] = {}
+            extra_deps: Dict[str, Tuple[str, ...]] = {}
             first_forward = forward[0]
             deps = list(first_forward.deps)
             if prev_last_compute is not None:
@@ -114,13 +104,8 @@ def _chain(
                     comm_id = prev_comm_ids[len(prev_comm_ids) - 1 - idx]
                     extra_deps.setdefault(fwd.task_id, fwd.deps)
                     extra_deps[fwd.task_id] = extra_deps[fwd.task_id] + (comm_id,)
-            tasks = [
-                Task(t.task_id, t.stream, t.work,
-                     extra_deps.get(t.task_id, t.deps), tag=t.tag,
-                     contends=t.contends, priority=t.priority)
-                if t.task_id in extra_deps else t
-                for t in tasks
-            ]
+            graph = graph.with_deps(extra_deps)
+            tasks = graph.tasks
         chained.extend(tasks)
         prev_comm_ids = [t.task_id for t in tasks if t.tag == "comm"]
         compute = [t for t in tasks if t.stream != "nic"]
@@ -128,26 +113,66 @@ def _chain(
     return chained
 
 
-def _apply_comm_priorities(tasks: List[Task]) -> List[Task]:
+def _chain(
+    per_iteration: List[List[Task]],
+    comm_barrier: bool,
+) -> List[Task]:
+    """Task-list view of :func:`_chain_graphs` (legacy API)."""
+    graphs = [TaskGraph(tasks) for tasks in per_iteration]
+    return list(_chain_graphs(graphs, comm_barrier).tasks)
+
+
+def _prioritize_comm(graph: TaskGraph) -> TaskGraph:
     """Priority-schedule communication by next-iteration need.
 
     Buckets become ready deep-to-shallow during BP, but the next forward
     consumes updates shallow-to-deep — so later-submitted buckets get
     *higher* priority (the ByteScheduler insight, the paper's ref [3]).
     """
-    comm_index = 0
-    out = []
-    for task in tasks:
-        if task.tag == "comm":
-            out.append(
-                Task(task.task_id, task.stream, task.work, task.deps,
-                     tag=task.tag, contends=task.contends,
-                     priority=comm_index)
-            )
-            comm_index += 1
-        else:
-            out.append(task)
-    return out
+    counter = {"comm": 0}
+
+    def bump(task: Task) -> Task:
+        if task.tag != "comm":
+            return task
+        task = replace(task, priority=counter["comm"])
+        counter["comm"] += 1
+        return task
+
+    return graph.map_tasks(bump)
+
+
+def _apply_comm_priorities(tasks: Sequence[Task]) -> List[Task]:
+    """Task-list view of :func:`_prioritize_comm` (legacy API)."""
+    return list(_prioritize_comm(TaskGraph(tasks)).tasks)
+
+
+def build_steady_state_graph(
+    method: str,
+    model: ModelSpec,
+    cluster: Optional[ClusterSpec] = None,
+    system: Optional[SystemConfig] = None,
+    sim: Optional[SimConfig] = None,
+    batch_size: Optional[int] = None,
+    rank: int = 4,
+    iterations: int = 4,
+    pipelined: Optional[bool] = None,
+    priority_comm: bool = False,
+) -> TaskGraph:
+    """The chained multi-iteration graph ``simulate_steady_state`` runs."""
+    if iterations < 2:
+        raise ValueError(f"need >= 2 iterations, got {iterations}")
+    if pipelined is None:
+        pipelined = method in _PIPELINED_METHODS
+    per_iteration = []
+    for idx in range(iterations):
+        graph = build_iteration_graph(
+            method, model, cluster, system, sim, batch_size, rank,
+            acp_parity_p=(idx % 2 == 0),
+        )
+        if priority_comm:
+            graph = _prioritize_comm(graph)
+        per_iteration.append(graph)
+    return _chain_graphs(per_iteration, comm_barrier=not pipelined)
 
 
 def simulate_steady_state(
@@ -178,23 +203,22 @@ def simulate_steady_state(
     if pipelined is None:
         pipelined = method in _PIPELINED_METHODS
 
-    per_iteration = []
-    for idx in range(iterations):
-        parity = idx % 2 == 0
-        tasks = build_iteration_tasks(
-            method, model, cluster, system, sim, batch_size, rank,
-            acp_parity_p=parity,
-        )
-        if priority_comm:
-            tasks = _apply_comm_priorities(tasks)
-        per_iteration.append(tasks)
+    single_graph = build_iteration_graph(
+        method, model, cluster, system, sim, batch_size, rank,
+        acp_parity_p=True,
+    )
+    if priority_comm:
+        single_graph = _prioritize_comm(single_graph)
+    chained = build_steady_state_graph(
+        method, model, cluster, system, sim, batch_size, rank,
+        iterations, pipelined, priority_comm,
+    )
     disciplines = {"nic": "priority"} if priority_comm else None
     engine = Engine(contention_rate=sim.contention_rate,
                     disciplines=disciplines)
     single = max(
-        record.end for record in engine.run(per_iteration[0]).values()
+        record.end for record in engine.run(single_graph).values()
     )
-    chained = _chain(per_iteration, comm_barrier=not pipelined)
     total = max(record.end for record in engine.run(chained).values())
     steady = (total - single) / (iterations - 1)
     return SteadyStateResult(single, steady, iterations)

@@ -28,11 +28,12 @@ finish; with ``tensor_fusion=False`` every tensor is its own bucket.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.comm.cost_model import LinkSpec, allgather_time, allreduce_time
 from repro.compression.reshaping import matrix_view_shape, should_compress
 from repro.models.spec import LayerSpec, ModelSpec, TensorSpec
+from repro.sched import TaskGraph
 from repro.sim import gpu as gpu_cost
 from repro.sim.calibration import LINK_10GBE, SimConfig
 from repro.sim.engine import GPU_MAIN, GPU_SIDE, NIC, Engine, Task
@@ -49,6 +50,37 @@ METHODS = ("ssgd", "signsgd", "topk", "powersgd", "powersgd_star", "acpsgd")
 # full WFBP+TF treatment like ACP-SGD.
 EXTENSION_METHODS = ("terngrad", "qsgd", "randomk", "dgc")
 ALL_METHODS = METHODS + EXTENSION_METHODS
+
+
+@dataclass(frozen=True)
+class BuildContext:
+    """Resolved inputs handed to a registered per-method graph builder."""
+
+    method: str
+    model: ModelSpec
+    batch_size: int
+    cluster: "ClusterSpec"
+    system: "SystemConfig"
+    sim: SimConfig
+    rank: int
+    topk_ratio: float
+    acp_parity_p: bool
+
+
+#: method name -> graph builder. Populated by :func:`register_graph_builder`;
+#: new methods plug in here without touching the dispatch code.
+_GRAPH_BUILDERS: Dict[str, Callable[[BuildContext], TaskGraph]] = {}
+
+
+def register_graph_builder(*methods: str):
+    """Register a ``BuildContext -> TaskGraph`` builder for method names."""
+
+    def decorate(fn: Callable[[BuildContext], TaskGraph]):
+        for method in methods:
+            _GRAPH_BUILDERS[method] = fn
+        return fn
+
+    return decorate
 
 
 @dataclass(frozen=True)
@@ -655,6 +687,94 @@ def _acpsgd_tasks(
     return tasks
 
 
+# ---------------------------------------------------------------------------
+# Registered graph builders: each method's hand-built timeline, expressed
+# as a ``BuildContext -> TaskGraph`` constructor over the repro.sched core.
+# ---------------------------------------------------------------------------
+
+
+@register_graph_builder("ssgd")
+def _ssgd_graph(ctx: BuildContext) -> TaskGraph:
+    return TaskGraph(
+        _ssgd_tasks(ctx.model, ctx.batch_size, ctx.cluster, ctx.system, ctx.sim)
+    )
+
+
+@register_graph_builder("signsgd", "topk", "terngrad", "qsgd", "dgc")
+def _allgather_graph(ctx: BuildContext) -> TaskGraph:
+    return TaskGraph(
+        _allgather_method_tasks(
+            ctx.model, ctx.batch_size, ctx.cluster, ctx.system, ctx.sim,
+            ctx.method, ctx.topk_ratio,
+        )
+    )
+
+
+@register_graph_builder("randomk")
+def _randomk_graph(ctx: BuildContext) -> TaskGraph:
+    return TaskGraph(
+        _randomk_tasks(
+            ctx.model, ctx.batch_size, ctx.cluster, ctx.system, ctx.sim,
+            ctx.topk_ratio,
+        )
+    )
+
+
+@register_graph_builder("powersgd", "powersgd_star")
+def _powersgd_graph(ctx: BuildContext) -> TaskGraph:
+    return TaskGraph(
+        _powersgd_tasks(
+            ctx.model, ctx.batch_size, ctx.cluster, ctx.system, ctx.sim,
+            ctx.rank, hook=(ctx.method == "powersgd_star"),
+        )
+    )
+
+
+@register_graph_builder("acpsgd")
+def _acpsgd_graph(ctx: BuildContext) -> TaskGraph:
+    return TaskGraph(
+        _acpsgd_tasks(
+            ctx.model, ctx.batch_size, ctx.cluster, ctx.system, ctx.sim,
+            ctx.rank, ctx.acp_parity_p,
+        )
+    )
+
+
+def build_iteration_graph(
+    method: str,
+    model: ModelSpec,
+    cluster: Optional[ClusterSpec] = None,
+    system: Optional[SystemConfig] = None,
+    sim: Optional[SimConfig] = None,
+    batch_size: Optional[int] = None,
+    rank: int = 4,
+    topk_ratio: float = 0.001,
+    acp_parity_p: bool = True,
+) -> TaskGraph:
+    """Build (without running) one iteration's task graph for a method.
+
+    Dispatches to the builder registered for ``method`` (see
+    :func:`register_graph_builder`). For ACP-SGD, ``acp_parity_p`` picks
+    the P-step (odd) or Q-step (even) graph.
+    """
+    cluster = cluster if cluster is not None else ClusterSpec()
+    system = system if system is not None else SystemConfig()
+    sim = sim if sim is not None else SimConfig()
+    batch = batch_size if batch_size is not None else model.default_batch_size
+    if batch < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch}")
+    builder = _GRAPH_BUILDERS.get(method)
+    if builder is None:
+        raise ValueError(f"unknown method {method!r}; available: {ALL_METHODS}")
+    return builder(
+        BuildContext(
+            method=method, model=model, batch_size=batch, cluster=cluster,
+            system=system, sim=sim, rank=rank, topk_ratio=topk_ratio,
+            acp_parity_p=acp_parity_p,
+        )
+    )
+
+
 def build_iteration_tasks(
     method: str,
     model: ModelSpec,
@@ -666,32 +786,13 @@ def build_iteration_tasks(
     topk_ratio: float = 0.001,
     acp_parity_p: bool = True,
 ) -> List[Task]:
-    """Build (without running) one iteration's task graph for a method.
-
-    Used by trace export and by tests that inspect graph structure. For
-    ACP-SGD, ``acp_parity_p`` picks the P-step (odd) or Q-step (even) graph.
-    """
-    cluster = cluster if cluster is not None else ClusterSpec()
-    system = system if system is not None else SystemConfig()
-    sim = sim if sim is not None else SimConfig()
-    batch = batch_size if batch_size is not None else model.default_batch_size
-    if batch < 1:
-        raise ValueError(f"batch_size must be >= 1, got {batch}")
-    if method == "ssgd":
-        return _ssgd_tasks(model, batch, cluster, system, sim)
-    if method in ("signsgd", "topk", "terngrad", "qsgd", "dgc"):
-        return _allgather_method_tasks(
-            model, batch, cluster, system, sim, method, topk_ratio
-        )
-    if method == "randomk":
-        return _randomk_tasks(model, batch, cluster, system, sim, topk_ratio)
-    if method == "powersgd":
-        return _powersgd_tasks(model, batch, cluster, system, sim, rank, hook=False)
-    if method == "powersgd_star":
-        return _powersgd_tasks(model, batch, cluster, system, sim, rank, hook=True)
-    if method == "acpsgd":
-        return _acpsgd_tasks(model, batch, cluster, system, sim, rank, acp_parity_p)
-    raise ValueError(f"unknown method {method!r}; available: {ALL_METHODS}")
+    """Task-list view of :func:`build_iteration_graph` (legacy API)."""
+    return list(
+        build_iteration_graph(
+            method, model, cluster, system, sim, batch_size, rank,
+            topk_ratio, acp_parity_p,
+        ).tasks
+    )
 
 
 def simulate_iteration_records(

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.comm.topology import ClusterTopology
 from repro.elastic.membership import MembershipController, joiner_rng
 from repro.faults.supervisor import (
     SupervisionPolicy,
@@ -89,6 +90,7 @@ class DataParallelTrainer:
         worker_start_method: Optional[str] = None,
         worker_step_timeout: Optional[float] = None,
         supervision: Optional[SupervisionPolicy] = None,
+        topology: Optional[ClusterTopology] = None,
     ):
         if batch_size_per_worker < 1:
             raise ValueError(
@@ -125,6 +127,25 @@ class DataParallelTrainer:
         self.optimizer = optimizer
         self.aggregator = aggregator
         self.world_size = aggregator.group.world_size
+        # Topology-aware collectives: route the group's all-reduces over
+        # the two-level hierarchical schedule. Values are bit-identical to
+        # the flat ring (see repro.comm.hierarchical), so trajectories do
+        # not depend on the wire schedule — only traffic accounting does.
+        self.topology = topology
+        if topology is not None:
+            set_topology = getattr(aggregator.group, "set_topology", None)
+            if set_topology is None:
+                raise ValueError(
+                    f"group {type(aggregator.group).__name__} does not "
+                    "support topology-aware collectives"
+                )
+            if membership is not None:
+                raise ValueError(
+                    "topology and membership are mutually exclusive: the "
+                    "node topology fixes the world size, an elastic roster "
+                    "changes it"
+                )
+            set_topology(topology)
         self.seed = seed
         self.train_data = train_data
         self.membership = membership

@@ -1,0 +1,136 @@
+"""Shared scenario matrix for the golden-trace equivalence check.
+
+Each scenario names a task graph plus the engine configuration used to
+run it — covering every ``simulate_iteration`` method, pipeline chains
+(with and without the comm barrier / priority NIC), and fault-perturbed
+replays. ``scripts/golden_trace.py capture`` records the resulting
+``TaskRecord`` start/end times as IEEE-754 hex; ``tests/test_golden_trace.py``
+re-runs the same scenarios through the current engine and requires
+bit-identical records. The golden file was captured from the
+pre-``repro.sched`` engine, so passing proves the legacy adapter is an
+exact re-implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.models import get_model_spec
+from repro.sim.calibration import SIM_LINKS, SimConfig
+from repro.sim.engine import Task
+from repro.sim.faults import FaultModel
+from repro.sim.pipeline import _apply_comm_priorities, _chain
+from repro.sim.strategies import (
+    ALL_METHODS,
+    ClusterSpec,
+    SystemConfig,
+    build_iteration_tasks,
+)
+
+GOLDEN_PATH = "tests/data/golden_traces.json"
+
+
+def _iteration(name: str, method: str, model_name: str = "ResNet-50",
+               **overrides) -> Tuple[str, List[Task], Dict]:
+    model = get_model_spec(model_name)
+    cluster = overrides.pop("cluster", None)
+    system = overrides.pop("system", None)
+    sim = overrides.pop("sim", None) or SimConfig()
+    tasks = build_iteration_tasks(
+        method, model, cluster, system, sim,
+        overrides.pop("batch_size", None),
+        overrides.pop("rank", 4),
+        overrides.pop("topk_ratio", 0.001),
+        overrides.pop("acp_parity_p", True),
+    )
+    assert not overrides, f"unused overrides: {overrides}"
+    return name, tasks, {"contention_rate": sim.contention_rate}
+
+
+def _pipeline(name: str, method: str, *, pipelined: bool,
+              priority_comm: bool = False,
+              iterations: int = 3) -> Tuple[str, List[Task], Dict]:
+    model = get_model_spec("ResNet-50")
+    sim = SimConfig()
+    per_iteration = []
+    for idx in range(iterations):
+        tasks = build_iteration_tasks(
+            method, model, None, None, sim, acp_parity_p=(idx % 2 == 0)
+        )
+        if priority_comm:
+            tasks = _apply_comm_priorities(tasks)
+        per_iteration.append(tasks)
+    chained = _chain(per_iteration, comm_barrier=not pipelined)
+    engine_kwargs: Dict = {"contention_rate": sim.contention_rate}
+    if priority_comm:
+        engine_kwargs["disciplines"] = {"nic": "priority"}
+    return name, chained, engine_kwargs
+
+
+def _faulty(name: str, method: str, seed: int) -> Tuple[str, List[Task], Dict]:
+    model = get_model_spec("ResNet-50")
+    cluster = ClusterSpec(world_size=8)
+    sim = SimConfig()
+    tasks = build_iteration_tasks(method, model, cluster, None, sim)
+    fault = FaultModel(
+        straggler_prob=0.3, straggler_sigma=2.0, drop_rate=0.05,
+        rank_down_s=0.002, worker_crash_prob=0.1,
+    )
+    rng = np.random.default_rng(seed)
+    perturbed = fault.perturb(tasks, cluster.world_size, rng)
+    return name, perturbed, {"contention_rate": sim.contention_rate}
+
+
+def iter_scenarios() -> Iterator[Tuple[str, List[Task], Dict]]:
+    """Yield ``(name, tasks, engine_kwargs)`` for every golden scenario."""
+    # Every method (core six + the four extensions), paper defaults.
+    for method in ALL_METHODS:
+        yield _iteration(f"iter/{method}/resnet50", method)
+    # ACP-SGD's other parity (Q-step graph differs slightly).
+    yield _iteration("iter/acpsgd/resnet50/parity-q", "acpsgd",
+                     acp_parity_p=False)
+    # A transformer model, paper rank 32.
+    for method in ("ssgd", "powersgd", "acpsgd"):
+        yield _iteration(f"iter/{method}/bert-base", method,
+                         model_name="BERT-Base", rank=32)
+    # System-configuration corners.
+    yield _iteration("iter/ssgd/no-wfbp", "ssgd",
+                     system=SystemConfig(wfbp=False))
+    yield _iteration("iter/topk/no-fusion", "topk",
+                     system=SystemConfig(tensor_fusion=False))
+    yield _iteration("iter/signsgd/no-scale", "signsgd",
+                     system=SystemConfig(scale_compressed_buffer=False))
+    # Cluster corners: small world on a slow link; topology-aware costs.
+    yield _iteration("iter/ssgd/ws4-1gbe", "ssgd",
+                     cluster=ClusterSpec(world_size=4, link=SIM_LINKS["1GbE"]))
+    from repro.comm.topology import ClusterTopology
+
+    topo_cluster = ClusterSpec(
+        world_size=32,
+        topology=ClusterTopology(num_nodes=8, gpus_per_node=4),
+        algorithm_selection=True,
+    )
+    yield _iteration("iter/ssgd/topology", "ssgd", cluster=topo_cluster)
+    yield _iteration("iter/acpsgd/topology", "acpsgd", cluster=topo_cluster)
+    # Pipeline chains: overlap on/off, priority NIC discipline.
+    yield _pipeline("pipeline/ssgd/pipelined", "ssgd", pipelined=True)
+    yield _pipeline("pipeline/topk/barrier", "topk", pipelined=False)
+    yield _pipeline("pipeline/acpsgd/priority", "acpsgd", pipelined=True,
+                    priority_comm=True)
+    # Fault-perturbed replays (stragglers, retransmits, downtime gates).
+    yield _faulty("faults/ssgd/seed0", "ssgd", seed=0)
+    yield _faulty("faults/topk/seed7", "topk", seed=7)
+    yield _faulty("faults/acpsgd/seed3", "acpsgd", seed=3)
+
+
+def run_scenario(tasks: List[Task], engine_kwargs: Dict) -> Dict[str, List[str]]:
+    """Run one scenario and hex-encode every record's start/end."""
+    from repro.sim.engine import Engine
+
+    records = Engine(**engine_kwargs).run(tasks)
+    return {
+        task_id: [record.start.hex(), record.end.hex()]
+        for task_id, record in sorted(records.items())
+    }

@@ -161,7 +161,7 @@ class TestPlanJson:
                      "--rank", "4", "--no-tune", "--json"])
         assert code == 0
         doc = json.loads(capsys.readouterr().out)
-        assert doc["schema"] == "repro.plan/1"
+        assert doc["schema"] == "repro.plan/2"
         restored = plan_from_dict(doc)
         assert restored.model == "ResNet-18"
         assert restored.world_size == 4

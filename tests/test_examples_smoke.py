@@ -44,6 +44,13 @@ class TestFastExamples:
         assert "rank @90% energy" in out
         assert "rank 32" in out  # the paper's BERT choice, recovered
 
+    def test_hierarchical_allreduce(self):
+        out = _run("hierarchical_allreduce.py")
+        assert "MATCH bit-exactly" in out
+        assert "analytic crossover" in out
+        assert "rel err 0.00e+00" in out  # DAG model sits on the curves
+        assert "node0:nic" in out  # per-link gantt rows rendered
+
     @pytest.mark.serve
     def test_capacity_planning(self):
         out = _run("capacity_planning.py", "--queries", "24")

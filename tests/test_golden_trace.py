@@ -1,0 +1,38 @@
+"""Golden-trace equivalence: the legacy ``Engine`` adapter over the
+``repro.sched`` core must reproduce the pre-refactor records bit-for-bit.
+
+``tests/data/golden_traces.json`` was captured (via
+``scripts/golden_trace.py capture``) from the engine *before* the
+scheduler-core refactor; every scenario here re-runs through the current
+adapter and compares IEEE-754 hex start/end times exactly.
+"""
+
+import json
+import os
+
+import pytest
+
+from tests.golden_scenarios import iter_scenarios, run_scenario
+
+_GOLDEN_FILE = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "tests", "data", "golden_traces.json")
+
+SCENARIOS = {name: (tasks, kwargs) for name, tasks, kwargs in iter_scenarios()}
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(_GOLDEN_FILE) as handle:
+        return json.load(handle)
+
+
+def test_every_golden_scenario_still_exists(golden):
+    assert set(golden) == set(SCENARIOS)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_bit_identical_to_golden(name, golden):
+    tasks, engine_kwargs = SCENARIOS[name]
+    assert run_scenario(tasks, engine_kwargs) == golden[name], (
+        f"scenario {name!r} drifted from the pre-refactor golden trace"
+    )

@@ -1,0 +1,199 @@
+"""Tests of the topology-aware hierarchical all-reduce.
+
+The load-bearing contract: hierarchical all-reduce is **bit-identical**
+to the flat ring (it replays the canonical flat-ring fold and only
+*accounts* the two-level schedule), so switching ``topology=`` on a
+trainer can never change a training trajectory — only the modeled wire
+traffic. Traffic/step accounting follows the reduce-scatter/all-gather
+decomposition at each level.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    ProcessGroup,
+    all_reduce_hierarchical,
+    all_reduce_hierarchical_,
+    all_reduce_hierarchical_segment_,
+    all_reduce_ring,
+    all_reduce_ring_segment_,
+    hierarchical_steps,
+    hierarchical_traffic,
+)
+from repro.comm.collectives import all_reduce_ring_inplace
+from repro.comm.topology import ClusterTopology
+
+TOPO_2x2 = ClusterTopology(num_nodes=2, gpus_per_node=2)
+TOPO_1x4 = ClusterTopology(num_nodes=1, gpus_per_node=4)
+
+
+def _random_buffers(rng, world, length):
+    return [rng.standard_normal(length) for _ in range(world)]
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("topology,length", [
+        (TOPO_2x2, 1),
+        (TOPO_2x2, 997),
+        (TOPO_1x4, 256),
+        (ClusterTopology(num_nodes=2, gpus_per_node=3), 1001),
+        (ClusterTopology(num_nodes=4, gpus_per_node=2), 4096),
+    ])
+    def test_matches_flat_ring_exactly(self, rng, topology, length):
+        flat = _random_buffers(rng, topology.world_size, length)
+        hier = [buf.copy() for buf in flat]
+        all_reduce_ring_inplace(flat)
+        all_reduce_hierarchical_(hier, topology)
+        for rank in range(topology.world_size):
+            assert flat[rank].tobytes() == hier[rank].tobytes()
+
+    def test_segment_matches_flat_segment_exactly(self, rng):
+        length = 777
+        flat = _random_buffers(rng, 4, length)
+        hier = [buf.copy() for buf in flat]
+        for start, stop in ((0, 300), (300, 777)):
+            all_reduce_ring_segment_(
+                [buf[start:stop] for buf in flat], start, length
+            )
+            all_reduce_hierarchical_segment_(
+                [buf[start:stop] for buf in hier], start, length, TOPO_2x2
+            )
+        for rank in range(4):
+            assert flat[rank].tobytes() == hier[rank].tobytes()
+
+    def test_copying_variant_preserves_inputs_and_shapes(self, rng):
+        buffers = [rng.standard_normal((4, 8)) for _ in range(4)]
+        originals = [buf.copy() for buf in buffers]
+        results, stats = all_reduce_hierarchical(buffers, TOPO_2x2)
+        assert stats.algorithm == "allreduce_hierarchical"
+        expected, _ = all_reduce_ring([buf.reshape(-1) for buf in buffers])
+        for rank in range(4):
+            np.testing.assert_array_equal(buffers[rank], originals[rank])
+            assert results[rank].shape == (4, 8)
+            assert (results[rank].reshape(-1).tobytes()
+                    == expected[rank].tobytes())
+
+    def test_single_rank_is_identity(self):
+        topology = ClusterTopology(num_nodes=1, gpus_per_node=1)
+        buf = np.arange(5, dtype=np.float64)
+        stats = all_reduce_hierarchical_([buf], topology)
+        np.testing.assert_array_equal(buf, np.arange(5, dtype=np.float64))
+        assert stats.bytes_sent_per_rank == [0]
+        assert stats.steps == 0
+
+
+class TestAccounting:
+    def test_traffic_formula_2x2(self):
+        elems, g, nodes = 1001, 2, 2
+        per_rank = hierarchical_traffic(elems, TOPO_2x2, 8)
+        expected = int(round(
+            (2 * elems * (g - 1) / g
+             + 2 * (elems / g) * (nodes - 1) / nodes) * 8
+        ))
+        assert per_rank == [expected] * 4
+
+    def test_steps_formula(self):
+        assert hierarchical_steps(TOPO_2x2) == 2 * (2 - 1) + 2 * (2 - 1)
+        assert hierarchical_steps(TOPO_1x4) == 2 * (4 - 1)
+
+    def test_hierarchical_takes_fewer_steps_than_flat(self, rng):
+        # For divisible payloads total bytes match the flat ring exactly
+        # ((g-1)/g + (1/g)(nodes-1)/nodes == (p-1)/p); the win is fewer
+        # serial rounds, and only 1/g of the traffic crosses nodes.
+        topology = ClusterTopology(num_nodes=2, gpus_per_node=4)
+        buffers = _random_buffers(rng, 8, 4096)
+        flat_stats = all_reduce_ring_inplace(
+            [buf.copy() for buf in buffers]
+        )
+        hier_stats = all_reduce_hierarchical_(buffers, topology)
+        assert hier_stats.algorithm == "allreduce_hierarchical"
+        assert (sum(hier_stats.bytes_sent_per_rank)
+                == sum(flat_stats.bytes_sent_per_rank))
+        assert hier_stats.steps < flat_stats.steps
+
+    def test_empty_payload(self):
+        per_rank = hierarchical_traffic(0, TOPO_2x2, 8)
+        assert per_rank == [0, 0, 0, 0]
+
+
+class TestValidation:
+    def test_world_size_mismatch(self, rng):
+        with pytest.raises(ValueError, match="rank buffers"):
+            all_reduce_hierarchical_(_random_buffers(rng, 3, 8), TOPO_2x2)
+
+    def test_non_float64_rejected(self):
+        buffers = [np.zeros(4, dtype=np.float32) for _ in range(4)]
+        with pytest.raises(ValueError, match="float64"):
+            all_reduce_hierarchical_(buffers, TOPO_2x2)
+
+    def test_segment_out_of_range(self, rng):
+        buffers = _random_buffers(rng, 4, 10)
+        with pytest.raises(ValueError, match="out of range"):
+            all_reduce_hierarchical_segment_(buffers, 8, 10, TOPO_2x2)
+
+
+class TestProcessGroupDispatch:
+    def test_topology_routes_to_hierarchical(self, rng):
+        group = ProcessGroup(4, topology=TOPO_2x2)
+        buffers = _random_buffers(rng, 4, 257)
+        expected, _ = all_reduce_ring([buf.copy() for buf in buffers])
+        group.all_reduce_(buffers)
+        assert group.history[-1].algorithm == "allreduce_hierarchical"
+        for rank in range(4):
+            assert buffers[rank].tobytes() == expected[rank].tobytes()
+
+    def test_set_topology_validates_world_size(self):
+        group = ProcessGroup(4)
+        with pytest.raises(ValueError, match="world size"):
+            group.set_topology(ClusterTopology(num_nodes=3,
+                                               gpus_per_node=2))
+
+    @staticmethod
+    def _trainer_parts(world=4, seed=7):
+        from repro.models.convnets import make_small_vgg
+        from repro.optim.aggregators import make_aggregator
+        from repro.optim.sgd import SGD
+        from repro.train.datasets import make_cifar_like
+
+        train_data, test_data = make_cifar_like(
+            num_train=8, num_test=4, seed=seed
+        )
+        model = make_small_vgg(base_width=2,
+                               rng=np.random.default_rng(seed))
+        return (
+            model, SGD(model, lr=0.05),
+            make_aggregator("ssgd", ProcessGroup(world)),
+            train_data, test_data,
+        )
+
+    def test_trainer_wires_topology_onto_group(self):
+        from repro.train.trainer import DataParallelTrainer
+
+        parts = self._trainer_parts()
+        trainer = DataParallelTrainer(
+            *parts, batch_size_per_worker=2, topology=TOPO_2x2
+        )
+        assert trainer.aggregator.group.topology is TOPO_2x2
+
+    def test_trainer_rejects_group_without_topology_support(self):
+        from repro.train.trainer import DataParallelTrainer
+
+        class Groupish:
+            world_size = 4
+
+        parts = list(self._trainer_parts())
+        parts[2].group = Groupish()
+        with pytest.raises(ValueError, match="does not support topology"):
+            DataParallelTrainer(
+                *parts, batch_size_per_worker=2, topology=TOPO_2x2
+            )
+
+    def test_trainer_rejects_topology_world_mismatch(self):
+        from repro.train.trainer import DataParallelTrainer
+
+        parts = self._trainer_parts(world=3)
+        with pytest.raises(ValueError, match="world size"):
+            DataParallelTrainer(
+                *parts, batch_size_per_worker=2, topology=TOPO_2x2
+            )

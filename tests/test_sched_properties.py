@@ -1,0 +1,161 @@
+"""Property-based tests of the repro.sched scheduler core.
+
+The invariants here are discipline-level guarantees of the generalized
+event loop (arbitrary named resources, pluggable schedulers), distinct
+from the legacy-engine properties in ``test_engine_properties.py``:
+
+- a resource executes one task at a time (no same-resource overlap);
+- every dependency and ``start_after`` gate precedes the dependent start;
+- under the priority discipline with all-distinct priorities and no
+  dependencies, the schedule is invariant to submission order;
+- on a pure chain, fifo and priority produce identical records (only one
+  task is ever ready, so the discipline cannot matter).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sched import EventLoop, ResourceModel, Task, TaskGraph
+
+RESOURCES = ("alpha", "beta", "gamma")
+
+
+@st.composite
+def random_graph(draw):
+    """A forward-referencing DAG over three named resources."""
+    count = draw(st.integers(1, 20))
+    tasks = []
+    for idx in range(count):
+        max_deps = min(idx, 3)
+        dep_count = draw(st.integers(0, max_deps))
+        deps = tuple(
+            f"t{d}" for d in sorted(draw(st.sets(
+                st.integers(0, idx - 1),
+                min_size=dep_count, max_size=dep_count,
+            )))
+        ) if idx > 0 else ()
+        tasks.append(Task(
+            task_id=f"t{idx}",
+            stream=draw(st.sampled_from(RESOURCES)),
+            work=draw(st.floats(0.0, 3.0)),
+            deps=deps,
+            contends=draw(st.booleans()),
+            priority=draw(st.integers(0, 3)),
+            start_after=draw(st.sampled_from((0.0, 0.25, 1.0))),
+        ))
+    return TaskGraph(tasks)
+
+
+@st.composite
+def priority_batch(draw):
+    """Independent unit-resource tasks with all-distinct priorities."""
+    count = draw(st.integers(2, 10))
+    priorities = draw(st.permutations(range(count)))
+    works = draw(st.lists(st.floats(0.01, 2.0), min_size=count,
+                          max_size=count))
+    return [
+        Task(f"t{idx}", "only", works[idx], priority=priorities[idx])
+        for idx in range(count)
+    ]
+
+
+class TestCoreInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(graph=random_graph(),
+           discipline=st.sampled_from(("fifo", "priority")))
+    def test_no_same_resource_overlap(self, graph, discipline):
+        loop = EventLoop(default_discipline=discipline)
+        records = loop.run(graph)
+        by_resource = {}
+        for record in records.values():
+            by_resource.setdefault(record.task.stream, []).append(record)
+        for resource_records in by_resource.values():
+            resource_records.sort(key=lambda r: (r.start, r.end))
+            for earlier, later in zip(resource_records,
+                                      resource_records[1:]):
+                assert earlier.end <= later.start + 1e-9, (
+                    f"{earlier.task.task_id} and {later.task.task_id} "
+                    f"overlap on {earlier.task.stream}"
+                )
+
+    @settings(max_examples=60, deadline=None)
+    @given(graph=random_graph(),
+           discipline=st.sampled_from(("fifo", "priority")))
+    def test_deps_and_gates_precede_starts(self, graph, discipline):
+        records = EventLoop(default_discipline=discipline).run(graph)
+        assert len(records) == len(graph)
+        for task in graph:
+            record = records[task.task_id]
+            assert record.start >= task.start_after - 1e-12
+            assert record.end >= record.start
+            for dep in task.deps:
+                assert records[dep].end <= record.start + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(graph=random_graph())
+    def test_contention_never_contracts_durations(self, graph):
+        free = EventLoop().run(graph)
+        shared = EventLoop(
+            resources=ResourceModel({("alpha", "beta"): 0.25})
+        ).run(graph)
+        for task in graph:
+            assert shared[task.task_id].duration >= (
+                free[task.task_id].duration - 1e-9
+            )
+
+
+class TestDisciplineProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(batch=priority_batch(), shuffle=st.randoms(use_true_random=False))
+    def test_priority_schedule_invariant_to_submission_order(
+        self, batch, shuffle
+    ):
+        """Distinct priorities + no deps: execution order is the priority
+        order, so any submission permutation yields identical records."""
+        baseline = EventLoop(default_discipline="priority").run(
+            TaskGraph(batch)
+        )
+        shuffled = list(batch)
+        shuffle.shuffle(shuffled)
+        permuted = EventLoop(default_discipline="priority").run(
+            TaskGraph(shuffled)
+        )
+        assert {
+            task_id: (record.start, record.end)
+            for task_id, record in baseline.items()
+        } == {
+            task_id: (record.start, record.end)
+            for task_id, record in permuted.items()
+        }
+
+    @settings(max_examples=60, deadline=None)
+    @given(works=st.lists(st.floats(0.0, 2.0), min_size=1, max_size=12),
+           priorities=st.lists(st.integers(0, 5), min_size=12, max_size=12))
+    def test_fifo_equals_priority_on_chains(self, works, priorities):
+        """A pure chain admits exactly one ready task at a time, so the
+        scheduling discipline cannot change the records."""
+        tasks = [
+            Task(f"t{idx}", "only", work,
+                 deps=(f"t{idx - 1}",) if idx else (),
+                 priority=priorities[idx])
+            for idx, work in enumerate(works)
+        ]
+        fifo = EventLoop(default_discipline="fifo").run(TaskGraph(tasks))
+        prio = EventLoop(default_discipline="priority").run(TaskGraph(tasks))
+        for task in tasks:
+            assert fifo[task.task_id].start == prio[task.task_id].start
+            assert fifo[task.task_id].end == prio[task.task_id].end
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=random_graph(),
+           discipline=st.sampled_from(("fifo", "priority")))
+    def test_determinism(self, graph, discipline):
+        first = EventLoop(default_discipline=discipline).run(graph)
+        second = EventLoop(default_discipline=discipline).run(graph)
+        assert {
+            task_id: (record.start, record.end)
+            for task_id, record in first.items()
+        } == {
+            task_id: (record.start, record.end)
+            for task_id, record in second.items()
+        }

@@ -522,3 +522,58 @@ class TestSubmitBatchErrors:
             assert isinstance(first, RuntimeError)
             second = service.submit(small_query())
         assert second.payload == dumps_canonical({"ok": True})
+
+
+class TestTopologyQueries:
+    """repro.plan/2: the optional ``topology`` field of PlanQuery."""
+
+    def _topology(self, nodes=2, g=2):
+        from repro.comm.topology import NVLINK2, ClusterTopology
+
+        return ClusterTopology(num_nodes=nodes, gpus_per_node=g,
+                               intra_link=NVLINK2, inter_link=TEN_GBE)
+
+    def test_round_trips_through_dict(self):
+        query = small_query(gpus=4, topology=self._topology())
+        restored = PlanQuery.from_dict(query.to_dict())
+        assert restored == query
+        assert restored.cache_key() == query.cache_key()
+        assert restored.topology == self._topology()
+
+    def test_flat_and_topology_queries_key_apart(self):
+        flat = small_query(gpus=4)
+        hier = small_query(gpus=4, topology=self._topology())
+        assert flat.to_dict()["topology"] is None
+        assert flat.cache_key() != hier.cache_key()
+
+    def test_distinct_topologies_key_apart(self):
+        two_by_two = small_query(gpus=4, topology=self._topology(2, 2))
+        one_by_four = small_query(gpus=4, topology=self._topology(1, 4))
+        assert two_by_two.cache_key() != one_by_four.cache_key()
+
+    def test_world_size_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="world size"):
+            small_query(gpus=8, topology=self._topology(2, 2))
+
+    def test_jsonl_resolves_topology_link_names(self):
+        compute = CountingCompute()
+        with PlannerService(compute_fn=compute) as service:
+            doc = small_query(gpus=4, topology=self._topology()).to_dict()
+            doc["topology"]["intra_link"] = "NVLink2"
+            doc["topology"]["inter_link"] = "10GbE"
+            out = list(serve_jsonl([json.dumps(doc)], service))
+        expected = small_query(gpus=4, topology=self._topology())
+        assert json.loads(out[0])["key"] == expected.cache_key()
+
+    def test_service_prices_topology_query(self):
+        # With NVLink intra + 10GbE inter the hierarchical schedule is
+        # never slower, so topology-aware pricing can only improve the
+        # expected iteration time (ClusterSpec takes the best schedule).
+        flat = small_query(gpus=4)
+        hier = small_query(gpus=4, topology=self._topology())
+        with PlannerService() as service:
+            flat_doc = json.loads(service.submit(flat).payload)
+            hier_doc = json.loads(service.submit(hier).payload)
+        assert hier_doc["schema"] == "repro.plan/2"
+        assert (hier_doc["expected_iteration_ms"]
+                <= flat_doc["expected_iteration_ms"])

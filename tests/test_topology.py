@@ -93,3 +93,50 @@ class TestFlatVsHierarchical:
             for n in (1e4, 1e5, 1e6, 1e7)
         ]
         assert times == sorted(times)
+
+
+class TestCrossoverEdgeCases:
+    """Boundary behavior of the bisection in ``crossover_bytes``."""
+
+    def test_returns_low_when_hierarchical_never_wins(self):
+        # A degenerate "hierarchy" whose intra link is catastrophically
+        # slow: the intra detour costs more than flat at every probed
+        # size, so the bisection reports the low bound.
+        from repro.comm.cost_model import LinkSpec
+
+        molasses = LinkSpec(name="molasses", alpha=10.0, beta=1e3,
+                            nominal_gbps=1e-5)
+        topology = ClusterTopology(num_nodes=2, gpus_per_node=4,
+                                   intra_link=molasses)
+        assert crossover_bytes(topology, low=64.0) == 64.0
+
+    def test_returns_high_when_hierarchical_always_wins(self):
+        # NVLink intra + slow inter: the two-level schedule dominates on
+        # the whole probed range, so the bisection reports the high bound.
+        from repro.comm.cost_model import ETHERNET_1G
+
+        topology = ClusterTopology(num_nodes=4, gpus_per_node=4,
+                                   intra_link=NVLINK2,
+                                   inter_link=ETHERNET_1G)
+        assert crossover_bytes(topology, high=1e8) == 1e8
+
+    def test_single_node_topology_has_no_interior_crossover(self):
+        # With one node the inter-node phase is free, so hierarchical ==
+        # flat up to latency bookkeeping; the result must pin to a bound,
+        # never an interior point.
+        topology = ClusterTopology(num_nodes=1, gpus_per_node=8)
+        crossover = crossover_bytes(topology, low=32.0, high=1e8)
+        assert crossover in (32.0, 1e8)
+
+    def test_custom_probe_range_clamps_interior_crossover(self):
+        # The real crossover of this testbed sits in the MBs; shrinking
+        # the probed range below it must clamp to the high bound.
+        from repro.comm.cost_model import INFINIBAND_100G
+
+        topology = ClusterTopology(num_nodes=4, gpus_per_node=4,
+                                   intra_link=PCIE3_X16,
+                                   inter_link=INFINIBAND_100G)
+        interior = crossover_bytes(topology)
+        assert 1e3 < interior < 1e9
+        clamped = crossover_bytes(topology, low=1.0, high=interior / 100)
+        assert clamped == interior / 100
